@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks for the hot paths: GF(2^8) slice kernels,
+//! RS encode/decode, max–min fair allocation, and ChameleonEC plan
+//! generation (the per-chunk cost behind Exp#5).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use chameleon_cluster::{ChunkId, Cluster, ClusterConfig, PlacementStrategy};
+use chameleon_codes::{ErasureCode, ReedSolomon};
+use chameleon_core::chameleon::{dispatch_chunk, establish_plan, PhaseState};
+use chameleon_core::RepairContext;
+use chameleon_gf::{mul_add_slice, Gf256, Matrix};
+use chameleon_simnet::allocate_rates;
+
+fn bench_gf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf");
+    let src = vec![0xABu8; 1 << 20];
+    let mut dst = vec![0u8; 1 << 20];
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("mul_add_slice_1MiB", |b| {
+        b.iter(|| mul_add_slice(Gf256::new(0x1D), black_box(&src), black_box(&mut dst)))
+    });
+    group.bench_function("matrix_invert_10x10", |b| {
+        let m = Matrix::cauchy(10, 10);
+        b.iter(|| black_box(&m).invert().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_10_4");
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 64 * 1024]).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    group.throughput(Throughput::Bytes(10 * 64 * 1024));
+    group.bench_function("encode_640KiB", |b| {
+        b.iter(|| rs.encode(black_box(&refs)).unwrap())
+    });
+    let stripe = rs.encode(&refs).unwrap();
+    let avail: Vec<(usize, &[u8])> = (1..11).map(|i| (i, stripe[i].as_slice())).collect();
+    group.bench_function("decode_one_chunk", |b| {
+        b.iter(|| rs.decode(black_box(&avail), 0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin");
+    // 200 flows over 80 resources (a 20-node cluster in full repair).
+    let caps = vec![1.25e9; 80];
+    let flows: Vec<Vec<usize>> = (0..200)
+        .map(|i| vec![(i * 7) % 80, (i * 13 + 1) % 80])
+        .collect();
+    group.bench_function("allocate_200_flows_80_resources", |b| {
+        b.iter(|| allocate_rates(black_box(&caps), black_box(&flows)))
+    });
+    group.finish();
+}
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chameleon_plan");
+    for nodes in [50usize, 200, 500] {
+        let code = Arc::new(ReedSolomon::new(10, 4).unwrap());
+        let cfg = ClusterConfig {
+            storage_nodes: nodes,
+            clients: 0,
+            node_caps: Default::default(),
+            chunk_size: 64 << 20,
+            slice_size: 1 << 20,
+            stripe_width: 14,
+            stripes: 64,
+            placement: PlacementStrategy::Random(1),
+            monitor_window_secs: 15.0,
+        };
+        let cluster = Cluster::new(cfg).unwrap();
+        let ctx = RepairContext::new(cluster, code);
+        group.bench_function(format!("dispatch_and_plan_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                let mut phase = PhaseState {
+                    t_up: vec![0.0; nodes],
+                    t_down: vec![0.0; nodes],
+                    b_up: vec![1e9; nodes],
+                    b_down: vec![1e9; nodes],
+                };
+                let chunk = ChunkId {
+                    stripe: 0,
+                    index: 0,
+                };
+                let a = dispatch_chunk(&ctx, &mut phase, chunk, &[]).unwrap();
+                establish_plan(&ctx, &a).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gf,
+    bench_rs,
+    bench_maxmin,
+    bench_plan_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! The common repair-under-foreground experiment loop.
+
+use chameleon_cluster::{Cluster, ForegroundDriver, ForegroundReport};
+use chameleon_codes::ErasureCode;
+use chameleon_core::{RepairContext, RepairDriver, RepairOutcome};
+use chameleon_simnet::Simulator;
+use chameleon_traces::{TraceKind, Workload};
+
+use std::sync::Arc;
+
+/// Foreground load specification: one workload per client, drawn
+/// round-robin from `kinds`.
+#[derive(Debug, Clone)]
+pub struct FgSpec {
+    /// Trace families, assigned to clients round-robin.
+    pub kinds: Vec<TraceKind>,
+    /// Number of foreground clients to run (0 = no foreground).
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Workload RNG seed base.
+    pub seed: u64,
+}
+
+impl FgSpec {
+    /// The paper's default: every client replays YCSB-A.
+    pub fn ycsb(clients: usize, requests_per_client: usize) -> Self {
+        FgSpec {
+            kinds: vec![TraceKind::YcsbA],
+            clients,
+            requests_per_client,
+            seed: 0xFACE,
+        }
+    }
+
+    /// All clients replay the given trace.
+    pub fn uniform(kind: TraceKind, clients: usize, requests_per_client: usize) -> Self {
+        FgSpec {
+            kinds: vec![kind],
+            clients,
+            requests_per_client,
+            seed: 0xFACE,
+        }
+    }
+
+    /// Builds the per-client workloads.
+    pub fn workloads(&self) -> Vec<Box<dyn Workload>> {
+        (0..self.clients)
+            .map(|c| self.kinds[c % self.kinds.len()].build(self.seed + c as u64))
+            .collect()
+    }
+}
+
+/// Everything an experiment might want to inspect after a run.
+pub struct RunOutput {
+    /// Repair-side result.
+    pub outcome: RepairOutcome,
+    /// Foreground-side result (if a foreground ran).
+    pub fg_report: Option<ForegroundReport>,
+    /// The simulator, for monitor/bandwidth analysis.
+    pub sim: Simulator,
+}
+
+impl RunOutput {
+    /// Repair throughput in MB/s (10^6 bytes).
+    pub fn repair_mbps(&self) -> f64 {
+        self.outcome.throughput() / 1e6
+    }
+
+    /// Foreground P99 latency in milliseconds (0 without foreground).
+    pub fn p99_ms(&self) -> f64 {
+        self.fg_report.as_ref().map_or(0.0, |r| r.p99_latency * 1e3)
+    }
+}
+
+/// Runs a repair of every chunk on `victims` to completion, concurrently
+/// with the optional foreground load, draining both.
+///
+/// # Panics
+///
+/// Panics if the repair or foreground never finishes (simulation bug).
+pub fn run_repair(
+    code: Arc<dyn ErasureCode>,
+    cfg: chameleon_cluster::ClusterConfig,
+    victims: &[usize],
+    mut make_driver: impl FnMut(RepairContext) -> Box<dyn RepairDriver>,
+    fg: Option<FgSpec>,
+) -> RunOutput {
+    let mut cluster = Cluster::new(cfg).expect("valid cluster config");
+    for &v in victims {
+        cluster.fail_node(v).expect("valid victim");
+    }
+    let lost = cluster.lost_chunks(victims);
+    let ctx = RepairContext::new(cluster, code);
+    let mut sim = ctx.cluster.build_simulator();
+
+    let mut fg_driver = fg.map(|spec| {
+        let mut d = ForegroundDriver::new(spec.workloads(), spec.requests_per_client);
+        d.start(&ctx.cluster, &mut sim);
+        d
+    });
+
+    let mut driver = make_driver(ctx.clone());
+    driver.start(&mut sim, lost);
+
+    while let Some(ev) = sim.next_event() {
+        if driver.on_event(&mut sim, &ev) {
+            continue;
+        }
+        if let Some(fgd) = fg_driver.as_mut() {
+            fgd.on_event(&ctx.cluster, &mut sim, &ev);
+        }
+    }
+    assert!(driver.is_done(), "repair driver did not finish");
+    if let Some(fgd) = &fg_driver {
+        assert!(fgd.is_done(), "foreground did not finish");
+    }
+
+    RunOutput {
+        outcome: driver.outcome(&sim),
+        fg_report: fg_driver.map(|d| d.report(&sim)),
+        sim,
+    }
+}
+
+/// Runs a foreground-only workload (no repair) and reports it — the
+/// "YCSB-Only" baseline of Fig. 4 and the clean execution time `T` of the
+/// interference degree (Exp#2).
+pub fn run_foreground_only(
+    code: Arc<dyn ErasureCode>,
+    cfg: chameleon_cluster::ClusterConfig,
+    spec: FgSpec,
+) -> (ForegroundReport, Simulator) {
+    let cluster = Cluster::new(cfg).expect("valid cluster config");
+    let ctx = RepairContext::new(cluster, code);
+    let mut sim = ctx.cluster.build_simulator();
+    let mut fg = ForegroundDriver::new(spec.workloads(), spec.requests_per_client);
+    fg.start(&ctx.cluster, &mut sim);
+    while let Some(ev) = sim.next_event() {
+        fg.on_event(&ctx.cluster, &mut sim, &ev);
+    }
+    assert!(fg.is_done());
+    (fg.report(&sim), sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use chameleon_codes::ReedSolomon;
+
+    #[test]
+    fn tiny_run_completes_with_and_without_foreground() {
+        let mut scale = Scale::small();
+        scale.chunks_per_node = 3;
+        scale.requests_per_client = 30;
+        let cfg = scale.cluster_config(6);
+        let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(4, 2).unwrap());
+
+        let out = run_repair(
+            code.clone(),
+            cfg.clone(),
+            &[0],
+            |ctx| crate::AlgoKind::Cr.driver(ctx, 1),
+            None,
+        );
+        assert!(out.repair_mbps() > 0.0);
+        assert!(out.fg_report.is_none());
+
+        let out = run_repair(
+            code.clone(),
+            cfg.clone(),
+            &[0],
+            |ctx| crate::AlgoKind::Chameleon.driver(ctx, 1),
+            Some(FgSpec::ycsb(2, 30)),
+        );
+        assert!(out.repair_mbps() > 0.0);
+        assert!(out.p99_ms() > 0.0);
+
+        let (report, _) = run_foreground_only(code, cfg, FgSpec::ycsb(2, 30));
+        assert_eq!(report.completed, 60);
+    }
+}

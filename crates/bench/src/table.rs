@@ -1,0 +1,139 @@
+//! Table printing and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Prints a fixed-width table with a title.
+///
+/// # Examples
+///
+/// ```
+/// chameleon_bench::table::print_table(
+///     "demo",
+///     &["algo", "MB/s"],
+///     &[vec!["CR".into(), "120.5".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Writes rows as CSV under `results/<name>.csv` (relative to the
+/// workspace root when run via cargo). Errors are reported, not fatal —
+/// a read-only filesystem must not kill a benchmark run.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let write = || -> std::io::Result<()> {
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", headers.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(manifest).join("../../results")
+}
+
+/// Renders a numeric series as a unicode sparkline (e.g. `▂▄▆█▅▁`),
+/// normalized to the series' own min/max.
+///
+/// # Examples
+///
+/// ```
+/// let s = chameleon_bench::table::sparkline(&[0.0, 2.0, 4.0, 8.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.ends_with('█'));
+/// ```
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(f64::EPSILON);
+    series
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats a fraction as a percentage string (e.g. `+23.5%`).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", ratio * 100.0)
+}
+
+/// Relative improvement of `new` over `base` (`new/base - 1`).
+pub fn improvement(new: f64, base: f64) -> f64 {
+    if base > 0.0 {
+        new / base - 1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement(150.0, 100.0) - 0.5).abs() < 1e-12);
+        assert_eq!(improvement(1.0, 0.0), 0.0);
+        assert_eq!(pct(0.235), "+23.5%");
+        assert_eq!(pct(-0.084), "-8.4%");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0]), "▁");
+        let s = sparkline(&[0.0, 10.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.contains('█'));
+    }
+}

@@ -1,0 +1,40 @@
+//! The `help` subcommand.
+
+/// Prints usage information.
+pub fn print() {
+    println!(
+        "\
+chameleonec — low-interference erasure-coded repair (HPCA 2025 reproduction)
+
+USAGE:
+    chameleonec <COMMAND> [--flag value]...
+
+COMMANDS:
+    repair        Simulate a full-node repair, optionally under foreground load
+                    --code       rs:K,M | lrc:K,L,M | butterfly   (default rs:10,4)
+                    --algo       cr | ppr | ecpipe | rb-cr | rb-ppr | rb-ecpipe |
+                                 chameleon | chameleon-io | etrp  (default chameleon)
+                    --failures   number of failed nodes            (default 1)
+                    --chunks     chunks lost per failed node       (default 20)
+                    --clients    foreground YCSB clients           (default 0)
+                    --requests   requests per client               (default 4000)
+                    --gbps       link bandwidth in Gb/s            (default 10)
+                    --disk-mbps  disk bandwidth in MB/s            (default 500)
+                    --chunk-mb   chunk size in MB                  (default 64)
+                    --seed       RNG seed                          (default 7)
+
+    plan          Show the repair plan ChameleonEC builds for one chunk
+                    --code, --gbps, --seed as above
+
+    traces        Sample a synthetic workload and print its statistics
+                    --kind       ycsb | ibm | memcached | etc      (default ycsb)
+                    --count      requests to sample                (default 100000)
+                    --seed       RNG seed                          (default 1)
+
+    reliability   Data-loss probability vs repair throughput (Fig. 2)
+                    --throughput comma-separated MB/s list (default 10,50,100,500,1000)
+
+    help          This message
+"
+    );
+}

@@ -1,0 +1,7 @@
+//! Subcommand implementations.
+
+pub mod help;
+pub mod plan;
+pub mod reliability;
+pub mod repair;
+pub mod traces;

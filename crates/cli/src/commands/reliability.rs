@@ -1,0 +1,44 @@
+//! The `reliability` subcommand: the Fig. 2 analytical model.
+
+use chameleon_cluster::reliability::ReliabilityModel;
+
+use crate::args::Flags;
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&["throughput", "k", "m", "node-tb", "lifetime-years"])?;
+    let throughputs = flags.f64_list_or("throughput", &[10.0, 50.0, 100.0, 500.0, 1000.0])?;
+    let model = ReliabilityModel {
+        k: flags.num_or("k", 10usize)?,
+        m: flags.num_or("m", 4usize)?,
+        node_capacity_bytes: flags.num_or("node-tb", 96.0f64)? * 1e12,
+        node_lifetime_years: flags.num_or("lifetime-years", 10.0f64)?,
+    };
+    if model.k == 0 || model.m == 0 {
+        return Err("k and m must be positive".to_string());
+    }
+
+    println!(
+        "data-loss probability during single-node repair — RS({},{}), {:.0} TB/node, \
+         theta = {} years",
+        model.k,
+        model.m,
+        model.node_capacity_bytes / 1e12,
+        model.node_lifetime_years
+    );
+    println!("{:>12} {:>16} {:>12}", "MB/s", "repair time (h)", "Pr_dl");
+    for mbps in throughputs {
+        if mbps <= 0.0 {
+            return Err("throughput values must be positive".to_string());
+        }
+        let bps = mbps * 1e6;
+        println!(
+            "{:>12.0} {:>16.1} {:>12.3e}",
+            mbps,
+            model.repair_duration_secs(bps) / 3600.0,
+            model.data_loss_probability(bps)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! The `repair` subcommand: a full experiment run from the command line.
+
+use chameleon_cluster::{Cluster, ClusterConfig, ForegroundDriver, PlacementStrategy};
+use chameleon_core::baseline::{PlanShape, StaticRepairDriver};
+use chameleon_core::chameleon::{ChameleonConfig, ChameleonDriver};
+use chameleon_core::{RepairContext, RepairDriver};
+use chameleon_simnet::NodeCaps;
+use chameleon_traces::{Workload, YcsbA};
+
+use crate::args::{parse_code, Flags};
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&[
+        "code",
+        "algo",
+        "failures",
+        "chunks",
+        "clients",
+        "requests",
+        "gbps",
+        "disk-mbps",
+        "chunk-mb",
+        "seed",
+    ])?;
+    let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
+    let algo = flags.str_or("algo", "chameleon");
+    let failures: usize = flags.num_or("failures", 1)?;
+    let chunks: usize = flags.num_or("chunks", 20)?;
+    let clients: usize = flags.num_or("clients", 0)?;
+    let requests: usize = flags.num_or("requests", 4000)?;
+    let gbps: f64 = flags.num_or("gbps", 10.0)?;
+    let disk_mbps: f64 = flags.num_or("disk-mbps", 500.0)?;
+    let chunk_mb: u64 = flags.num_or("chunk-mb", 64)?;
+    let seed: u64 = flags.num_or("seed", 7)?;
+
+    if failures == 0 || failures > code.fault_tolerance() {
+        return Err(format!(
+            "--failures must be 1..={} for {}",
+            code.fault_tolerance(),
+            code.name()
+        ));
+    }
+
+    let storage_nodes = 20.max(code.n() + 1);
+    let cfg = ClusterConfig {
+        storage_nodes,
+        clients: clients.max(1),
+        node_caps: NodeCaps::symmetric(gbps * 1e9 / 8.0, disk_mbps * 1e6),
+        chunk_size: chunk_mb << 20,
+        slice_size: (1u64 << 20).min(chunk_mb << 20),
+        stripe_width: code.n(),
+        stripes: (chunks * storage_nodes).div_ceil(code.n()),
+        placement: PlacementStrategy::Random(seed),
+        monitor_window_secs: 15.0,
+    };
+    let mut cluster = Cluster::new(cfg).map_err(|e| e.to_string())?;
+    let victims: Vec<usize> = (0..failures).collect();
+    for &v in &victims {
+        cluster.fail_node(v).map_err(|e| e.to_string())?;
+    }
+    let lost = cluster.lost_chunks(&victims);
+    println!(
+        "cluster: {storage_nodes} nodes, {} Gb/s links, {} MB/s disks, code {}, \
+         {} chunks lost",
+        gbps,
+        disk_mbps,
+        code.name(),
+        lost.len()
+    );
+
+    let ctx = RepairContext::new(cluster, code);
+    let mut sim = ctx.cluster.build_simulator();
+
+    let mut fg = if clients > 0 {
+        let workloads: Vec<Box<dyn Workload>> = (0..clients)
+            .map(|i| Box::new(YcsbA::new(seed + i as u64)) as Box<dyn Workload>)
+            .collect();
+        let mut d = ForegroundDriver::new(workloads, requests);
+        d.start(&ctx.cluster, &mut sim);
+        Some(d)
+    } else {
+        None
+    };
+
+    let mut driver = make_driver(&algo, ctx.clone(), seed)?;
+    driver.start(&mut sim, lost);
+    while let Some(ev) = sim.next_event() {
+        if driver.on_event(&mut sim, &ev) {
+            continue;
+        }
+        if let Some(fgd) = fg.as_mut() {
+            fgd.on_event(&ctx.cluster, &mut sim, &ev);
+        }
+    }
+
+    let outcome = driver.outcome(&sim);
+    println!("\nrepair: {}", outcome.algorithm);
+    println!("  chunks repaired : {}", outcome.chunks_repaired);
+    println!(
+        "  duration        : {:.2} s",
+        outcome.duration.unwrap_or(f64::NAN)
+    );
+    println!("  throughput      : {:.1} MB/s", outcome.throughput() / 1e6);
+    println!("  mean chunk time : {:.3} s", outcome.mean_chunk_secs());
+    if let Some(fgd) = fg {
+        let report = fgd.report(&sim);
+        println!("\nforeground ({clients} YCSB-A clients):");
+        println!("  requests        : {}", report.completed);
+        println!("  mean latency    : {:.2} ms", report.mean_latency * 1e3);
+        println!("  P99 latency     : {:.2} ms", report.p99_latency * 1e3);
+    }
+    Ok(())
+}
+
+fn make_driver(algo: &str, ctx: RepairContext, seed: u64) -> Result<Box<dyn RepairDriver>, String> {
+    Ok(match algo {
+        "cr" => Box::new(StaticRepairDriver::new(ctx, PlanShape::Star, seed)),
+        "ppr" => Box::new(StaticRepairDriver::new(ctx, PlanShape::Tree, seed)),
+        "ecpipe" => Box::new(StaticRepairDriver::new(ctx, PlanShape::Chain, seed)),
+        "rb-cr" => Box::new(StaticRepairDriver::boosted(ctx, PlanShape::Star, seed)),
+        "rb-ppr" => Box::new(StaticRepairDriver::boosted(ctx, PlanShape::Tree, seed)),
+        "rb-ecpipe" => Box::new(StaticRepairDriver::boosted(ctx, PlanShape::Chain, seed)),
+        "chameleon" => Box::new(ChameleonDriver::new(ctx, ChameleonConfig::default())),
+        "chameleon-io" => Box::new(ChameleonDriver::new(ctx, ChameleonConfig::io())),
+        "etrp" => Box::new(ChameleonDriver::new(ctx, ChameleonConfig::etrp_only())),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}

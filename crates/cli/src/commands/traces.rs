@@ -1,0 +1,66 @@
+//! The `traces` subcommand: sample a synthetic workload and summarize it.
+
+use chameleon_traces::{Op, TraceKind};
+
+use crate::args::Flags;
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&["kind", "count", "seed"])?;
+    let kind = match flags.str_or("kind", "ycsb").as_str() {
+        "ycsb" => TraceKind::YcsbA,
+        "ibm" => TraceKind::IbmObjectStore,
+        "memcached" => TraceKind::TwitterMemcached,
+        "etc" => TraceKind::FacebookEtc,
+        other => return Err(format!("unknown trace kind `{other}`")),
+    };
+    let count: usize = flags.num_or("count", 100_000)?;
+    let seed: u64 = flags.num_or("seed", 1)?;
+    if count == 0 {
+        return Err("--count must be positive".to_string());
+    }
+
+    let mut w = kind.build(seed);
+    let mut gets = 0usize;
+    let mut total_bytes = 0u64;
+    let mut sizes = Vec::with_capacity(count);
+    let mut key_hits = std::collections::HashMap::new();
+    for _ in 0..count {
+        let r = w.next_request();
+        if r.op == Op::Get {
+            gets += 1;
+        }
+        total_bytes += r.value_size;
+        sizes.push(r.value_size);
+        *key_hits.entry(r.key).or_insert(0usize) += 1;
+    }
+    sizes.sort_unstable();
+    let pctile = |p: f64| sizes[((p * count as f64) as usize).min(count - 1)];
+    let hottest = key_hits.values().max().copied().unwrap_or(0);
+
+    println!("trace {} ({count} requests, seed {seed}):", kind.name());
+    println!(
+        "  op mix          : {:.1}% GET / {:.1}% PUT",
+        100.0 * gets as f64 / count as f64,
+        100.0 * (count - gets) as f64 / count as f64
+    );
+    println!(
+        "  value sizes     : p50 {} B, p90 {} B, p99 {} B, max {} B",
+        pctile(0.50),
+        pctile(0.90),
+        pctile(0.99),
+        sizes[count - 1]
+    );
+    println!(
+        "  mean value size : {:.0} B",
+        total_bytes as f64 / count as f64
+    );
+    println!("  total volume    : {:.2} GB", total_bytes as f64 / 1e9);
+    println!(
+        "  key skew        : hottest key gets {:.2}% of requests ({} distinct keys)",
+        100.0 * hottest as f64 / count as f64,
+        key_hits.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! `chameleonec` — command-line driver for ChameleonEC repair experiments.
+//!
+//! ```text
+//! chameleonec repair   --code rs:10,4 --algo chameleon --clients 4
+//! chameleonec plan     --code rs:4,2 --algo chameleon
+//! chameleonec traces   --kind ycsb --count 10000
+//! chameleonec reliability --throughput 50,100,500
+//! chameleonec help
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        commands::help::print();
+        return ExitCode::SUCCESS;
+    };
+    let result = match command.as_str() {
+        "repair" => commands::repair::run(rest),
+        "plan" => commands::plan::run(rest),
+        "traces" => commands::traces::run(rest),
+        "reliability" => commands::reliability::run(rest),
+        "help" | "--help" | "-h" => {
+            commands::help::print();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `chameleonec help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

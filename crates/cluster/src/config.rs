@@ -1,0 +1,346 @@
+//! Cluster configuration and state.
+
+use std::collections::BTreeSet;
+
+use chameleon_simnet::{NodeCaps, NodeId, SimConfig, Simulator};
+
+use crate::placement::{ChunkId, Placement, PlacementStrategy};
+
+/// Errors from cluster construction and failure injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Fewer nodes than the stripe width, or zero-sized parameters.
+    BadConfig,
+    /// A referenced node does not exist.
+    UnknownNode,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::BadConfig => write!(f, "invalid cluster configuration"),
+            ClusterError::UnknownNode => write!(f, "node does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Static description of a simulated cluster.
+///
+/// The defaults mirror the paper's testbed (§V-A): 20 storage nodes, four
+/// YCSB client machines, 10 Gb/s network, ~500 MB/s storage, 64 MB chunks
+/// sliced into 1 MB pieces, and enough stripes that a failed node loses
+/// 200 chunks (125 GB of repair traffic).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of storage nodes.
+    pub storage_nodes: usize,
+    /// Number of client machines (they get simulator node ids after the
+    /// storage nodes).
+    pub clients: usize,
+    /// Per-node resource capacities.
+    pub node_caps: NodeCaps,
+    /// Chunk size in bytes (64 MB in HDFS and the paper).
+    pub chunk_size: u64,
+    /// Slice size in bytes for pipelined transfers (1 MB in the paper).
+    pub slice_size: u64,
+    /// Stripe width `n = k + parity` of the erasure code in use.
+    pub stripe_width: usize,
+    /// Number of stripes stored.
+    pub stripes: usize,
+    /// Placement strategy.
+    pub placement: PlacementStrategy,
+    /// Bandwidth monitor window (15 s in §II-D).
+    pub monitor_window_secs: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: 20 nodes, 4 clients, RS(10,4)-shaped stripes
+    /// (width 14), 64 MB chunks, 1 MB slices, ~200 chunks lost per failed
+    /// node.
+    pub fn paper_default() -> Self {
+        let storage_nodes = 20;
+        let stripe_width = 14;
+        // chunks per node = stripes * width / nodes; solve for ~200.
+        let stripes = 200 * storage_nodes / stripe_width;
+        ClusterConfig {
+            storage_nodes,
+            clients: 4,
+            node_caps: NodeCaps::default(),
+            chunk_size: 64 << 20,
+            slice_size: 1 << 20,
+            stripe_width,
+            stripes,
+            placement: PlacementStrategy::Random(0xC0DE),
+            monitor_window_secs: 15.0,
+        }
+    }
+
+    /// A CI-friendly miniature of the paper testbed: same topology shape,
+    /// smaller chunks and fewer stripes so experiments run in seconds.
+    pub fn small(stripe_width: usize) -> Self {
+        ClusterConfig {
+            storage_nodes: 20,
+            clients: 4,
+            node_caps: NodeCaps::default(),
+            chunk_size: 4 << 20,
+            slice_size: 1 << 20,
+            stripe_width,
+            stripes: 40,
+            placement: PlacementStrategy::Random(0xC0DE),
+            monitor_window_secs: 15.0,
+        }
+    }
+
+    /// Total simulator nodes (storage + clients).
+    pub fn total_nodes(&self) -> usize {
+        self.storage_nodes + self.clients
+    }
+}
+
+/// A cluster: placement plus failure state. Builds the simulator
+/// experiments run against.
+///
+/// Simulator node ids `0..storage_nodes` are storage nodes;
+/// `storage_nodes..storage_nodes+clients` are client machines.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    placement: Placement,
+    failed: BTreeSet<NodeId>,
+}
+
+impl Cluster {
+    /// Creates a cluster from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::BadConfig`] if the stripe width exceeds the
+    /// node count or any size parameter is zero.
+    pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        if config.storage_nodes < config.stripe_width
+            || config.stripe_width == 0
+            || config.chunk_size == 0
+            || config.slice_size == 0
+            || config.slice_size > config.chunk_size
+        {
+            return Err(ClusterError::BadConfig);
+        }
+        let placement = Placement::new(
+            config.storage_nodes,
+            config.stripe_width,
+            config.stripes,
+            config.placement,
+        );
+        Ok(Cluster {
+            config,
+            placement,
+            failed: BTreeSet::new(),
+        })
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The chunk placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Number of storage nodes.
+    pub fn storage_nodes(&self) -> usize {
+        self.config.storage_nodes
+    }
+
+    /// Simulator node id of client `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= clients`.
+    pub fn client_node(&self, i: usize) -> NodeId {
+        assert!(i < self.config.clients, "client index out of range");
+        self.config.storage_nodes + i
+    }
+
+    /// Builds a fresh simulator sized for this cluster (storage nodes and
+    /// client machines share the same capacities, as on EC2).
+    pub fn build_simulator(&self) -> Simulator {
+        Simulator::new(SimConfig {
+            nodes: vec![self.config.node_caps; self.config.total_nodes()],
+            monitor_window_secs: self.config.monitor_window_secs,
+        })
+    }
+
+    /// Marks a storage node failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for a non-storage node.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        if node >= self.config.storage_nodes {
+            return Err(ClusterError::UnknownNode);
+        }
+        self.failed.insert(node);
+        Ok(())
+    }
+
+    /// Restores a failed node (post-repair bookkeeping).
+    pub fn heal_node(&mut self, node: NodeId) {
+        self.failed.remove(&node);
+    }
+
+    /// Currently failed storage nodes.
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Whether a storage node is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        node < self.config.storage_nodes && !self.failed.contains(&node)
+    }
+
+    /// Alive storage nodes, ascending.
+    pub fn alive_storage_nodes(&self) -> Vec<NodeId> {
+        (0..self.config.storage_nodes)
+            .filter(|n| !self.failed.contains(n))
+            .collect()
+    }
+
+    /// Chunks lost if the given nodes fail (regardless of current failure
+    /// state), in stripe order.
+    pub fn lost_chunks(&self, nodes: &[NodeId]) -> Vec<ChunkId> {
+        let mut out = Vec::new();
+        for stripe in 0..self.placement.stripes() {
+            for (index, &node) in self.placement.stripe_nodes(stripe).iter().enumerate() {
+                if nodes.contains(&node) {
+                    out.push(ChunkId { stripe, index });
+                }
+            }
+        }
+        out
+    }
+
+    /// Chunk indices of a stripe whose nodes are currently alive.
+    pub fn alive_chunk_indices(&self, stripe: usize) -> Vec<usize> {
+        self.placement
+            .stripe_nodes(stripe)
+            .iter()
+            .enumerate()
+            .filter(|(_, &node)| !self.failed.contains(&node))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Records that a chunk was repaired onto `destination`: the metadata
+    /// now points there (the paper's heartbeat-driven NameNode update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] if the destination is not an
+    /// alive storage node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relocation would put two chunks of one stripe on the
+    /// same node (callers choose off-stripe destinations, so this
+    /// indicates a scheduler bug).
+    pub fn apply_repair(
+        &mut self,
+        chunk: crate::ChunkId,
+        destination: NodeId,
+    ) -> Result<(), ClusterError> {
+        if !self.is_alive(destination) {
+            return Err(ClusterError::UnknownNode);
+        }
+        self.placement.relocate(chunk, destination);
+        Ok(())
+    }
+
+    /// Maps a workload key to an alive storage node (foreground requests
+    /// are served by surviving replicas/chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every storage node has failed.
+    pub fn key_to_node(&self, key: u64) -> NodeId {
+        let alive = self.alive_storage_nodes();
+        assert!(!alive.is_empty(), "all storage nodes failed");
+        alive[(key % alive.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = ClusterConfig::paper_default();
+        let cluster = Cluster::new(cfg).unwrap();
+        assert_eq!(cluster.storage_nodes(), 20);
+        assert_eq!(cluster.client_node(0), 20);
+        // ~200 chunks per node.
+        let per_node = cluster.placement().chunks_on(0).len();
+        assert!(
+            (150..=250).contains(&per_node),
+            "chunks on node 0: {per_node}"
+        );
+    }
+
+    #[test]
+    fn failing_a_node_loses_its_chunks() {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let expected = cluster.placement().chunks_on(3).len();
+        cluster.fail_node(3).unwrap();
+        assert_eq!(cluster.lost_chunks(&[3]).len(), expected);
+        assert!(!cluster.is_alive(3));
+        assert_eq!(cluster.alive_storage_nodes().len(), 19);
+        cluster.heal_node(3);
+        assert!(cluster.is_alive(3));
+    }
+
+    #[test]
+    fn alive_chunk_indices_exclude_failed() {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let victim = cluster.placement().stripe_nodes(0)[2];
+        cluster.fail_node(victim).unwrap();
+        let alive = cluster.alive_chunk_indices(0);
+        assert!(!alive.contains(&2));
+        assert_eq!(alive.len(), 5);
+    }
+
+    #[test]
+    fn key_to_node_skips_failed_nodes() {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        for key in 0..100 {
+            assert_ne!(cluster.key_to_node(key), 0);
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut cfg = ClusterConfig::small(6);
+        cfg.storage_nodes = 4;
+        assert_eq!(Cluster::new(cfg).unwrap_err(), ClusterError::BadConfig);
+        let mut cfg = ClusterConfig::small(6);
+        cfg.slice_size = cfg.chunk_size * 2;
+        assert_eq!(Cluster::new(cfg).unwrap_err(), ClusterError::BadConfig);
+    }
+
+    #[test]
+    fn failing_client_node_rejected() {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        assert_eq!(cluster.fail_node(20), Err(ClusterError::UnknownNode));
+    }
+
+    #[test]
+    fn simulator_has_all_nodes() {
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let sim = cluster.build_simulator();
+        assert_eq!(sim.node_count(), 24);
+    }
+}

@@ -1,0 +1,43 @@
+//! Erasure-coded storage cluster model.
+//!
+//! Glue between the [`chameleon_simnet`] substrate and the repair
+//! algorithms: where chunks live, what a node failure loses, how foreground
+//! clients load the cluster, and the paper's analytical reliability model.
+//!
+//! - [`Placement`]: stripes laid out over nodes, one chunk per node per
+//!   stripe (the paper's §II-A placement rule).
+//! - [`Cluster`]: a placement plus node/failure state; builds the
+//!   [`Simulator`](chameleon_simnet::Simulator) for experiments (storage
+//!   nodes first, then client nodes).
+//! - [`ForegroundDriver`]: closed-loop clients replaying a
+//!   [`Workload`](chameleon_traces::Workload), recording per-request
+//!   latency (for P99) and total execution time (for the interference
+//!   degree of Exp#2).
+//! - [`reliability`]: the data-loss probability model of §II-B (Fig. 2).
+//! - [`stats`]: percentile helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use chameleon_cluster::{Cluster, ClusterConfig};
+//!
+//! let cfg = ClusterConfig::paper_default();
+//! let cluster = Cluster::new(cfg)?;
+//! assert_eq!(cluster.storage_nodes(), 20);
+//! let lost = cluster.lost_chunks(&[3]);
+//! assert!(!lost.is_empty());
+//! # Ok::<(), chameleon_cluster::ClusterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod foreground;
+mod placement;
+pub mod reliability;
+pub mod stats;
+
+pub use config::{Cluster, ClusterConfig, ClusterError};
+pub use foreground::{ForegroundDriver, ForegroundReport};
+pub use placement::{ChunkId, Placement, PlacementStrategy};

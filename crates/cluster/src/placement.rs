@@ -1,0 +1,219 @@
+//! Stripe-to-node placement.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use chameleon_simnet::NodeId;
+
+/// Identifies one chunk: stripe number plus position within the stripe
+/// (`0..n`, data first, parity after — see
+/// [`ErasureCode`](chameleon_codes::ErasureCode)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId {
+    /// Stripe number.
+    pub stripe: usize,
+    /// Position within the stripe (`0..n`).
+    pub index: usize,
+}
+
+impl std::fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}c{}", self.stripe, self.index)
+    }
+}
+
+/// How stripes are spread over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Stripe `s` places chunk `i` on node `(s + i) mod nodes` — balanced
+    /// and deterministic.
+    Rotation,
+    /// Each stripe picks a random `n`-subset of nodes (seeded), as
+    /// production systems effectively do.
+    Random(u64),
+}
+
+/// The chunk → node map for a set of stripes, maintaining the invariant
+/// that a stripe's `n` chunks land on `n` distinct nodes (so the stripe
+/// tolerates `m` *node* failures, §II-A).
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_cluster::{ChunkId, Placement, PlacementStrategy};
+///
+/// let p = Placement::new(20, 14, 10, PlacementStrategy::Rotation);
+/// let node = p.node_of(ChunkId { stripe: 0, index: 3 });
+/// assert!(node < 20);
+/// assert_eq!(p.stripes(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Placement {
+    nodes: usize,
+    n: usize,
+    /// `chunk_node[stripe][index]` = node.
+    chunk_node: Vec<Vec<NodeId>>,
+}
+
+impl Placement {
+    /// Lays out `stripes` stripes of width `n` across `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < n` (a stripe cannot fit) or `n == 0`.
+    pub fn new(nodes: usize, n: usize, stripes: usize, strategy: PlacementStrategy) -> Self {
+        assert!(n > 0, "stripe width must be positive");
+        assert!(nodes >= n, "need at least n nodes to place a stripe");
+        let chunk_node = match strategy {
+            PlacementStrategy::Rotation => (0..stripes)
+                .map(|s| (0..n).map(|i| (s + i) % nodes).collect())
+                .collect(),
+            PlacementStrategy::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let all: Vec<NodeId> = (0..nodes).collect();
+                (0..stripes)
+                    .map(|_| {
+                        let mut pick = all.clone();
+                        pick.shuffle(&mut rng);
+                        pick.truncate(n);
+                        pick
+                    })
+                    .collect()
+            }
+        };
+        Placement {
+            nodes,
+            n,
+            chunk_node,
+        }
+    }
+
+    /// Number of nodes in the layout.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Stripe width `n`.
+    pub fn stripe_width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.chunk_node.len()
+    }
+
+    /// The node storing a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is out of range.
+    pub fn node_of(&self, chunk: ChunkId) -> NodeId {
+        self.chunk_node[chunk.stripe][chunk.index]
+    }
+
+    /// The nodes of one stripe, indexed by chunk position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe is out of range.
+    pub fn stripe_nodes(&self, stripe: usize) -> &[NodeId] {
+        &self.chunk_node[stripe]
+    }
+
+    /// All chunks stored on a node, in stripe order.
+    pub fn chunks_on(&self, node: NodeId) -> Vec<ChunkId> {
+        let mut out = Vec::new();
+        for (stripe, nodes) in self.chunk_node.iter().enumerate() {
+            for (index, &nd) in nodes.iter().enumerate() {
+                if nd == node {
+                    out.push(ChunkId { stripe, index });
+                }
+            }
+        }
+        out
+    }
+
+    /// Moves a chunk to a new node (post-repair metadata update — the
+    /// NameNode learning a reconstructed block's new location).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk or node is out of range, or if the move would
+    /// put two chunks of the same stripe on one node (which would weaken
+    /// the stripe's fault tolerance).
+    pub fn relocate(&mut self, chunk: ChunkId, node: NodeId) {
+        assert!(node < self.nodes, "node out of range");
+        let stripe = &self.chunk_node[chunk.stripe];
+        assert!(
+            stripe
+                .iter()
+                .enumerate()
+                .all(|(i, &n)| i == chunk.index || n != node),
+            "stripe {} already has a chunk on node {node}",
+            chunk.stripe
+        );
+        self.chunk_node[chunk.stripe][chunk.index] = node;
+    }
+
+    /// Verifies the one-chunk-per-node-per-stripe invariant (used by
+    /// tests).
+    pub fn is_valid(&self) -> bool {
+        self.chunk_node.iter().all(|nodes| {
+            let mut seen = vec![false; self.nodes];
+            nodes.iter().all(|&n| {
+                if n >= self.nodes || seen[n] {
+                    false
+                } else {
+                    seen[n] = true;
+                    true
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_placement_is_valid_and_balanced() {
+        let p = Placement::new(20, 14, 40, PlacementStrategy::Rotation);
+        assert!(p.is_valid());
+        // With 40 stripes of width 14 over 20 nodes, every node holds
+        // 40 * 14 / 20 = 28 chunks.
+        for node in 0..20 {
+            assert_eq!(p.chunks_on(node).len(), 28, "node {node}");
+        }
+    }
+
+    #[test]
+    fn random_placement_is_valid_and_deterministic() {
+        let a = Placement::new(10, 6, 25, PlacementStrategy::Random(7));
+        let b = Placement::new(10, 6, 25, PlacementStrategy::Random(7));
+        assert!(a.is_valid());
+        for s in 0..25 {
+            assert_eq!(a.stripe_nodes(s), b.stripe_nodes(s));
+        }
+        let c = Placement::new(10, 6, 25, PlacementStrategy::Random(8));
+        assert!((0..25).any(|s| a.stripe_nodes(s) != c.stripe_nodes(s)));
+    }
+
+    #[test]
+    fn node_of_and_chunks_on_agree() {
+        let p = Placement::new(8, 5, 12, PlacementStrategy::Random(3));
+        for node in 0..8 {
+            for chunk in p.chunks_on(node) {
+                assert_eq!(p.node_of(chunk), node);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n nodes")]
+    fn too_few_nodes_rejected() {
+        let _ = Placement::new(4, 5, 1, PlacementStrategy::Rotation);
+    }
+}

@@ -1,0 +1,144 @@
+//! The analytical data-loss model of §II-B (Fig. 2).
+//!
+//! During a single-node repair of duration `tau`, each of the other
+//! `k + m - 1` nodes fails within `tau` with probability
+//! `f = 1 - exp(-tau / theta)` (exponentially distributed lifetimes with
+//! mean `theta`). Data is lost if `m` or more *additional* nodes fail
+//! before the repair completes:
+//!
+//! `Pr_dl = 1 - sum_{i=0}^{m-1} C(k+m-1, i) * f^i * (1-f)^(k+m-1-i)`
+//!
+//! A higher repair throughput shortens `tau` and therefore lowers `Pr_dl` —
+//! the paper's motivation for fast repair.
+
+/// Parameters of the reliability model.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_cluster::reliability::ReliabilityModel;
+///
+/// let model = ReliabilityModel::paper_default();
+/// let slow = model.data_loss_probability(50e6);   // 50 MB/s repair
+/// let fast = model.data_loss_probability(500e6);  // 500 MB/s repair
+/// assert!(fast < slow);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityModel {
+    /// Data chunks per stripe.
+    pub k: usize,
+    /// Parity chunks per stripe (failures tolerated).
+    pub m: usize,
+    /// Bytes stored per node (96 TB in the paper's analysis).
+    pub node_capacity_bytes: f64,
+    /// Expected node lifetime in years (10 in the paper, from field
+    /// studies).
+    pub node_lifetime_years: f64,
+}
+
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+impl ReliabilityModel {
+    /// The paper's configuration: RS(10,4), 96 TB nodes, θ = 10 years.
+    pub fn paper_default() -> Self {
+        ReliabilityModel {
+            k: 10,
+            m: 4,
+            node_capacity_bytes: 96e12,
+            node_lifetime_years: 10.0,
+        }
+    }
+
+    /// Time to repair a full node at the given throughput, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the throughput is not positive.
+    pub fn repair_duration_secs(&self, repair_throughput: f64) -> f64 {
+        assert!(repair_throughput > 0.0, "throughput must be positive");
+        self.node_capacity_bytes / repair_throughput
+    }
+
+    /// Probability that one particular node fails within `tau` seconds.
+    pub fn node_failure_probability(&self, tau_secs: f64) -> f64 {
+        let theta = self.node_lifetime_years * SECONDS_PER_YEAR;
+        1.0 - (-tau_secs / theta).exp()
+    }
+
+    /// Probability of data loss during a single-node repair running at
+    /// `repair_throughput` bytes/s (Equation (2) of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the throughput is not positive.
+    pub fn data_loss_probability(&self, repair_throughput: f64) -> f64 {
+        let tau = self.repair_duration_secs(repair_throughput);
+        let f = self.node_failure_probability(tau);
+        let peers = self.k + self.m - 1;
+        let mut survive = 0.0;
+        for i in 0..self.m {
+            survive += binomial(peers, i) * f.powi(i as i32) * (1.0 - f).powi((peers - i) as i32);
+        }
+        (1.0 - survive).max(0.0)
+    }
+}
+
+/// Binomial coefficient as f64 (exact for the small arguments used here).
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0;
+    for i in 0..k {
+        num *= (n - i) as f64 / (i + 1) as f64;
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(13, 13), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn higher_throughput_means_lower_loss() {
+        let model = ReliabilityModel::paper_default();
+        let mut last = f64::INFINITY;
+        for &mbps in &[10e6, 50e6, 100e6, 500e6, 1e9] {
+            let p = model.data_loss_probability(mbps);
+            assert!(p < last, "Pr_dl not monotone at {mbps}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn loss_probability_is_tiny_for_fast_repair() {
+        let model = ReliabilityModel::paper_default();
+        // 1 GB/s repairs 96 TB in ~a day; losing 4 more nodes within a day
+        // out of 13 ten-year nodes is astronomically unlikely.
+        assert!(model.data_loss_probability(1e9) < 1e-10);
+    }
+
+    #[test]
+    fn failure_probability_limits() {
+        let model = ReliabilityModel::paper_default();
+        assert_eq!(model.node_failure_probability(0.0), 0.0);
+        assert!(model.node_failure_probability(1e12) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        let model = ReliabilityModel::paper_default();
+        let _ = model.data_loss_probability(0.0);
+    }
+}

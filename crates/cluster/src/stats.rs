@@ -1,0 +1,76 @@
+//! Small statistics helpers shared by experiments.
+
+/// Nearest-rank percentile of a sample set (`p` in `[0, 1]`).
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or NaN.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_cluster::stats::percentile;
+/// let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(percentile(&xs, 0.5), Some(3.0));
+/// assert_eq!(percentile(&xs, 0.99), Some(5.0));
+/// assert_eq!(percentile(&[], 0.5), None);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "p must be within [0, 1]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Arithmetic mean (`None` for an empty sample).
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_cluster::stats::mean;
+/// assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_edges() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 1.0), Some(30.0));
+        assert_eq!(percentile(&xs, 0.34), Some(20.0));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn percentile_rejects_bad_p() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type shared by all code constructions.
+
+use core::fmt;
+
+/// Errors returned by erasure code operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeError {
+    /// The code parameters are invalid (e.g. `k = 0`, `k + m > 255`,
+    /// `k` not divisible by `l` for an LRC).
+    BadParameters,
+    /// A chunk index is out of range for the stripe.
+    BadIndex,
+    /// `encode` was called with a number of chunks different from `k`.
+    WrongChunkCount,
+    /// Input chunks differ in length (or violate an alignment requirement,
+    /// e.g. Butterfly needs even-sized chunks).
+    ChunkSizeMismatch,
+    /// The available chunks are insufficient to decode or repair.
+    NotEnoughChunks,
+    /// The code repairs at sub-chunk granularity; whole-chunk decoding
+    /// coefficients do not exist.
+    SubChunkRepair,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::BadParameters => write!(f, "invalid code parameters"),
+            CodeError::BadIndex => write!(f, "chunk index out of range"),
+            CodeError::WrongChunkCount => write!(f, "wrong number of data chunks"),
+            CodeError::ChunkSizeMismatch => write!(f, "chunk sizes are inconsistent"),
+            CodeError::NotEnoughChunks => write!(f, "not enough chunks to decode"),
+            CodeError::SubChunkRepair => {
+                write!(f, "code repairs at sub-chunk granularity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}

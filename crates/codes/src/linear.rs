@@ -1,0 +1,265 @@
+//! Shared engine for systematic linear codes described by a generator matrix.
+
+use chameleon_gf::{mul_add_slice, Gf256, Matrix};
+
+use crate::CodeError;
+
+/// A systematic linear code: `n x k` generator matrix whose first `k` rows
+/// are the identity. Chunk `i` of a stripe equals `G[i] * data`.
+#[derive(Debug, Clone)]
+pub(crate) struct LinearCode {
+    generator: Matrix,
+    k: usize,
+}
+
+impl LinearCode {
+    /// Builds a linear code from its generator matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assert) if the top `k` rows are not the identity —
+    /// all constructions in this crate are systematic.
+    pub(crate) fn new(generator: Matrix) -> Self {
+        let k = generator.cols();
+        debug_assert!(generator.rows() >= k);
+        debug_assert_eq!(
+            generator.select_rows(&(0..k).collect::<Vec<_>>()),
+            Matrix::identity(k),
+            "generator must be systematic"
+        );
+        LinearCode { generator, k }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.generator.rows()
+    }
+
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Row `i` of the generator: the linear combination of data chunks that
+    /// produces chunk `i`.
+    pub(crate) fn row(&self, i: usize) -> &[Gf256] {
+        self.generator.row(i)
+    }
+
+    /// Encodes data chunks into the full stripe (data chunks are copied).
+    pub(crate) fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if data.len() != self.k {
+            return Err(CodeError::WrongChunkCount);
+        }
+        let len = data.first().map_or(0, |c| c.len());
+        if data.iter().any(|c| c.len() != len) {
+            return Err(CodeError::ChunkSizeMismatch);
+        }
+        let mut stripe: Vec<Vec<u8>> = data.iter().map(|c| c.to_vec()).collect();
+        for i in self.k..self.n() {
+            let mut chunk = vec![0u8; len];
+            for (j, src) in data.iter().enumerate() {
+                mul_add_slice(self.generator[(i, j)], src, &mut chunk);
+            }
+            stripe.push(chunk);
+        }
+        Ok(stripe)
+    }
+
+    /// Expresses chunk `wanted` as a linear combination of the available
+    /// chunks; returns `(indices into available, coefficients)`.
+    pub(crate) fn decode_combination(
+        &self,
+        available: &[usize],
+        wanted: usize,
+    ) -> Result<Vec<(usize, Gf256)>, CodeError> {
+        if wanted >= self.n() || available.iter().any(|&i| i >= self.n()) {
+            return Err(CodeError::BadIndex);
+        }
+        // Fast path: the chunk is itself available.
+        if let Some(pos) = available.iter().position(|&i| i == wanted) {
+            return Ok(vec![(pos, Gf256::ONE)]);
+        }
+        let columns: Vec<&[Gf256]> = available.iter().map(|&i| self.row(i)).collect();
+        let coeffs =
+            solve_combination(&columns, self.row(wanted)).ok_or(CodeError::NotEnoughChunks)?;
+        Ok(coeffs
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .collect())
+    }
+
+    /// Byte-level decode of chunk `wanted` from available `(index, bytes)`.
+    pub(crate) fn decode(
+        &self,
+        available: &[(usize, &[u8])],
+        wanted: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        let len = available.first().map(|(_, c)| c.len()).unwrap_or(0);
+        if available.iter().any(|(_, c)| c.len() != len) {
+            return Err(CodeError::ChunkSizeMismatch);
+        }
+        let indices: Vec<usize> = available.iter().map(|(i, _)| *i).collect();
+        let combo = self.decode_combination(&indices, wanted)?;
+        let mut out = vec![0u8; len];
+        for (pos, coeff) in combo {
+            mul_add_slice(coeff, available[pos].1, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Coefficients expressing `failed` over exactly the given sources.
+    pub(crate) fn repair_coefficients(
+        &self,
+        failed: usize,
+        sources: &[usize],
+    ) -> Result<Vec<Gf256>, CodeError> {
+        if failed >= self.n() || sources.iter().any(|&i| i >= self.n()) {
+            return Err(CodeError::BadIndex);
+        }
+        if sources.contains(&failed) {
+            return Err(CodeError::BadIndex);
+        }
+        let columns: Vec<&[Gf256]> = sources.iter().map(|&i| self.row(i)).collect();
+        solve_combination(&columns, self.row(failed)).ok_or(CodeError::NotEnoughChunks)
+    }
+}
+
+/// Solves `sum_i x_i * columns[i] = target` over GF(2^8); returns any
+/// solution (free variables set to zero), or `None` if the target is not in
+/// the span.
+#[allow(clippy::needless_range_loop)] // Gauss-Jordan is clearest with indices
+pub(crate) fn solve_combination(columns: &[&[Gf256]], target: &[Gf256]) -> Option<Vec<Gf256>> {
+    let rows = target.len();
+    let vars = columns.len();
+    debug_assert!(columns.iter().all(|c| c.len() == rows));
+    // Augmented matrix [A | target] where A[r][v] = columns[v][r].
+    let mut aug: Vec<Vec<Gf256>> = (0..rows)
+        .map(|r| {
+            let mut row: Vec<Gf256> = columns.iter().map(|c| c[r]).collect();
+            row.push(target[r]);
+            row
+        })
+        .collect();
+
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; vars];
+    let mut pivot_row = 0;
+    for col in 0..vars {
+        if pivot_row == rows {
+            break;
+        }
+        let Some(pr) = (pivot_row..rows).find(|&r| !aug[r][col].is_zero()) else {
+            continue;
+        };
+        aug.swap(pivot_row, pr);
+        let inv = aug[pivot_row][col].inv().expect("pivot nonzero");
+        for v in aug[pivot_row].iter_mut() {
+            *v *= inv;
+        }
+        for r in 0..rows {
+            if r != pivot_row && !aug[r][col].is_zero() {
+                let factor = aug[r][col];
+                for c in 0..=vars {
+                    let sub = aug[pivot_row][c] * factor;
+                    aug[r][c] += sub;
+                }
+            }
+        }
+        pivot_of_col[col] = Some(pivot_row);
+        pivot_row += 1;
+    }
+
+    // Inconsistent system: a zero row with nonzero RHS.
+    for r in pivot_row..rows {
+        if !aug[r][vars].is_zero() {
+            return None;
+        }
+    }
+
+    let mut solution = vec![Gf256::ZERO; vars];
+    for (col, pivot) in pivot_of_col.iter().enumerate() {
+        if let Some(pr) = pivot {
+            solution[col] = aug[*pr][vars];
+        }
+    }
+    Some(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_code() -> LinearCode {
+        // Systematic [I; Cauchy] generator for k = 3, m = 2.
+        let k = 3;
+        let gen = Matrix::identity(k)
+            .stack(&Matrix::cauchy(2, k))
+            .expect("same column count");
+        LinearCode::new(gen)
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let code = toy_code();
+        let data = [&[1u8, 2][..], &[3, 4][..], &[5, 6][..]];
+        let stripe = code.encode(&data).unwrap();
+        assert_eq!(stripe.len(), 5);
+        assert_eq!(&stripe[0], &[1, 2]);
+        assert_eq!(&stripe[2], &[5, 6]);
+    }
+
+    #[test]
+    fn decode_from_any_three() {
+        let code = toy_code();
+        let data = [&[1u8, 2][..], &[3, 4][..], &[5, 6][..]];
+        let stripe = code.encode(&data).unwrap();
+        for lost in 0..5usize {
+            let avail: Vec<(usize, &[u8])> = (0..5)
+                .filter(|&i| i != lost)
+                .take(3)
+                .map(|i| (i, stripe[i].as_slice()))
+                .collect();
+            let got = code.decode(&avail, lost).unwrap();
+            assert_eq!(got, stripe[lost], "lost chunk {lost}");
+        }
+    }
+
+    #[test]
+    fn decode_insufficient_is_error() {
+        let code = toy_code();
+        let data = [&[1u8][..], &[3][..], &[5][..]];
+        let stripe = code.encode(&data).unwrap();
+        let avail: Vec<(usize, &[u8])> = vec![(0, stripe[0].as_slice()), (1, stripe[1].as_slice())];
+        assert_eq!(code.decode(&avail, 2), Err(CodeError::NotEnoughChunks));
+    }
+
+    #[test]
+    fn repair_coefficients_reconstruct_row() {
+        let code = toy_code();
+        let sources = [0usize, 1, 3];
+        let coeffs = code.repair_coefficients(2, &sources).unwrap();
+        let mut combo = vec![Gf256::ZERO; 3];
+        for (s, c) in sources.iter().zip(&coeffs) {
+            for (j, v) in code.row(*s).iter().enumerate() {
+                combo[j] += *c * *v;
+            }
+        }
+        assert_eq!(combo.as_slice(), code.row(2));
+    }
+
+    #[test]
+    fn repair_coefficients_reject_failed_in_sources() {
+        let code = toy_code();
+        assert_eq!(
+            code.repair_coefficients(2, &[0, 2, 3]),
+            Err(CodeError::BadIndex)
+        );
+    }
+
+    #[test]
+    fn solve_combination_detects_inconsistency() {
+        let a = [Gf256::ONE, Gf256::ZERO];
+        let cols: Vec<&[Gf256]> = vec![&a];
+        let target = [Gf256::ZERO, Gf256::ONE];
+        assert!(solve_combination(&cols, &target).is_none());
+    }
+}

@@ -1,0 +1,705 @@
+//! The ChameleonEC repair driver: phase-based dispatch (§III-A), tunable
+//! plans (§III-B), and straggler-aware re-scheduling (§III-C).
+
+use std::collections::{HashMap, VecDeque};
+
+use chameleon_cluster::ChunkId;
+use chameleon_simnet::{Event, NodeId, Simulator, TimerId};
+
+use crate::chameleon::dispatch::{dispatch_chunk_for, PhaseState, TaskAssignment};
+use crate::chameleon::tunable::establish_plan;
+use crate::context::{RepairContext, Resources};
+use crate::exec::{ExecStatus, PlanExecutor};
+use crate::metrics::RepairOutcome;
+use crate::select::SelectError;
+use crate::RepairDriver;
+
+/// Ordering policy for multi-node repair (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiNodePolicy {
+    /// Repair one failed node after another.
+    #[default]
+    Sequential,
+    /// Repair stripes with more failed chunks first (reliability first).
+    MostFailedFirst,
+    /// Repair the cheapest chunks first (repair-efficiency first).
+    FastestFirst,
+}
+
+/// Tunables of the ChameleonEC scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChameleonConfig {
+    /// Repair phase length `T_phase` (20 s by default, per Exp#3).
+    pub t_phase_secs: f64,
+    /// How often repair progress is compared against expectations.
+    pub check_interval_secs: f64,
+    /// Grace period before a chunk can be declared delayed.
+    pub straggler_min_delay_secs: f64,
+    /// A chunk is delayed when its progress falls below
+    /// `expected_progress * straggler_progress_ratio`.
+    pub straggler_progress_ratio: f64,
+    /// Balance against network links or storage bandwidth
+    /// (ChameleonEC-IO).
+    pub resources: Resources,
+    /// Enable straggler-aware re-scheduling (disable for the ETRP-only
+    /// configuration of the breakdown study, Exp#11).
+    pub enable_sar: bool,
+    /// Multi-node repair ordering.
+    pub multi_node_policy: MultiNodePolicy,
+    /// Upper bound on chunks repaired concurrently (the proxies handle a
+    /// bounded number of simultaneous tasks; also keeps the comparison
+    /// with the baselines' work queues fair).
+    pub max_concurrent_chunks: usize,
+}
+
+impl Default for ChameleonConfig {
+    fn default() -> Self {
+        ChameleonConfig {
+            t_phase_secs: 20.0,
+            check_interval_secs: 1.0,
+            straggler_min_delay_secs: 2.0,
+            straggler_progress_ratio: 0.5,
+            resources: Resources::Network,
+            enable_sar: true,
+            multi_node_policy: MultiNodePolicy::Sequential,
+            max_concurrent_chunks: 8,
+        }
+    }
+}
+
+impl ChameleonConfig {
+    /// The storage-bottleneck variant ChameleonEC-IO (Exp#12).
+    pub fn io() -> Self {
+        ChameleonConfig {
+            resources: Resources::Storage,
+            ..ChameleonConfig::default()
+        }
+    }
+
+    /// The dispatch+planning-only configuration (ETRP) used by the
+    /// breakdown study (Exp#11).
+    pub fn etrp_only() -> Self {
+        ChameleonConfig {
+            enable_sar: false,
+            ..ChameleonConfig::default()
+        }
+    }
+}
+
+/// Counters describing what the scheduler did — used by the breakdown and
+/// computation-time experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChameleonStats {
+    /// Repair phases started.
+    pub phases: usize,
+    /// Repair re-tunings applied (download redirected to the destination).
+    pub retunes: usize,
+    /// Transmission re-orderings applied (chunk postponed).
+    pub reorders: usize,
+    /// Wall-clock seconds the coordinator spent computing dispatches and
+    /// plans (real time, not simulated — Exp#5's metric).
+    pub plan_compute_secs: f64,
+}
+
+struct ActiveChunk {
+    exec: PlanExecutor,
+    assignment: TaskAssignment,
+    estimated_secs: f64,
+    dispatched_at: f64,
+    retunes_applied: usize,
+    /// Simulated time of the last straggler action on this chunk, for
+    /// hysteresis (a re-tuned or re-ordered chunk gets time to recover
+    /// before being flagged again).
+    last_action_at: Option<f64>,
+}
+
+/// The ChameleonEC repair driver.
+///
+/// Feed it simulator events next to a foreground driver; it paces itself
+/// with phase and progress-check timers.
+pub struct ChameleonDriver {
+    ctx: RepairContext,
+    config: ChameleonConfig,
+    pending: VecDeque<ChunkId>,
+    active: Vec<ActiveChunk>,
+    /// stripe → destinations promised to in-flight sibling chunks.
+    stripe_destinations: HashMap<usize, Vec<NodeId>>,
+    phase_state: Option<PhaseState>,
+    phase_started_at: f64,
+    phase_timer: Option<TimerId>,
+    check_timer: Option<TimerId>,
+    per_chunk_secs: Vec<f64>,
+    completed_plans: Vec<crate::plan::RepairPlan>,
+    chunks_total: usize,
+    skipped: usize,
+    started_at: Option<f64>,
+    finished_at: Option<f64>,
+    stats: ChameleonStats,
+}
+
+impl std::fmt::Debug for ChameleonDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChameleonDriver")
+            .field("name", &self.name())
+            .field("pending", &self.pending.len())
+            .field("active", &self.active.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ChameleonDriver {
+    /// Creates a driver.
+    pub fn new(ctx: RepairContext, config: ChameleonConfig) -> Self {
+        ChameleonDriver {
+            ctx,
+            config,
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            stripe_destinations: HashMap::new(),
+            phase_state: None,
+            phase_started_at: 0.0,
+            phase_timer: None,
+            check_timer: None,
+            per_chunk_secs: Vec::new(),
+            completed_plans: Vec::new(),
+            chunks_total: 0,
+            skipped: 0,
+            started_at: None,
+            finished_at: None,
+            stats: ChameleonStats::default(),
+        }
+    }
+
+    /// Scheduler activity counters.
+    pub fn stats(&self) -> ChameleonStats {
+        self.stats
+    }
+
+    /// Chunks that could not be repaired.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// The plans of every completed chunk repair, as actually executed
+    /// (re-tuned edges included), for byte-level verification and traffic
+    /// analysis.
+    pub fn completed_plans(&self) -> &[crate::plan::RepairPlan] {
+        &self.completed_plans
+    }
+
+    /// Chunks currently being repaired.
+    pub fn active_chunks(&self) -> usize {
+        self.active.len()
+    }
+
+    fn order_chunks(&self, mut chunks: Vec<ChunkId>) -> VecDeque<ChunkId> {
+        match self.config.multi_node_policy {
+            MultiNodePolicy::Sequential => {
+                chunks.sort_by_key(|c| (self.ctx.cluster.placement().node_of(*c), c.stripe));
+            }
+            MultiNodePolicy::MostFailedFirst => {
+                let width = self.ctx.cluster.config().stripe_width;
+                chunks.sort_by_key(|c| {
+                    let alive = self.ctx.cluster.alive_chunk_indices(c.stripe).len();
+                    let failed = width - alive;
+                    (std::cmp::Reverse(failed), c.stripe, c.index)
+                });
+            }
+            MultiNodePolicy::FastestFirst => {
+                chunks.sort_by(|a, b| {
+                    let cost = |c: &ChunkId| {
+                        let alive = self.ctx.cluster.alive_chunk_indices(c.stripe);
+                        self.ctx
+                            .code
+                            .repair_requirement(c.index, &alive)
+                            .map(|r| r.traffic_chunks())
+                            .unwrap_or(f64::INFINITY)
+                    };
+                    cost(a)
+                        .total_cmp(&cost(b))
+                        .then(a.stripe.cmp(&b.stripe))
+                        .then(a.index.cmp(&b.index))
+                });
+            }
+        }
+        chunks.into()
+    }
+
+    fn start_phase(&mut self, sim: &mut Simulator) {
+        self.stats.phases += 1;
+        self.phase_started_at = sim.now().as_secs();
+        // Wake everything postponed into this phase.
+        for a in &mut self.active {
+            a.exec.resume(sim);
+        }
+        self.phase_state = Some(PhaseState::measure(sim, &self.ctx, self.config.resources));
+        self.admit(sim);
+        if let Some(t) = self.phase_timer.take() {
+            sim.cancel_timer(t);
+        }
+        if !self.is_done() {
+            self.phase_timer = Some(sim.schedule_in(self.config.t_phase_secs, 0));
+            if self.config.enable_sar && self.check_timer.is_none() {
+                self.check_timer = Some(sim.schedule_in(self.config.check_interval_secs, 0));
+            }
+        }
+    }
+
+    /// Admits pending chunks while their estimated repair time fits within
+    /// `T_phase` (the paper's §III-A admission rule; at least one chunk is
+    /// always admitted when the cluster is otherwise idle).
+    fn admit(&mut self, sim: &mut Simulator) {
+        let budget = self.config.t_phase_secs;
+        let Some(mut state) = self.phase_state.take() else {
+            return;
+        };
+        let mut deferred: Vec<ChunkId> = Vec::new();
+        while self.active.len() < self.config.max_concurrent_chunks {
+            let Some(chunk) = self.pending.pop_front() else {
+                break;
+            };
+            let forbidden = self
+                .stripe_destinations
+                .get(&chunk.stripe)
+                .cloned()
+                .unwrap_or_default();
+            let compute_start = std::time::Instant::now();
+            let mut probe = state.clone();
+            let assignment = dispatch_chunk_for(
+                &self.ctx,
+                &mut probe,
+                chunk,
+                &forbidden,
+                self.config.resources,
+            );
+            match assignment {
+                Err(SelectError::Unrepairable) => {
+                    self.stats.plan_compute_secs += compute_start.elapsed().as_secs_f64();
+                    self.skipped += 1;
+                    continue;
+                }
+                Err(SelectError::NoDestination) => {
+                    self.stats.plan_compute_secs += compute_start.elapsed().as_secs_f64();
+                    // Sibling in-flight repairs hold every destination;
+                    // retry after one of them completes.
+                    deferred.push(chunk);
+                    continue;
+                }
+                Ok(assignment) => {
+                    if assignment.estimated_secs > budget && !self.active.is_empty() {
+                        self.stats.plan_compute_secs += compute_start.elapsed().as_secs_f64();
+                        self.pending.push_front(chunk);
+                        break;
+                    }
+                    let plan = establish_plan(&self.ctx, &assignment);
+                    self.stats.plan_compute_secs += compute_start.elapsed().as_secs_f64();
+                    let Ok(plan) = plan else {
+                        self.skipped += 1;
+                        continue;
+                    };
+                    state = probe;
+                    self.stripe_destinations
+                        .entry(chunk.stripe)
+                        .or_default()
+                        .push(assignment.destination);
+                    let mut exec =
+                        PlanExecutor::new(plan, self.ctx.chunk_size(), self.ctx.slice_size());
+                    exec.start(sim);
+                    self.active.push(ActiveChunk {
+                        exec,
+                        estimated_secs: assignment.estimated_secs,
+                        assignment,
+                        dispatched_at: sim.now().as_secs(),
+                        retunes_applied: 0,
+                        last_action_at: None,
+                    });
+                }
+            }
+        }
+        for chunk in deferred {
+            self.pending.push_back(chunk);
+        }
+        self.phase_state = Some(state);
+        self.maybe_finish(sim);
+    }
+
+    fn maybe_finish(&mut self, sim: &mut Simulator) {
+        if self.finished_at.is_none() && self.active.is_empty() && self.pending.is_empty() {
+            self.finished_at = Some(sim.now().as_secs());
+            if let Some(t) = self.phase_timer.take() {
+                sim.cancel_timer(t);
+            }
+            if let Some(t) = self.check_timer.take() {
+                sim.cancel_timer(t);
+            }
+        }
+    }
+
+    /// §III-C: compare progress against expectations; re-tune or re-order.
+    fn straggler_check(&mut self, sim: &mut Simulator) {
+        let now = sim.now().as_secs();
+        let unpaused = self.active.iter().filter(|a| !a.exec.is_paused()).count();
+        let mut pauses_available = unpaused.saturating_sub(1);
+        for a in &mut self.active {
+            if a.exec.is_paused() || a.exec.is_done() {
+                continue;
+            }
+            let elapsed = now - a.dispatched_at;
+            if elapsed < self.config.straggler_min_delay_secs
+                || !a.estimated_secs.is_finite()
+                || a.estimated_secs <= 0.0
+            {
+                continue;
+            }
+            // Hysteresis: give a recently re-scheduled chunk time to show
+            // the effect before acting on it again.
+            if let Some(last) = a.last_action_at {
+                if now - last < 3.0 * self.config.check_interval_secs {
+                    continue;
+                }
+            }
+            let expected = (elapsed / a.estimated_secs).min(1.0);
+            if a.exec.progress() >= expected * self.config.straggler_progress_ratio {
+                continue;
+            }
+            // Delayed. Prefer proactive re-tuning: redirect the laggiest
+            // pending download at a relay to the destination.
+            let dst = a.exec.plan().destination();
+            let lagging_edge = a
+                .exec
+                .edge_progress()
+                .into_iter()
+                .filter(|e| e.to != dst && e.delivered < e.end - e.start)
+                .min_by(|x, y| {
+                    let fx = x.delivered as f64 / (x.end - x.start).max(1) as f64;
+                    let fy = y.delivered as f64 / (y.end - y.start).max(1) as f64;
+                    fx.total_cmp(&fy)
+                });
+            if let Some(edge) = lagging_edge {
+                if a.exec.retune_input(sim, edge.to, edge.from) {
+                    a.retunes_applied += 1;
+                    self.stats.retunes += 1;
+                    a.last_action_at = Some(now);
+                    // The redirected transfer restarts; relax the
+                    // expectation accordingly.
+                    a.estimated_secs *= 1.5;
+                    continue;
+                }
+            }
+            // Reactive fallback: postpone this chunk's transmissions so
+            // sibling chunks stop contending with the straggler.
+            if pauses_available > 0 {
+                a.exec.pause();
+                pauses_available -= 1;
+                self.stats.reorders += 1;
+                a.last_action_at = Some(now);
+                a.estimated_secs *= 1.5;
+            }
+        }
+    }
+
+    fn finish_chunk(&mut self, sim: &mut Simulator, idx: usize) {
+        let a = self.active.swap_remove(idx);
+        let secs = a.exec.finished_at().expect("done") - a.exec.started_at().expect("started");
+        self.per_chunk_secs.push(secs);
+        self.completed_plans.push(a.exec.plan().clone());
+        // The chunk's tasks are no longer outstanding.
+        if let Some(state) = self.phase_state.as_mut() {
+            a.assignment.release(state);
+        }
+        let chunk = a.exec.plan().chunk();
+        if let Some(dests) = self.stripe_destinations.get_mut(&chunk.stripe) {
+            if let Some(pos) = dests.iter().position(|&d| d == a.exec.plan().destination()) {
+                dests.swap_remove(pos);
+            }
+        }
+        // Opportunistic wake-up of postponed chunks (§III-C): capacity has
+        // just been released.
+        for other in &mut self.active {
+            other.exec.resume(sim);
+        }
+        // Use the freed phase budget for more chunks.
+        if !self.pending.is_empty() {
+            if self.active.is_empty() {
+                // The phase under-estimated; start a fresh phase now rather
+                // than idling until the timer.
+                self.start_phase(sim);
+                return;
+            }
+            self.admit(sim);
+        }
+        self.maybe_finish(sim);
+    }
+}
+
+impl RepairDriver for ChameleonDriver {
+    fn name(&self) -> String {
+        match (self.config.resources, self.config.enable_sar) {
+            (Resources::Network, true) => "ChameleonEC".to_string(),
+            (Resources::Network, false) => "ETRP".to_string(),
+            (Resources::Storage, true) => "ChameleonEC-IO".to_string(),
+            (Resources::Storage, false) => "ETRP-IO".to_string(),
+        }
+    }
+
+    fn start(&mut self, sim: &mut Simulator, chunks: Vec<ChunkId>) {
+        self.chunks_total += chunks.len();
+        let ordered = self.order_chunks(chunks);
+        self.pending.extend(ordered);
+        if self.started_at.is_none() {
+            self.started_at = Some(sim.now().as_secs());
+        }
+        self.start_phase(sim);
+    }
+
+    fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> bool {
+        match event {
+            Event::Timer { id, .. } => {
+                if Some(*id) == self.phase_timer {
+                    self.phase_timer = None;
+                    if !self.is_done() {
+                        self.start_phase(sim);
+                    }
+                    true
+                } else if Some(*id) == self.check_timer {
+                    self.check_timer = None;
+                    if !self.is_done() {
+                        self.straggler_check(sim);
+                        self.check_timer =
+                            Some(sim.schedule_in(self.config.check_interval_secs, 0));
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Event::FlowCompleted { .. } => {
+                for i in 0..self.active.len() {
+                    match self.active[i].exec.on_event(sim, event) {
+                        ExecStatus::NotMine => continue,
+                        ExecStatus::InProgress => return true,
+                        ExecStatus::Done => {
+                            self.finish_chunk(sim, i);
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    fn outcome(&self, _sim: &Simulator) -> RepairOutcome {
+        let repaired = self.per_chunk_secs.len();
+        RepairOutcome {
+            algorithm: self.name(),
+            chunks_total: self.chunks_total,
+            chunks_repaired: repaired,
+            repaired_bytes: repaired as f64 * self.ctx.chunk_size() as f64,
+            duration: match (self.started_at, self.finished_at) {
+                (Some(s), Some(f)) => Some(f - s),
+                _ => None,
+            },
+            per_chunk_secs: self.per_chunk_secs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_cluster::{Cluster, ClusterConfig};
+    use chameleon_codes::{Butterfly, ReedSolomon};
+    use std::sync::Arc;
+
+    fn run(config: ChameleonConfig) -> (RepairOutcome, ChameleonStats) {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let mut driver = ChameleonDriver::new(ctx, config);
+        driver.start(&mut sim, lost.clone());
+        while let Some(ev) = sim.next_event() {
+            driver.on_event(&mut sim, &ev);
+        }
+        assert!(driver.is_done(), "driver stuck");
+        let outcome = driver.outcome(&sim);
+        assert_eq!(outcome.chunks_repaired + driver.skipped(), lost.len());
+        assert_eq!(driver.skipped(), 0);
+        (outcome, driver.stats())
+    }
+
+    #[test]
+    fn repairs_all_chunks_on_idle_cluster() {
+        let (outcome, stats) = run(ChameleonConfig::default());
+        assert!(outcome.throughput() > 0.0);
+        assert!(stats.phases >= 1);
+        assert_eq!(outcome.algorithm, "ChameleonEC");
+    }
+
+    #[test]
+    fn etrp_only_disables_sar() {
+        let (outcome, stats) = run(ChameleonConfig::etrp_only());
+        assert_eq!(outcome.algorithm, "ETRP");
+        assert_eq!(stats.retunes, 0);
+        assert_eq!(stats.reorders, 0);
+    }
+
+    #[test]
+    fn io_variant_completes() {
+        let (outcome, _) = run(ChameleonConfig::io());
+        assert_eq!(outcome.algorithm, "ChameleonEC-IO");
+        assert!(outcome.throughput() > 0.0);
+    }
+
+    #[test]
+    fn small_t_phase_still_completes() {
+        let (outcome, stats) = run(ChameleonConfig {
+            t_phase_secs: 1.0,
+            ..ChameleonConfig::default()
+        });
+        assert!(outcome.throughput() > 0.0);
+        assert!(stats.phases >= 1);
+    }
+
+    #[test]
+    fn multi_node_policies_complete() {
+        for policy in [
+            MultiNodePolicy::Sequential,
+            MultiNodePolicy::MostFailedFirst,
+            MultiNodePolicy::FastestFirst,
+        ] {
+            let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+            cluster.fail_node(0).unwrap();
+            cluster.fail_node(1).unwrap();
+            let lost = cluster.lost_chunks(&[0, 1]);
+            let total = lost.len();
+            let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+            let mut sim = ctx.cluster.build_simulator();
+            let mut driver = ChameleonDriver::new(
+                ctx,
+                ChameleonConfig {
+                    multi_node_policy: policy,
+                    ..ChameleonConfig::default()
+                },
+            );
+            driver.start(&mut sim, lost);
+            while let Some(ev) = sim.next_event() {
+                driver.on_event(&mut sim, &ev);
+            }
+            assert!(driver.is_done(), "{policy:?} stuck");
+            let outcome = driver.outcome(&sim);
+            assert_eq!(
+                outcome.chunks_repaired + driver.skipped(),
+                total,
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_cap_is_respected_throughout() {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        assert!(lost.len() > 2);
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let mut driver = ChameleonDriver::new(
+            ctx,
+            ChameleonConfig {
+                max_concurrent_chunks: 2,
+                ..ChameleonConfig::default()
+            },
+        );
+        driver.start(&mut sim, lost);
+        assert!(driver.active_chunks() <= 2);
+        while let Some(ev) = sim.next_event() {
+            driver.on_event(&mut sim, &ev);
+            assert!(driver.active_chunks() <= 2, "cap exceeded");
+        }
+        assert!(driver.is_done());
+    }
+
+    #[test]
+    fn completing_a_chunk_releases_its_task_counters() {
+        use crate::chameleon::dispatch::{dispatch_chunk, PhaseState};
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let n = ctx.cluster.storage_nodes();
+        let mut phase = PhaseState {
+            t_up: vec![0.0; n],
+            t_down: vec![0.0; n],
+            b_up: vec![100.0; n],
+            b_down: vec![100.0; n],
+        };
+        let chunk = chameleon_cluster::ChunkId {
+            stripe: 0,
+            index: 0,
+        };
+        let a = dispatch_chunk(&ctx, &mut phase, chunk, &[]).unwrap();
+        assert!(phase.t_up.iter().sum::<f64>() > 0.0);
+        assert!(phase.t_down.iter().sum::<f64>() > 0.0);
+        a.release(&mut phase);
+        assert_eq!(phase.t_up.iter().sum::<f64>(), 0.0);
+        assert_eq!(phase.t_down.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn io_variant_builds_tree_shaped_plans() {
+        use crate::chameleon::dispatch::{dispatch_chunk_for, PhaseState};
+        use crate::chameleon::establish_plan;
+        use crate::context::Resources;
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let n = ctx.cluster.storage_nodes();
+        let mut phase = PhaseState {
+            t_up: vec![0.0; n],
+            t_down: vec![0.0; n],
+            b_up: vec![100.0; n],
+            b_down: vec![100.0; n],
+        };
+        let chunk = chameleon_cluster::ChunkId {
+            stripe: 0,
+            index: 0,
+        };
+        let a = dispatch_chunk_for(&ctx, &mut phase, chunk, &[], Resources::Storage).unwrap();
+        // Exactly one network edge into the destination (the tree root),
+        // and one disk write accounted there.
+        assert_eq!(a.dest_downloads, 1.0);
+        let plan = establish_plan(&ctx, &a).unwrap();
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.inputs_of(plan.destination()).len(), 1);
+        // PPR-like balanced tree: depth ~ log2(k) + 1.
+        assert!(
+            plan.max_depth() >= 2 && plan.max_depth() <= 3,
+            "{}",
+            plan.max_depth()
+        );
+    }
+
+    #[test]
+    fn butterfly_repair_works_without_relaying() {
+        let mut cfg = ClusterConfig::small(4);
+        cfg.stripes = 12;
+        let mut cluster = Cluster::new(cfg).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        let total = lost.len();
+        let ctx = RepairContext::new(cluster, Arc::new(Butterfly::new()));
+        let mut sim = ctx.cluster.build_simulator();
+        let mut driver = ChameleonDriver::new(ctx, ChameleonConfig::default());
+        driver.start(&mut sim, lost);
+        while let Some(ev) = sim.next_event() {
+            driver.on_event(&mut sim, &ev);
+        }
+        assert!(driver.is_done());
+        assert_eq!(driver.outcome(&sim).chunks_repaired, total);
+    }
+}

@@ -1,0 +1,258 @@
+//! Tunable repair plan establishment (§III-B, Algorithm 1): pair the
+//! dispatched upload and download tasks into transmission paths.
+
+use std::collections::VecDeque;
+
+use chameleon_gf::Gf256;
+
+use crate::chameleon::dispatch::TaskAssignment;
+use crate::context::RepairContext;
+use crate::plan::{Participant, RepairPlan};
+use crate::select::SelectError;
+
+/// Builds the repair plan for a task assignment by pairing upload tasks
+/// with download tasks (Algorithm 1 in the paper):
+///
+/// 1. Start with `E` = sources whose upload is unpaired and whose download
+///    tasks are all paired (initially the pure uploaders).
+/// 2. Repeatedly connect a node popped from `E` to the source with the
+///    fewest unpaired download tasks; once a source's downloads are all
+///    paired, its own upload enters `E`.
+/// 3. Finally pair the remaining uploads with the destination's downloads.
+///
+/// The result is an in-tree rooted at the destination whose shape exactly
+/// matches the dispatched task counts — the "tunability" of ChameleonEC.
+///
+/// Complexity O(k²).
+///
+/// # Errors
+///
+/// [`SelectError::Unrepairable`] if decoding coefficients do not exist for
+/// the selected sources.
+pub fn establish_plan(
+    ctx: &RepairContext,
+    assignment: &TaskAssignment,
+) -> Result<RepairPlan, SelectError> {
+    let coeffs: Vec<Gf256> = if assignment.relayable {
+        let indices: Vec<usize> = assignment.sources.iter().map(|s| s.chunk_index).collect();
+        ctx.code
+            .repair_coefficients(assignment.chunk.index, &indices)
+            .map_err(|_| SelectError::Unrepairable)?
+    } else {
+        vec![Gf256::ONE; assignment.sources.len()]
+    };
+
+    let n = assignment.sources.len();
+    // Remaining unpaired download tasks per source (integer counts: every
+    // whole-chunk transfer pairs one upload with one download).
+    let mut downloads: Vec<usize> = assignment
+        .sources
+        .iter()
+        .map(|s| s.downloads.round() as usize)
+        .collect();
+    // Upload target per source (filled in by the pairing).
+    let mut send_to: Vec<Option<usize>> = vec![None; n]; // None = destination (resolved later)
+    let mut upload_unpaired: Vec<bool> = vec![true; n];
+
+    if assignment.relayable {
+        // E: sources with an unpaired upload and no unpaired downloads.
+        let mut ready: VecDeque<usize> = (0..n).filter(|&i| downloads[i] == 0).collect();
+
+        while downloads.iter().sum::<usize>() > 0 {
+            // The source with the fewest unpaired downloads (> 0).
+            let y = (0..n)
+                .filter(|&i| downloads[i] > 0)
+                .min_by_key(|&i| (downloads[i], assignment.sources[i].node))
+                .expect("some downloads remain");
+            let Some(x) = ready.pop_front() else {
+                // Defensive fallback (unreachable by the counting argument
+                // in the paper): push the download to the destination.
+                debug_assert!(false, "Algorithm 1 ran out of ready uploaders");
+                downloads[y] -= 1;
+                continue;
+            };
+            send_to[x] = Some(y);
+            upload_unpaired[x] = false;
+            downloads[y] -= 1;
+            if downloads[y] == 0 {
+                ready.push_back(y);
+            }
+        }
+        // Remaining unpaired uploads all go to the destination.
+    }
+
+    let participants: Vec<Participant> = assignment
+        .sources
+        .iter()
+        .zip(&coeffs)
+        .zip(&send_to)
+        .map(|((s, &coeff), target)| Participant {
+            node: s.node,
+            chunk_index: s.chunk_index,
+            coeff,
+            send_to: target.map_or(assignment.destination, |t| assignment.sources[t].node),
+            read_fraction: s.fraction,
+        })
+        .collect();
+
+    RepairPlan::new(assignment.chunk, assignment.destination, participants)
+        .map_err(|_| SelectError::Unrepairable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chameleon::dispatch::{dispatch_chunk, NodeTasks, PhaseState, TaskAssignment};
+    use chameleon_cluster::{ChunkId, Cluster, ClusterConfig};
+    use chameleon_codes::ReedSolomon;
+    use std::sync::Arc;
+
+    fn ctx() -> RepairContext {
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()))
+    }
+
+    /// Hand-built assignment mirroring the paper's Figures 8–9: sources
+    /// with download counts {0, 2, 1, 0} and one destination download.
+    fn paper_example(ctx: &RepairContext) -> TaskAssignment {
+        // Use stripe 0's real layout for valid indices/nodes.
+        let chunk = ChunkId {
+            stripe: 0,
+            index: 4, // a parity chunk; any is fine
+        };
+        let placement = ctx.cluster.placement();
+        let node = |i: usize| {
+            placement.node_of(ChunkId {
+                stripe: 0,
+                index: i,
+            })
+        };
+        let stripe_nodes = placement.stripe_nodes(0);
+        let destination = (0..ctx.cluster.storage_nodes())
+            .find(|n| !stripe_nodes.contains(n))
+            .unwrap();
+        TaskAssignment {
+            chunk,
+            destination,
+            sources: vec![
+                NodeTasks {
+                    node: node(0),
+                    chunk_index: 0,
+                    fraction: 1.0,
+                    downloads: 0.0,
+                },
+                NodeTasks {
+                    node: node(1),
+                    chunk_index: 1,
+                    fraction: 1.0,
+                    downloads: 2.0,
+                },
+                NodeTasks {
+                    node: node(2),
+                    chunk_index: 2,
+                    fraction: 1.0,
+                    downloads: 1.0,
+                },
+                NodeTasks {
+                    node: node(3),
+                    chunk_index: 3,
+                    fraction: 1.0,
+                    downloads: 0.0,
+                },
+            ],
+            dest_downloads: 1.0,
+            relayable: true,
+            estimated_secs: 1.0,
+            counter_deltas: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn paper_example_pairs_like_figure_9() {
+        let ctx = ctx();
+        let a = paper_example(&ctx);
+        let plan = establish_plan(&ctx, &a).unwrap();
+        assert!(plan.validate().is_ok());
+        // The node with 1 download (source 2) is served first by a pure
+        // uploader; the node with 2 downloads (source 1) receives the other
+        // pure uploader and then source 2; source 1 feeds the destination.
+        let by_node = |i: usize| {
+            plan.participants()
+                .iter()
+                .find(|p| p.chunk_index == i)
+                .copied()
+                .unwrap()
+        };
+        let n1 = a.sources[1].node;
+        let n2 = a.sources[2].node;
+        assert_eq!(by_node(0).send_to, n2); // first pure uploader → fewest-downloads node
+        assert_eq!(by_node(2).send_to, n1); // once fed, node 2 relays into node 1
+        assert_eq!(by_node(3).send_to, n1); // second pure uploader → node 1
+        assert_eq!(by_node(1).send_to, plan.destination());
+        // Fan-in matches the dispatched download counts.
+        assert_eq!(plan.inputs_of(n1).len(), 2);
+        assert_eq!(plan.inputs_of(n2).len(), 1);
+        assert_eq!(plan.inputs_of(plan.destination()).len(), 1);
+    }
+
+    #[test]
+    fn all_downloads_at_destination_yields_a_star() {
+        let ctx = ctx();
+        let mut a = paper_example(&ctx);
+        for s in &mut a.sources {
+            s.downloads = 0.0;
+        }
+        a.dest_downloads = 4.0;
+        let plan = establish_plan(&ctx, &a).unwrap();
+        assert_eq!(plan.max_depth(), 1);
+        assert_eq!(plan.inputs_of(plan.destination()).len(), 4);
+    }
+
+    #[test]
+    fn chain_like_assignment_yields_a_chain() {
+        let ctx = ctx();
+        let mut a = paper_example(&ctx);
+        a.sources[0].downloads = 0.0;
+        a.sources[1].downloads = 1.0;
+        a.sources[2].downloads = 1.0;
+        a.sources[3].downloads = 1.0;
+        a.dest_downloads = 1.0;
+        let plan = establish_plan(&ctx, &a).unwrap();
+        assert_eq!(plan.max_depth(), 4);
+    }
+
+    #[test]
+    fn dispatched_assignments_always_establish_valid_plans() {
+        let ctx = ctx();
+        let n = ctx.cluster.storage_nodes();
+        for stripe in 0..ctx.cluster.placement().stripes() {
+            let mut phase = PhaseState {
+                t_up: vec![0.0; n],
+                t_down: vec![0.0; n],
+                // Vary bandwidth to exercise different task distributions.
+                b_up: (0..n).map(|i| 10.0 + (i * 13 % 97) as f64).collect(),
+                b_down: (0..n).map(|i| 10.0 + (i * 29 % 83) as f64).collect(),
+            };
+            for index in 0..2 {
+                let chunk = ChunkId { stripe, index };
+                let a = dispatch_chunk(&ctx, &mut phase, chunk, &[]).unwrap();
+                let plan = establish_plan(&ctx, &a).unwrap();
+                assert!(plan.validate().is_ok(), "stripe {stripe} index {index}");
+                assert_eq!(plan.participants().len(), 4);
+                // Fan-in at each relay equals its dispatched downloads.
+                for s in &a.sources {
+                    assert_eq!(
+                        plan.inputs_of(s.node).len(),
+                        s.downloads.round() as usize,
+                        "stripe {stripe} node {}",
+                        s.node
+                    );
+                }
+                assert_eq!(
+                    plan.inputs_of(a.destination).len(),
+                    a.dest_downloads.round() as usize
+                );
+            }
+        }
+    }
+}

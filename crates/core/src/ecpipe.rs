@@ -1,0 +1,77 @@
+//! ECPipe: chained repair pipelining (Li et al., USENIX ATC 2017).
+//!
+//! Sources form a single chain; each node merges its chunk into the
+//! partial sum and forwards. With slicing, the chain approaches O(1)
+//! repair time on an idle network — but it has the strictest transmission
+//! dependency of all the shapes, which is why the paper finds it suffers
+//! most under foreground interference (§II-D).
+
+use chameleon_cluster::ChunkId;
+
+use crate::context::RepairContext;
+use crate::cr::coefficients_for;
+use crate::plan::{Participant, RepairPlan};
+use crate::select::{SelectError, Selection};
+
+/// Builds a chain plan. Sub-chunk (non-relayable) selections degrade to a
+/// star.
+///
+/// # Errors
+///
+/// Returns [`SelectError::Unrepairable`] if the selection cannot produce
+/// decoding coefficients.
+pub fn build(
+    ctx: &RepairContext,
+    chunk: ChunkId,
+    selection: &Selection,
+) -> Result<RepairPlan, SelectError> {
+    if !selection.relayable {
+        return crate::cr::build(ctx, chunk, selection);
+    }
+    let coeffs = coefficients_for(ctx, chunk, selection)?;
+    let count = selection.sources.len();
+    let participants = selection
+        .sources
+        .iter()
+        .zip(coeffs)
+        .enumerate()
+        .map(|(i, (s, coeff))| Participant {
+            node: s.node,
+            chunk_index: s.chunk_index,
+            coeff,
+            send_to: if i + 1 < count {
+                selection.sources[i + 1].node
+            } else {
+                selection.destination
+            },
+            read_fraction: s.fraction,
+        })
+        .collect();
+    RepairPlan::new(chunk, selection.destination, participants)
+        .map_err(|_| SelectError::Unrepairable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SourceSelector;
+    use chameleon_cluster::{Cluster, ClusterConfig};
+    use chameleon_codes::ReedSolomon;
+    use std::sync::Arc;
+
+    #[test]
+    fn chain_depth_equals_source_count() {
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let chunk = ChunkId {
+            stripe: 2,
+            index: 1,
+        };
+        let mut sel = SourceSelector::random(8);
+        let selection = sel.select(&ctx, chunk, &[]).unwrap();
+        let plan = build(&ctx, chunk, &selection).unwrap();
+        assert_eq!(plan.max_depth(), 4);
+        // Exactly one participant feeds the destination.
+        assert_eq!(plan.inputs_of(plan.destination()).len(), 1);
+    }
+}

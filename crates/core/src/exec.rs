@@ -1,0 +1,675 @@
+//! Slice-pipelined execution of a repair plan against the simulator.
+//!
+//! A chunk is cut into fixed-size slices (1 MB in the paper) that flow
+//! through the plan's in-tree: each source reads its local chunk slice by
+//! slice, forwards slice *i* once it has read it **and** received slice *i*
+//! from all of its inputs, and the destination writes slices in order as
+//! they arrive. One slice is in flight per edge at a time (a TCP stream
+//! delivers in order), which is what gives chains (ECPipe) and trees (PPR)
+//! their pipelining behaviour.
+//!
+//! The executor simulates *timing only* — byte-level repair correctness is
+//! the `chameleon-codes` crate's job and is verified end-to-end in the
+//! integration tests.
+
+use std::collections::HashMap;
+
+use chameleon_simnet::{Event, FlowId, FlowSpec, NodeId, Simulator, Traffic};
+
+use crate::plan::RepairPlan;
+
+/// Result of feeding an event to an executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// The event did not belong to this executor.
+    NotMine,
+    /// Consumed; the repair continues.
+    InProgress,
+    /// Consumed; the repair just finished.
+    Done,
+}
+
+/// A directed edge carrying slices `[start, end)` from one node to another.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    /// First slice this edge carries.
+    start: usize,
+    /// One past the last slice this edge carries.
+    end: usize,
+    /// Next slice index to be delivered (absolute; `start..=end`).
+    delivered: usize,
+    /// Bytes carried per full slice (relays forward full slices; direct
+    /// sub-chunk sources forward their fraction).
+    bytes_factor: f64,
+}
+
+impl Edge {
+    fn covers(&self, slice: usize) -> bool {
+        (self.start..self.end).contains(&slice)
+    }
+
+    fn done(&self) -> bool {
+        self.delivered >= self.end
+    }
+}
+
+/// Per-participant progress.
+#[derive(Debug, Clone)]
+struct SourceState {
+    node: NodeId,
+    read_fraction: f64,
+    /// Completed local slice reads.
+    read_done: usize,
+    reading: Option<FlowId>,
+    /// Completed slice sends (absolute; next slice to send).
+    sent: usize,
+    sending: Option<(FlowId, usize)>,
+}
+
+/// Public view of one edge's progress (for straggler detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeProgress {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Slices delivered so far on this edge.
+    pub delivered: usize,
+    /// First slice the edge carries.
+    pub start: usize,
+    /// One past the last slice the edge carries.
+    pub end: usize,
+}
+
+/// Executes one repair plan, pipelining disk and network slice transfers.
+///
+/// Drive it with [`PlanExecutor::start`] and feed every simulator event to
+/// [`PlanExecutor::on_event`]; [`ExecStatus::Done`] signals completion.
+#[derive(Debug)]
+pub struct PlanExecutor {
+    plan: RepairPlan,
+    slices: usize,
+    slice_bytes: u64,
+    last_slice_bytes: u64,
+    sources: Vec<SourceState>,
+    edges: Vec<Edge>,
+    /// Destination write progress.
+    write_done: usize,
+    writing: Option<FlowId>,
+    flow_map: HashMap<FlowId, Step>,
+    paused: bool,
+    started_at: Option<f64>,
+    finished_at: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Read {
+        source: usize,
+    },
+    Send {
+        source: usize,
+        edge: usize,
+        slice: usize,
+    },
+    Write,
+}
+
+impl PlanExecutor {
+    /// Creates an executor for a validated plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_size` is zero or larger than `chunk_size`.
+    pub fn new(plan: RepairPlan, chunk_size: u64, slice_size: u64) -> Self {
+        assert!(
+            slice_size > 0 && slice_size <= chunk_size,
+            "invalid slice size"
+        );
+        let slices = chunk_size.div_ceil(slice_size) as usize;
+        let last_slice_bytes = chunk_size - (slices as u64 - 1) * slice_size;
+        let sources: Vec<SourceState> = plan
+            .participants()
+            .iter()
+            .map(|p| SourceState {
+                node: p.node,
+                read_fraction: p.read_fraction,
+                read_done: 0,
+                reading: None,
+                sent: 0,
+                sending: None,
+            })
+            .collect();
+        let edges = plan
+            .participants()
+            .iter()
+            .map(|p| {
+                let is_relay = !plan.inputs_of(p.node).is_empty();
+                Edge {
+                    from: p.node,
+                    to: p.send_to,
+                    start: 0,
+                    end: slices,
+                    delivered: 0,
+                    bytes_factor: if is_relay { 1.0 } else { p.read_fraction },
+                }
+            })
+            .collect();
+        PlanExecutor {
+            plan,
+            slices,
+            slice_bytes: slice_size,
+            last_slice_bytes,
+            sources,
+            edges,
+            write_done: 0,
+            writing: None,
+            flow_map: HashMap::new(),
+            paused: false,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// The plan being executed (reflects any re-tuning applied so far).
+    pub fn plan(&self) -> &RepairPlan {
+        &self.plan
+    }
+
+    /// Number of slices per chunk.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Kicks off the repair.
+    pub fn start(&mut self, sim: &mut Simulator) {
+        if self.started_at.is_none() {
+            self.started_at = Some(sim.now().as_secs());
+        }
+        self.pump(sim);
+    }
+
+    /// Feeds a simulator event to the executor.
+    pub fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> ExecStatus {
+        let Event::FlowCompleted { id, .. } = event else {
+            return ExecStatus::NotMine;
+        };
+        let Some(step) = self.flow_map.remove(id) else {
+            return ExecStatus::NotMine;
+        };
+        match step {
+            Step::Read { source } => {
+                let s = &mut self.sources[source];
+                s.reading = None;
+                s.read_done += 1;
+            }
+            Step::Send {
+                source,
+                edge,
+                slice,
+            } => {
+                self.sources[source].sending = None;
+                self.sources[source].sent = slice + 1;
+                self.edges[edge].delivered = slice + 1;
+            }
+            Step::Write => {
+                self.writing = None;
+                self.write_done += 1;
+                if self.write_done == self.slices {
+                    self.finished_at = Some(sim.now().as_secs());
+                    return ExecStatus::Done;
+                }
+            }
+        }
+        self.pump(sim);
+        ExecStatus::InProgress
+    }
+
+    /// Whether the repaired chunk has been fully written.
+    pub fn is_done(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// Simulated time the repair started, if started.
+    pub fn started_at(&self) -> Option<f64> {
+        self.started_at
+    }
+
+    /// Simulated time the repair finished, if done.
+    pub fn finished_at(&self) -> Option<f64> {
+        self.finished_at
+    }
+
+    /// Fraction of the chunk already written at the destination.
+    pub fn progress(&self) -> f64 {
+        self.write_done as f64 / self.slices as f64
+    }
+
+    /// Whether transmissions are currently postponed.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Postpones all *new* transmissions (in-flight slices drain). This is
+    /// the mechanism behind transmission re-ordering (§III-C): a postponed
+    /// chunk stops competing for bandwidth so sibling chunks proceed.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Resumes postponed transmissions.
+    pub fn resume(&mut self, sim: &mut Simulator) {
+        if self.paused {
+            self.paused = false;
+            if self.started_at.is_some() && !self.is_done() {
+                self.pump(sim);
+            }
+        }
+    }
+
+    /// Per-edge delivery progress, for straggler detection.
+    pub fn edge_progress(&self) -> Vec<EdgeProgress> {
+        self.edges
+            .iter()
+            .filter(|e| e.start < e.end)
+            .map(|e| EdgeProgress {
+                from: e.from,
+                to: e.to,
+                delivered: e.delivered.saturating_sub(e.start),
+                start: e.start,
+                end: e.end,
+            })
+            .collect()
+    }
+
+    /// Repair re-tuning (§III-C, Fig. 10(b)): redirect the *remaining*
+    /// slices of the `from → relay` transfer straight to the destination,
+    /// removing the relay dependency. Returns `false` if no such pending
+    /// edge exists (already finished, or targets the destination).
+    pub fn retune_input(&mut self, sim: &mut Simulator, relay: NodeId, from: NodeId) -> bool {
+        let dst = self.plan.destination();
+        if relay == dst {
+            return false;
+        }
+        let Some(eidx) = self
+            .edges
+            .iter()
+            .position(|e| e.from == from && e.to == relay && !e.done())
+        else {
+            return false;
+        };
+        // Cut over after any slice currently in flight on this edge.
+        let sender = self
+            .plan
+            .participant_on(from)
+            .expect("edge sender is a participant");
+        let in_flight =
+            matches!(self.sources[sender].sending, Some((_, s)) if self.edges[eidx].covers(s));
+        let cutover =
+            (self.edges[eidx].delivered + usize::from(in_flight)).min(self.edges[eidx].end);
+        let old_end = self.edges[eidx].end;
+        if cutover >= old_end {
+            return false;
+        }
+        self.edges[eidx].end = cutover;
+        let factor = self.edges[eidx].bytes_factor;
+        self.edges.push(Edge {
+            from,
+            to: dst,
+            start: cutover,
+            end: old_end,
+            delivered: cutover,
+            bytes_factor: factor,
+        });
+        // Keep the plan view in sync for observers.
+        if let Some(pidx) = self.plan.participant_on(from) {
+            self.plan.redirect_to_destination(pidx);
+        }
+        self.pump(sim);
+        true
+    }
+
+    fn slice_len(&self, slice: usize) -> u64 {
+        if slice + 1 == self.slices {
+            self.last_slice_bytes
+        } else {
+            self.slice_bytes
+        }
+    }
+
+    /// Number of slices a source must read in total (sub-chunk sources
+    /// read every slice, just proportionally smaller pieces).
+    fn reads_needed(&self) -> usize {
+        self.slices
+    }
+
+    /// Whether `node` has received slice `t` from every input edge that
+    /// carries it.
+    fn inputs_ready(&self, node: NodeId, slice: usize) -> bool {
+        self.edges
+            .iter()
+            .filter(|e| e.to == node && e.covers(slice))
+            .all(|e| e.delivered > slice)
+    }
+
+    /// Starts every action that is currently unblocked.
+    fn pump(&mut self, sim: &mut Simulator) {
+        if self.paused || self.is_done() {
+            return;
+        }
+        // Disk reads: one outstanding per source, sequential.
+        for i in 0..self.sources.len() {
+            let (node, fraction, read_done, reading) = {
+                let s = &self.sources[i];
+                (s.node, s.read_fraction, s.read_done, s.reading.is_some())
+            };
+            if !reading && read_done < self.reads_needed() {
+                let bytes = (self.slice_len(read_done) as f64 * fraction).ceil() as u64;
+                let id = sim.start_flow(FlowSpec::disk_read(node, bytes.max(1), Traffic::Repair));
+                self.flow_map.insert(id, Step::Read { source: i });
+                self.sources[i].reading = Some(id);
+            }
+        }
+        // Network sends: one outstanding per source, in slice order.
+        for i in 0..self.sources.len() {
+            let (node, read_done, sent, sending) = {
+                let s = &self.sources[i];
+                (s.node, s.read_done, s.sent, s.sending.is_some())
+            };
+            if sending || sent >= self.slices {
+                continue;
+            }
+            let slice = sent;
+            if read_done <= slice || !self.inputs_ready(node, slice) {
+                continue;
+            }
+            let Some(eidx) = self
+                .edges
+                .iter()
+                .position(|e| e.from == node && e.covers(slice))
+            else {
+                continue;
+            };
+            let edge = &self.edges[eidx];
+            let bytes = (self.slice_len(slice) as f64 * edge.bytes_factor).ceil() as u64;
+            let id = sim.start_flow(FlowSpec::network(
+                edge.from,
+                edge.to,
+                bytes.max(1),
+                Traffic::Repair,
+            ));
+            self.flow_map.insert(
+                id,
+                Step::Send {
+                    source: i,
+                    edge: eidx,
+                    slice,
+                },
+            );
+            self.sources[i].sending = Some((id, slice));
+        }
+        // Destination write: sequential, gated on all inputs.
+        if self.writing.is_none()
+            && self.write_done < self.slices
+            && self.inputs_ready(self.plan.destination(), self.write_done)
+        {
+            let bytes = self.slice_len(self.write_done);
+            let id = sim.start_flow(FlowSpec::disk_write(
+                self.plan.destination(),
+                bytes,
+                Traffic::Repair,
+            ));
+            self.flow_map.insert(id, Step::Write);
+            self.writing = Some(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Participant;
+    use chameleon_cluster::ChunkId;
+    use chameleon_gf::Gf256;
+    use chameleon_simnet::{NodeCaps, SimConfig};
+
+    const MB: u64 = 1 << 20;
+
+    fn sim(nodes: usize) -> Simulator {
+        // 100 MB/s network, very fast disks so the network dominates.
+        Simulator::new(SimConfig::uniform(
+            nodes,
+            NodeCaps {
+                uplink: 100.0 * MB as f64,
+                downlink: 100.0 * MB as f64,
+                disk_read: 10_000.0 * MB as f64,
+                disk_write: 10_000.0 * MB as f64,
+            },
+        ))
+    }
+
+    fn part(node: NodeId, send_to: NodeId) -> Participant {
+        Participant {
+            node,
+            chunk_index: node,
+            coeff: Gf256::ONE,
+            send_to,
+            read_fraction: 1.0,
+        }
+    }
+
+    fn run_to_completion(exec: &mut PlanExecutor, sim: &mut Simulator) -> f64 {
+        exec.start(sim);
+        while let Some(ev) = sim.next_event() {
+            if exec.on_event(sim, &ev) == ExecStatus::Done {
+                return sim.now().as_secs();
+            }
+        }
+        panic!("executor never finished");
+    }
+
+    fn chunk() -> ChunkId {
+        ChunkId {
+            stripe: 0,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn star_repair_time_is_bounded_by_destination_downlink() {
+        // CR with 4 sources and a 64 MB chunk: destination must download
+        // 256 MB at 100 MB/s => ~2.56 s (plus pipeline fill).
+        let plan = RepairPlan::new(chunk(), 4, (0..4).map(|i| part(i, 4)).collect()).unwrap();
+        let mut s = sim(5);
+        let mut exec = PlanExecutor::new(plan, 64 * MB, MB);
+        let t = run_to_completion(&mut exec, &mut s);
+        assert!(t >= 2.56 - 1e-6, "too fast: {t}");
+        assert!(t < 2.8, "too slow: {t}");
+    }
+
+    #[test]
+    fn chain_repair_pipelines_to_near_constant_time() {
+        // ECPipe with 4 sources: every link carries 64 MB; pipelined, the
+        // total is ~one chunk time + per-hop fill = ~0.64 s + small.
+        let plan = RepairPlan::new(
+            chunk(),
+            4,
+            vec![part(0, 1), part(1, 2), part(2, 3), part(3, 4)],
+        )
+        .unwrap();
+        let mut s = sim(5);
+        let mut exec = PlanExecutor::new(plan, 64 * MB, MB);
+        let t = run_to_completion(&mut exec, &mut s);
+        assert!(t >= 0.64 - 1e-6);
+        assert!(t < 0.72, "chain did not pipeline: {t}");
+    }
+
+    #[test]
+    fn tree_is_between_star_and_chain() {
+        // PPR-like tree: 0 -> 1, 2 -> 3, 1 -> 3, 3 -> dst. Node 3 downloads
+        // 128 MB => >= 1.28 s.
+        let plan = RepairPlan::new(
+            chunk(),
+            4,
+            vec![part(0, 1), part(1, 3), part(2, 3), part(3, 4)],
+        )
+        .unwrap();
+        let mut s = sim(5);
+        let mut exec = PlanExecutor::new(plan, 64 * MB, MB);
+        let t = run_to_completion(&mut exec, &mut s);
+        assert!(t >= 1.28 - 1e-6, "{t}");
+        assert!(t < 1.45, "{t}");
+    }
+
+    #[test]
+    fn progress_and_timestamps_are_monotone() {
+        let plan = RepairPlan::new(chunk(), 2, vec![part(0, 2), part(1, 2)]).unwrap();
+        let mut s = sim(3);
+        let mut exec = PlanExecutor::new(plan, 8 * MB, MB);
+        assert_eq!(exec.progress(), 0.0);
+        exec.start(&mut s);
+        assert_eq!(exec.started_at(), Some(0.0));
+        let mut last = 0.0;
+        while let Some(ev) = s.next_event() {
+            let status = exec.on_event(&mut s, &ev);
+            assert!(exec.progress() >= last);
+            last = exec.progress();
+            if status == ExecStatus::Done {
+                break;
+            }
+        }
+        assert_eq!(exec.progress(), 1.0);
+        assert!(exec.finished_at().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn pause_freezes_and_resume_finishes() {
+        let plan = RepairPlan::new(chunk(), 2, vec![part(0, 2), part(1, 2)]).unwrap();
+        let mut s = sim(3);
+        let mut exec = PlanExecutor::new(plan, 8 * MB, MB);
+        exec.start(&mut s);
+        // Drain a few events, then pause.
+        for _ in 0..4 {
+            let ev = s.next_event().unwrap();
+            exec.on_event(&mut s, &ev);
+        }
+        exec.pause();
+        assert!(exec.is_paused());
+        // Drain whatever is in flight; the executor must not start more.
+        while let Some(ev) = s.next_event() {
+            assert_ne!(exec.on_event(&mut s, &ev), ExecStatus::Done);
+        }
+        assert!(!exec.is_done());
+        exec.resume(&mut s);
+        while let Some(ev) = s.next_event() {
+            if exec.on_event(&mut s, &ev) == ExecStatus::Done {
+                return;
+            }
+        }
+        panic!("did not finish after resume");
+    }
+
+    #[test]
+    fn retune_redirects_remaining_slices() {
+        // Chain 0 -> 1 -> dst; retune the 0 -> 1 edge to the destination.
+        let plan = RepairPlan::new(chunk(), 2, vec![part(0, 1), part(1, 2)]).unwrap();
+        let mut s = sim(3);
+        let mut exec = PlanExecutor::new(plan, 8 * MB, MB);
+        exec.start(&mut s);
+        for _ in 0..6 {
+            let ev = s.next_event().unwrap();
+            exec.on_event(&mut s, &ev);
+        }
+        assert!(exec.retune_input(&mut s, 1, 0));
+        // Plan view is updated.
+        let p0 = exec.plan().participants()[0];
+        assert_eq!(p0.send_to, 2);
+        // Still completes.
+        while let Some(ev) = s.next_event() {
+            if exec.on_event(&mut s, &ev) == ExecStatus::Done {
+                return;
+            }
+        }
+        panic!("did not finish after retune");
+    }
+
+    #[test]
+    fn retune_missing_edge_returns_false() {
+        let plan = RepairPlan::new(chunk(), 2, vec![part(0, 2), part(1, 2)]).unwrap();
+        let mut s = sim(3);
+        let mut exec = PlanExecutor::new(plan, 8 * MB, MB);
+        exec.start(&mut s);
+        assert!(!exec.retune_input(&mut s, 1, 0));
+        assert!(
+            !exec.retune_input(&mut s, 2, 0),
+            "edges to dst can't retune"
+        );
+    }
+
+    #[test]
+    fn sub_chunk_fraction_transfers_less() {
+        // Butterfly-style: two sources send half chunks straight to dst.
+        let mut a = part(0, 2);
+        a.read_fraction = 0.5;
+        let mut b = part(1, 2);
+        b.read_fraction = 0.5;
+        let plan = RepairPlan::new(chunk(), 2, vec![a, b]).unwrap();
+        let mut s = sim(3);
+        let mut exec = PlanExecutor::new(plan, 64 * MB, MB);
+        let t = run_to_completion(&mut exec, &mut s);
+        // dst downloads 2 * 32 MB at 100 MB/s => ~0.64 s.
+        assert!(t < 0.75, "{t}");
+        let repaired =
+            s.monitor()
+                .total_bytes(2, chameleon_simnet::ResourceKind::Downlink, Traffic::Repair);
+        assert!((repaired - 64.0 * MB as f64).abs() / (MB as f64) < 1.0);
+    }
+
+    #[test]
+    fn single_source_single_slice_plan() {
+        let plan = RepairPlan::new(chunk(), 1, vec![part(0, 1)]).unwrap();
+        let mut s = sim(2);
+        let mut exec = PlanExecutor::new(plan, MB, MB);
+        assert_eq!(exec.slices(), 1);
+        let t = run_to_completion(&mut exec, &mut s);
+        // 1 MB read (fast disk) + 1 MB network at 100 MB/s + write.
+        assert!(t > 0.0 && t < 0.05, "{t}");
+    }
+
+    #[test]
+    fn pause_before_start_is_harmless() {
+        let plan = RepairPlan::new(chunk(), 1, vec![part(0, 1)]).unwrap();
+        let mut s = sim(2);
+        let mut exec = PlanExecutor::new(plan, MB, MB);
+        exec.pause();
+        exec.resume(&mut s); // not started yet: must not panic or start flows
+        assert_eq!(s.active_flows(), 0);
+        run_to_completion(&mut exec, &mut s);
+    }
+
+    #[test]
+    fn edge_progress_reports_all_edges() {
+        let plan = RepairPlan::new(chunk(), 3, vec![part(0, 1), part(1, 3), part(2, 3)]).unwrap();
+        let mut s = sim(4);
+        let exec = PlanExecutor::new(plan, 4 * MB, MB);
+        let edges = exec.edge_progress();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|e| e.delivered == 0 && e.end == 4));
+        let _ = s.next_event(); // silence unused warnings
+    }
+
+    #[test]
+    fn odd_chunk_size_last_slice_is_short() {
+        let plan = RepairPlan::new(chunk(), 1, vec![part(0, 1)]).unwrap();
+        let mut s = sim(2);
+        let mut exec = PlanExecutor::new(plan, 5 * MB + 123, 2 * MB);
+        assert_eq!(exec.slices(), 3);
+        run_to_completion(&mut exec, &mut s);
+        let moved =
+            s.monitor()
+                .total_bytes(1, chameleon_simnet::ResourceKind::Downlink, Traffic::Repair);
+        assert!((moved - (5.0 * MB as f64 + 123.0)).abs() < 1.0);
+    }
+}

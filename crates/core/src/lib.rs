@@ -1,0 +1,77 @@
+//! Repair algorithms for erasure-coded storage: the ChameleonEC scheduler
+//! and the baselines it is evaluated against.
+//!
+//! The crate models a *repair plan* ([`RepairPlan`]) as an in-tree of
+//! chunk transfers rooted at a destination node: every source uploads
+//! exactly once, relay sources combine what they receive with their local
+//! chunk (partial decoding, §II-C of the paper), and the destination
+//! reassembles the failed chunk. Plans are executed against the
+//! [`chameleon_simnet`] simulator at slice granularity by
+//! [`PlanExecutor`], which pipelines disk reads, network hops, and disk
+//! writes exactly like the sliced transfer paths in the paper's prototype.
+//!
+//! Algorithms:
+//!
+//! - [`cr`]: conventional repair — all sources send straight to the
+//!   destination (Fig. 3(a)).
+//! - [`ppr`]: partial-parallel repair — binary-tree aggregation
+//!   (Fig. 3(b), Mitra et al. EuroSys 2016).
+//! - [`ecpipe`]: chained repair pipelining (Li et al. ATC 2017).
+//! - [`repairboost`]: a traffic-balancing layer that spreads sources and
+//!   destinations of concurrent chunk repairs across nodes
+//!   (Lin et al. ATC 2021).
+//! - [`chameleon`]: **ChameleonEC** — bandwidth-aware task dispatch
+//!   (§III-A), tunable plan establishment (§III-B, Algorithm 1), and
+//!   straggler-aware re-scheduling (§III-C), plus the storage-bottleneck
+//!   variant ChameleonEC-IO (§III-D).
+//!
+//! Full-node repair campaigns are run by [`RepairDriver`]s
+//! ([`baseline::StaticRepairDriver`] and [`chameleon::ChameleonDriver`]),
+//! which produce a [`RepairOutcome`] (repair throughput, per-chunk
+//! latencies, link-utilization statistics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod chameleon;
+mod context;
+pub mod cr;
+pub mod ecpipe;
+mod exec;
+mod metrics;
+mod plan;
+pub mod ppr;
+pub mod repairboost;
+mod select;
+
+pub use context::{RepairContext, Resources};
+pub use exec::{ExecStatus, PlanExecutor};
+pub use metrics::{LinkLoadStats, RepairOutcome};
+pub use plan::{Participant, PlanError, RepairPlan};
+pub use select::{SelectError, Selection, SourcePick, SourceSelector};
+
+use chameleon_cluster::ChunkId;
+use chameleon_simnet::{Event, Simulator};
+
+/// A driver that repairs a set of lost chunks to completion.
+///
+/// Drivers are fed simulator events by the experiment loop (alongside the
+/// foreground driver) so repair and foreground traffic contend naturally.
+pub trait RepairDriver {
+    /// Algorithm name for reports, e.g. `ChameleonEC`.
+    fn name(&self) -> String;
+
+    /// Begins repairing `chunks`.
+    fn start(&mut self, sim: &mut Simulator, chunks: Vec<ChunkId>);
+
+    /// Handles a simulator event; returns `true` if it belonged to this
+    /// driver.
+    fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> bool;
+
+    /// Whether every chunk has been repaired.
+    fn is_done(&self) -> bool;
+
+    /// The outcome so far (final once [`RepairDriver::is_done`]).
+    fn outcome(&self, sim: &Simulator) -> RepairOutcome;
+}

@@ -1,0 +1,151 @@
+//! Repair outcome metrics and link-load statistics.
+
+use chameleon_simnet::{Monitor, ResourceKind, Traffic};
+
+/// Summary of a repair campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Chunks that were asked to be repaired.
+    pub chunks_total: usize,
+    /// Chunks repaired so far.
+    pub chunks_repaired: usize,
+    /// Bytes of lost data restored (`chunks_repaired * chunk_size`).
+    pub repaired_bytes: f64,
+    /// Simulated seconds from repair start to the last chunk's completion
+    /// (`None` while still running).
+    pub duration: Option<f64>,
+    /// Per-chunk repair latencies in seconds.
+    pub per_chunk_secs: Vec<f64>,
+}
+
+impl RepairOutcome {
+    /// Repair throughput in bytes/s: repaired data divided by elapsed
+    /// repair time — the paper's headline metric (§V-A).
+    ///
+    /// Returns 0 until the repair finishes.
+    pub fn throughput(&self) -> f64 {
+        match self.duration {
+            Some(d) if d > 0.0 => self.repaired_bytes / d,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean single-chunk repair latency in seconds.
+    pub fn mean_chunk_secs(&self) -> f64 {
+        if self.per_chunk_secs.is_empty() {
+            0.0
+        } else {
+            self.per_chunk_secs.iter().sum::<f64>() / self.per_chunk_secs.len() as f64
+        }
+    }
+}
+
+/// Most-loaded / least-loaded link statistics (Fig. 6): for each direction,
+/// the repair and foreground bandwidth of the node whose total usage is
+/// highest and lowest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoadStats {
+    /// (repair, foreground) mean rate of the most-loaded uplink, bytes/s.
+    pub most_loaded_up: (f64, f64),
+    /// (repair, foreground) mean rate of the least-loaded uplink.
+    pub least_loaded_up: (f64, f64),
+    /// (repair, foreground) mean rate of the most-loaded downlink.
+    pub most_loaded_down: (f64, f64),
+    /// (repair, foreground) mean rate of the least-loaded downlink.
+    pub least_loaded_down: (f64, f64),
+}
+
+impl LinkLoadStats {
+    /// Computes the statistics over the first `storage_nodes` nodes of a
+    /// monitor (client machines are excluded, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `storage_nodes == 0`.
+    pub fn from_monitor(monitor: &Monitor, storage_nodes: usize) -> Self {
+        let nodes: Vec<usize> = (0..storage_nodes).collect();
+        Self::from_monitor_nodes(monitor, &nodes)
+    }
+
+    /// Like [`Self::from_monitor`], restricted to the given nodes — use
+    /// this to exclude failed nodes, which otherwise dominate the
+    /// least-loaded statistic with their zero traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn from_monitor_nodes(monitor: &Monitor, nodes: &[usize]) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        let collect = |kind: ResourceKind| -> ((f64, f64), (f64, f64)) {
+            let mut most = (f64::MIN, (0.0, 0.0));
+            let mut least = (f64::MAX, (0.0, 0.0));
+            for &node in nodes {
+                let repair = monitor.mean_rate(node, kind, Traffic::Repair);
+                let fg = monitor.mean_rate(node, kind, Traffic::Foreground);
+                let total = repair + fg;
+                if total > most.0 {
+                    most = (total, (repair, fg));
+                }
+                if total < least.0 {
+                    least = (total, (repair, fg));
+                }
+            }
+            (most.1, least.1)
+        };
+        let (most_up, least_up) = collect(ResourceKind::Uplink);
+        let (most_down, least_down) = collect(ResourceKind::Downlink);
+        LinkLoadStats {
+            most_loaded_up: most_up,
+            least_loaded_up: least_up,
+            most_loaded_down: most_down,
+            least_loaded_down: least_down,
+        }
+    }
+
+    /// How much more total bandwidth the most-loaded uplink supplied than
+    /// the least-loaded one, as a ratio (the paper reports 110.5% extra for
+    /// ECPipe).
+    pub fn uplink_imbalance(&self) -> f64 {
+        let most = self.most_loaded_up.0 + self.most_loaded_up.1;
+        let least = self.least_loaded_up.0 + self.least_loaded_up.1;
+        if least > 0.0 {
+            most / least - 1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_bytes_over_duration() {
+        let outcome = RepairOutcome {
+            algorithm: "CR".into(),
+            chunks_total: 2,
+            chunks_repaired: 2,
+            repaired_bytes: 200.0,
+            duration: Some(4.0),
+            per_chunk_secs: vec![2.0, 4.0],
+        };
+        assert_eq!(outcome.throughput(), 50.0);
+        assert_eq!(outcome.mean_chunk_secs(), 3.0);
+    }
+
+    #[test]
+    fn unfinished_outcome_has_zero_throughput() {
+        let outcome = RepairOutcome {
+            algorithm: "CR".into(),
+            chunks_total: 2,
+            chunks_repaired: 1,
+            repaired_bytes: 100.0,
+            duration: None,
+            per_chunk_secs: vec![2.0],
+        };
+        assert_eq!(outcome.throughput(), 0.0);
+    }
+}

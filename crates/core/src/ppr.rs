@@ -1,0 +1,121 @@
+//! Partial-parallel repair (PPR): binary-tree aggregation of partial
+//! decoding results (Mitra et al., EuroSys 2016; Fig. 3(b) of the paper).
+
+use chameleon_cluster::ChunkId;
+
+use crate::context::RepairContext;
+use crate::cr::coefficients_for;
+use crate::plan::{Participant, RepairPlan};
+use crate::select::{SelectError, Selection};
+
+/// For each source position `0..count`, the position it forwards to
+/// (`None` for the tree root, which forwards to the destination).
+///
+/// The tree is the PPR binomial shape: within a range the last element is
+/// the root; the left half's root forwards to it.
+pub(crate) fn tree_targets(count: usize) -> Vec<Option<usize>> {
+    let mut targets = vec![None; count];
+    fn recurse(lo: usize, hi: usize, targets: &mut [Option<usize>]) {
+        let len = hi - lo;
+        if len <= 1 {
+            return;
+        }
+        let mid = lo + len / 2;
+        // Root of [lo, mid) forwards to root of [mid, hi) (= hi - 1).
+        targets[mid - 1] = Some(hi - 1);
+        recurse(lo, mid, targets);
+        recurse(mid, hi, targets);
+    }
+    if count > 0 {
+        recurse(0, count, &mut targets);
+    }
+    targets
+}
+
+/// Builds a binary-tree PPR plan. Sub-chunk (non-relayable) selections
+/// degrade to a star, as the paper notes for regenerating codes.
+///
+/// # Errors
+///
+/// Returns [`SelectError::Unrepairable`] if the selection cannot produce
+/// decoding coefficients.
+pub fn build(
+    ctx: &RepairContext,
+    chunk: ChunkId,
+    selection: &Selection,
+) -> Result<RepairPlan, SelectError> {
+    if !selection.relayable {
+        return crate::cr::build(ctx, chunk, selection);
+    }
+    let coeffs = coefficients_for(ctx, chunk, selection)?;
+    let targets = tree_targets(selection.sources.len());
+    let participants = selection
+        .sources
+        .iter()
+        .zip(coeffs)
+        .zip(targets)
+        .map(|((s, coeff), target)| Participant {
+            node: s.node,
+            chunk_index: s.chunk_index,
+            coeff,
+            send_to: target.map_or(selection.destination, |t| selection.sources[t].node),
+            read_fraction: s.fraction,
+        })
+        .collect();
+    RepairPlan::new(chunk, selection.destination, participants)
+        .map_err(|_| SelectError::Unrepairable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SourceSelector;
+    use chameleon_cluster::{Cluster, ClusterConfig};
+    use chameleon_codes::ReedSolomon;
+    use std::sync::Arc;
+
+    #[test]
+    fn tree_targets_match_paper_figure() {
+        // k = 4: 0 -> 1, 1 -> 3, 2 -> 3, 3 -> dst (Fig. 3(b)).
+        assert_eq!(tree_targets(4), vec![Some(1), Some(3), Some(3), None]);
+    }
+
+    #[test]
+    fn tree_targets_cover_all_sizes() {
+        for count in 1..=16 {
+            let t = tree_targets(count);
+            // Exactly one root.
+            assert_eq!(t.iter().filter(|x| x.is_none()).count(), 1, "count {count}");
+            // The root is the last element.
+            assert_eq!(t[count - 1], None);
+            // Every chain reaches the root.
+            for start in 0..count {
+                let mut cur = start;
+                let mut hops = 0;
+                while let Some(next) = t[cur] {
+                    assert!(next > cur, "targets must increase");
+                    cur = next;
+                    hops += 1;
+                    assert!(hops <= count);
+                }
+                assert_eq!(cur, count - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let cluster = Cluster::new(ClusterConfig::small(14)).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(10, 4).unwrap()));
+        let chunk = ChunkId {
+            stripe: 1,
+            index: 0,
+        };
+        let mut sel = SourceSelector::random(6);
+        let selection = sel.select(&ctx, chunk, &[]).unwrap();
+        let plan = build(&ctx, chunk, &selection).unwrap();
+        let depth = plan.max_depth();
+        // ceil(log2(10)) + 1 = 5 levels at most; must beat the chain (10).
+        assert!((3..=5).contains(&depth), "depth {depth}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Galois field arithmetic and matrix algebra for erasure coding.
+//!
+//! This crate provides the finite-field substrate that every erasure code in
+//! the ChameleonEC workspace is built on:
+//!
+//! - [`Gf256`]: the field GF(2^8) with the primitive polynomial
+//!   `x^8 + x^4 + x^3 + x^2 + 1` (0x11D), implemented with compile-time
+//!   log/exp tables.
+//! - Bulk slice kernels ([`mul_slice`], [`mul_add_slice`], [`add_assign_slice`])
+//!   used to encode/decode whole chunks.
+//! - [`Matrix`]: dense row-major matrices over GF(2^8) with Vandermonde and
+//!   Cauchy constructors and Gauss–Jordan inversion, the building blocks of
+//!   Reed–Solomon and LRC codes.
+//!
+//! # Examples
+//!
+//! ```
+//! use chameleon_gf::{Gf256, Matrix};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! assert_eq!((a * b) / b, a);
+//!
+//! let m = Matrix::cauchy(3, 5);
+//! assert_eq!(m.rows(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod matrix;
+mod tables;
+
+pub use field::{add_assign_slice, mul_add_slice, mul_slice, Gf256};
+pub use matrix::{Matrix, MatrixError};

@@ -1,0 +1,136 @@
+//! Property-based tests for GF(2^8) field axioms and matrix algebra.
+
+use chameleon_gf::{add_assign_slice, mul_add_slice, mul_slice, Gf256, Matrix};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn nonzero_elem() -> impl Strategy<Value = Gf256> {
+    (1u8..=255).prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in elem(), b in elem()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn add_identity_and_self_inverse(a in elem()) {
+        prop_assert_eq!(a + Gf256::ZERO, a);
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(a - a, Gf256::ZERO);
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn mul_commutative(a in elem(), b in elem()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn mul_identity(a in elem()) {
+        prop_assert_eq!(a * Gf256::ONE, a);
+    }
+
+    #[test]
+    fn distributive(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in elem(), b in nonzero_elem()) {
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in nonzero_elem(), e1 in 0u32..500, e2 in 0u32..500) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn mul_slice_is_pointwise(c in elem(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut dst = vec![0u8; data.len()];
+        mul_slice(c, &data, &mut dst);
+        for (d, s) in dst.iter().zip(&data) {
+            prop_assert_eq!(Gf256::new(*d), c * Gf256::new(*s));
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_accumulates(
+        c in elem(),
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut acc = data.clone();
+        let before = acc.clone();
+        mul_add_slice(c, &data, &mut acc);
+        for ((a, b), s) in acc.iter().zip(&before).map(|(a, b)| (*a, *b)).zip(&data) {
+            prop_assert_eq!(Gf256::new(a), Gf256::new(b) + c * Gf256::new(*s));
+        }
+    }
+
+    #[test]
+    fn add_assign_slice_is_xor(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut acc = data.clone();
+        add_assign_slice(&data, &mut acc);
+        prop_assert!(acc.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cauchy_row_selections_invert(
+        n in 2usize..8,
+        extra in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Pick n rows of an (n+extra) x n Cauchy matrix pseudo-randomly; the
+        // selection must always be invertible (MDS property).
+        let m = Matrix::cauchy(n + extra, n);
+        let mut rows: Vec<usize> = (0..n + extra).collect();
+        // Deterministic shuffle from the seed.
+        let mut state = seed | 1;
+        for i in (1..rows.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            rows.swap(i, j);
+        }
+        let sel = m.select_rows(&rows[..n]);
+        prop_assert!(sel.invert().is_ok());
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrips_via_apply(
+        n in 1usize..6,
+        chunk_len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let m = Matrix::cauchy(n, n);
+        let inv = m.invert().unwrap();
+        // Deterministic pseudo-random chunks.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        };
+        let chunks: Vec<Vec<u8>> = (0..n)
+            .map(|_| (0..chunk_len).map(|_| next()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let coded = m.apply(&refs).unwrap();
+        let coded_refs: Vec<&[u8]> = coded.iter().map(|c| c.as_slice()).collect();
+        let back = inv.apply(&coded_refs).unwrap();
+        prop_assert_eq!(back, chunks);
+    }
+}

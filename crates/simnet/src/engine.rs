@@ -1,0 +1,543 @@
+//! The discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+
+use crate::flow::{Flow, FlowId, FlowSpec, TimerId};
+use crate::maxmin::allocate_rates;
+use crate::monitor::Monitor;
+use crate::node::{NodeCaps, NodeId, ResourceKind, Traffic};
+use crate::time::SimTime;
+
+/// Bytes below which a flow counts as finished (guards float rounding).
+const EPS_BYTES: f64 = 1e-6;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-node resource capacities.
+    pub nodes: Vec<NodeCaps>,
+    /// Length of the bandwidth-monitor windows, in seconds (the paper
+    /// analyses 15 s windows).
+    pub monitor_window_secs: f64,
+}
+
+impl SimConfig {
+    /// `count` identical nodes with the default 15 s monitor window.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chameleon_simnet::{NodeCaps, SimConfig};
+    /// let cfg = SimConfig::uniform(20, NodeCaps::default());
+    /// assert_eq!(cfg.nodes.len(), 20);
+    /// ```
+    pub fn uniform(count: usize, caps: NodeCaps) -> Self {
+        SimConfig {
+            nodes: vec![caps; count],
+            monitor_window_secs: 15.0,
+        }
+    }
+}
+
+/// An observable simulation event, returned by [`Simulator::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A flow delivered its final byte.
+    FlowCompleted {
+        /// The finished flow.
+        id: FlowId,
+        /// Its traffic class.
+        tag: Traffic,
+    },
+    /// A timer fired.
+    Timer {
+        /// The timer's identity.
+        id: TimerId,
+        /// The caller-supplied dispatch key.
+        key: u64,
+    },
+}
+
+/// The flow-level cluster simulator.
+///
+/// Drivers start flows and timers, then repeatedly call
+/// [`Simulator::next_event`], reacting to completions. Between events all
+/// active flows progress at their max–min fair rates.
+///
+/// See the [crate docs](crate) for a worked example.
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    node_caps: Vec<NodeCaps>,
+    /// Flattened capacities: `caps[node * 4 + kind]`.
+    caps: Vec<f64>,
+    /// Active flows, keyed by id for deterministic iteration order.
+    flows: BTreeMap<u64, Flow>,
+    next_flow_id: u64,
+    next_timer_id: u64,
+    /// Min-heap of (fire time, timer id, key).
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    cancelled_timers: HashSet<u64>,
+    rates_stale: bool,
+    monitor: Monitor,
+}
+
+impl Simulator {
+    /// Creates a simulator at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no nodes.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(!config.nodes.is_empty(), "at least one node required");
+        let caps = config
+            .nodes
+            .iter()
+            .flat_map(|n| ResourceKind::ALL.map(|k| n.capacity(k)))
+            .collect();
+        let monitor = Monitor::new(config.nodes.len(), config.monitor_window_secs);
+        Simulator {
+            now: SimTime::ZERO,
+            caps,
+            node_caps: config.nodes,
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            next_timer_id: 0,
+            timers: BinaryHeap::new(),
+            cancelled_timers: HashSet::new(),
+            rates_stale: true,
+            monitor,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of simulated nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_caps.len()
+    }
+
+    /// Capacities of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_caps(&self, node: NodeId) -> NodeCaps {
+        self.node_caps[node]
+    }
+
+    /// Capacity of one node resource, in bytes/s.
+    pub fn capacity(&self, node: NodeId, kind: ResourceKind) -> f64 {
+        self.node_caps[node].capacity(kind)
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The windowed bandwidth monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Starts a flow; it begins transferring immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec references a node out of range.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        for &(node, _) in spec.constraints() {
+            assert!(node < self.node_caps.len(), "node {node} out of range");
+        }
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        let remaining = spec.bytes;
+        self.flows.insert(
+            id.0,
+            Flow {
+                spec,
+                remaining,
+                rate: 0.0,
+            },
+        );
+        self.rates_stale = true;
+        id
+    }
+
+    /// Cancels a flow, returning the bytes it had left, or `None` if it has
+    /// already completed (or never existed).
+    pub fn cancel_flow(&mut self, id: FlowId) -> Option<f64> {
+        let flow = self.flows.remove(&id.0)?;
+        self.rates_stale = true;
+        Some(flow.remaining)
+    }
+
+    /// Current max–min fair rate of a flow, in bytes/s.
+    pub fn flow_rate(&mut self, id: FlowId) -> Option<f64> {
+        self.refresh_rates();
+        self.flows.get(&id.0).map(|f| f.rate)
+    }
+
+    /// Bytes a flow still has to transfer.
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.remaining)
+    }
+
+    /// Instantaneous aggregate rate of one traffic class through one node
+    /// resource, in bytes/s — what a bandwidth monitor daemon (NetHogs in
+    /// the paper) would report right now.
+    pub fn class_rate(&mut self, node: NodeId, kind: ResourceKind, tag: Traffic) -> f64 {
+        self.refresh_rates();
+        self.flows
+            .values()
+            .filter(|f| f.spec.tag == tag)
+            .filter(|f| f.spec.constraints.contains(&(node, kind)))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Residual (idle) bandwidth of a node resource after subtracting the
+    /// given traffic classes — the quantity ChameleonEC dispatches against.
+    pub fn residual_capacity(
+        &mut self,
+        node: NodeId,
+        kind: ResourceKind,
+        subtract: &[Traffic],
+    ) -> f64 {
+        let cap = self.capacity(node, kind);
+        let used: f64 = subtract
+            .iter()
+            .map(|&t| self.class_rate(node, kind, t))
+            .sum();
+        (cap - used).max(0.0)
+    }
+
+    /// Number of active flows of one traffic class crossing a node
+    /// resource. Schedulers use this for fair-share estimates: a new flow
+    /// on a saturated resource still gets roughly `capacity / (count+1)`.
+    pub fn class_flow_count(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.spec.tag == tag)
+            .filter(|f| f.spec.constraints.contains(&(node, kind)))
+            .count()
+    }
+
+    /// Schedules a timer to fire `delay_secs` from now, with a caller-chosen
+    /// dispatch key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_secs` is negative or NaN.
+    pub fn schedule_in(&mut self, delay_secs: f64, key: u64) -> TimerId {
+        self.schedule_at(self.now + SimTime::from_secs(delay_secs), key)
+    }
+
+    /// Schedules a timer at an absolute time (clamped to now if in the
+    /// past).
+    pub fn schedule_at(&mut self, at: SimTime, key: u64) -> TimerId {
+        let at = at.max(self.now);
+        let id = TimerId(self.next_timer_id);
+        self.next_timer_id += 1;
+        self.timers.push(Reverse((at, id.0, key)));
+        id
+    }
+
+    /// Cancels a pending timer (no effect if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id.0);
+    }
+
+    /// Advances the simulation to the next event and returns it, or `None`
+    /// when no flows or timers remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if active flows can never finish (all rates zero) and no
+    /// timer is pending — a configuration bug that would hang a real
+    /// system.
+    pub fn next_event(&mut self) -> Option<Event> {
+        // Discard cancelled timers at the head.
+        while let Some(Reverse((_, id, _))) = self.timers.peek() {
+            if self.cancelled_timers.remove(id) {
+                self.timers.pop();
+            } else {
+                break;
+            }
+        }
+
+        if self.flows.is_empty() && self.timers.is_empty() {
+            return None;
+        }
+
+        self.refresh_rates();
+
+        // Earliest flow completion (ties broken by lowest id, which BTreeMap
+        // iteration gives us for free).
+        let mut flow_done: Option<(SimTime, u64)> = None;
+        for (&id, f) in &self.flows {
+            let t = if f.remaining <= EPS_BYTES {
+                self.now
+            } else if f.rate > 0.0 {
+                self.now + SimTime::from_secs(f.remaining / f.rate)
+            } else {
+                continue; // starved flow; cannot finish at current rates
+            };
+            if flow_done.is_none_or(|(bt, _)| t < bt) {
+                flow_done = Some((t, id));
+            }
+        }
+
+        let timer_next = self
+            .timers
+            .peek()
+            .map(|Reverse((t, id, key))| (*t, *id, *key));
+
+        let (event_time, is_flow) = match (flow_done, timer_next) {
+            (Some((tf, _)), Some((tt, _, _))) => {
+                if tf <= tt {
+                    (tf, true)
+                } else {
+                    (tt, false)
+                }
+            }
+            (Some((tf, _)), None) => (tf, true),
+            (None, Some((tt, _, _))) => (tt, false),
+            (None, None) => {
+                panic!(
+                    "simulation stalled: {} active flows have zero rate and no timers pending",
+                    self.flows.len()
+                );
+            }
+        };
+
+        self.advance_to(event_time);
+
+        if is_flow {
+            let id = flow_done.expect("flow event chosen").1;
+            let flow = self.flows.remove(&id).expect("flow exists");
+            self.rates_stale = true;
+            Some(Event::FlowCompleted {
+                id: FlowId(id),
+                tag: flow.spec.tag,
+            })
+        } else {
+            let Reverse((_, id, key)) = self.timers.pop().expect("timer event chosen");
+            Some(Event::Timer {
+                id: TimerId(id),
+                key,
+            })
+        }
+    }
+
+    /// Moves time forward, progressing flows and recording monitor usage.
+    fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now);
+        let dt = (t - self.now).as_secs();
+        if dt > 0.0 {
+            let start = self.now.as_secs();
+            let end = t.as_secs();
+            for f in self.flows.values_mut() {
+                if f.rate > 0.0 {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                }
+            }
+            // Borrow juggling: record after updating.
+            for f in self.flows.values() {
+                if f.rate > 0.0 {
+                    for &(node, kind) in &f.spec.constraints {
+                        self.monitor
+                            .record(start, end, f.rate, node, kind, f.spec.tag);
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Recomputes max–min fair rates if the flow set changed.
+    fn refresh_rates(&mut self) {
+        if !self.rates_stale {
+            return;
+        }
+        let flow_resources: Vec<Vec<usize>> = self
+            .flows
+            .values()
+            .map(|f| {
+                f.spec
+                    .constraints
+                    .iter()
+                    .map(|&(node, kind)| node * 4 + kind.index())
+                    .collect()
+            })
+            .collect();
+        let rates = allocate_rates(&self.caps, &flow_resources);
+        for (f, rate) in self.flows.values_mut().zip(rates) {
+            f.rate = rate;
+        }
+        self.rates_stale = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_sim() -> Simulator {
+        Simulator::new(SimConfig::uniform(2, NodeCaps::symmetric(100.0, 50.0)))
+    }
+
+    #[test]
+    fn single_flow_finishes_at_capacity_rate() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 200, Traffic::Repair));
+        assert_eq!(sim.flow_rate(f), Some(100.0));
+        let ev = sim.next_event().unwrap();
+        assert_eq!(
+            ev,
+            Event::FlowCompleted {
+                id: f,
+                tag: Traffic::Repair
+            }
+        );
+        assert!((sim.now().as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(sim.next_event(), None);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut sim = two_node_sim();
+        let a = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let b = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Foreground));
+        assert_eq!(sim.flow_rate(a), Some(50.0));
+        assert_eq!(sim.flow_rate(b), Some(50.0));
+        // First completes at t=2 (ties: lowest id first).
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::FlowCompleted { id, .. } if id == a));
+        assert!((sim.now().as_secs() - 2.0).abs() < 1e-9);
+        // The survivor speeds up to 100 and finishes immediately after.
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::FlowCompleted { id, .. } if id == b));
+        assert!((sim.now().as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_flows_do_not_contend_with_network() {
+        let mut sim = two_node_sim();
+        let n = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let d = sim.start_flow(FlowSpec::disk_read(0, 50, Traffic::Repair));
+        assert_eq!(sim.flow_rate(n), Some(100.0));
+        assert_eq!(sim.flow_rate(d), Some(50.0));
+    }
+
+    #[test]
+    fn timers_interleave_with_flows() {
+        let mut sim = two_node_sim();
+        sim.start_flow(FlowSpec::network(0, 1, 300, Traffic::Repair)); // done at t=3
+        let t = sim.schedule_in(1.0, 42);
+        let ev = sim.next_event().unwrap();
+        assert_eq!(ev, Event::Timer { id: t, key: 42 });
+        assert!((sim.now().as_secs() - 1.0).abs() < 1e-9);
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::FlowCompleted { .. }));
+        assert!((sim.now().as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut sim = two_node_sim();
+        let t = sim.schedule_in(1.0, 1);
+        sim.schedule_in(2.0, 2);
+        sim.cancel_timer(t);
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::Timer { key: 2, .. }));
+        assert_eq!(sim.next_event(), None);
+    }
+
+    #[test]
+    fn cancel_flow_returns_remaining() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        sim.schedule_in(0.5, 0);
+        let _ = sim.next_event();
+        let left = sim.cancel_flow(f).unwrap();
+        assert!((left - 50.0).abs() < 1e-9);
+        assert_eq!(sim.cancel_flow(f), None);
+    }
+
+    #[test]
+    fn class_rate_and_residual_capacity() {
+        let mut sim = two_node_sim();
+        sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Foreground));
+        assert_eq!(
+            sim.class_rate(0, ResourceKind::Uplink, Traffic::Foreground),
+            100.0
+        );
+        assert_eq!(
+            sim.class_rate(0, ResourceKind::Uplink, Traffic::Repair),
+            0.0
+        );
+        assert_eq!(
+            sim.residual_capacity(0, ResourceKind::Uplink, &[Traffic::Foreground]),
+            0.0
+        );
+        assert_eq!(
+            sim.residual_capacity(1, ResourceKind::Uplink, &[Traffic::Foreground]),
+            100.0
+        );
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 0, Traffic::Repair));
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::FlowCompleted { id, .. } if id == f));
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn monitor_accounts_transferred_bytes() {
+        let mut sim = two_node_sim();
+        sim.start_flow(FlowSpec::network(0, 1, 200, Traffic::Repair));
+        while sim.next_event().is_some() {}
+        let m = sim.monitor();
+        assert!((m.total_bytes(0, ResourceKind::Uplink, Traffic::Repair) - 200.0).abs() < 1e-6);
+        assert!((m.total_bytes(1, ResourceKind::Downlink, Traffic::Repair) - 200.0).abs() < 1e-6);
+        assert_eq!(m.total_bytes(1, ResourceKind::Uplink, Traffic::Repair), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flow_to_unknown_node_rejected() {
+        let mut sim = two_node_sim();
+        let _ = sim.start_flow(FlowSpec::network(0, 9, 1, Traffic::Repair));
+    }
+
+    #[test]
+    fn deterministic_event_order_across_runs() {
+        let run = || {
+            let mut sim = Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0)));
+            let mut log = Vec::new();
+            for i in 0..3u64 {
+                sim.start_flow(FlowSpec::network(
+                    i as usize,
+                    3,
+                    50 + i * 10,
+                    Traffic::Repair,
+                ));
+            }
+            sim.schedule_in(2.0, 7);
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs().to_bits()));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,169 @@
+//! Flows and timers.
+
+use crate::node::{NodeId, ResourceKind, Traffic};
+
+/// Unique identifier of a flow within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub(crate) u64);
+
+impl core::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// Unique identifier of a timer within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+impl core::fmt::Display for TimerId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// Maximum number of resources a single flow can traverse.
+pub(crate) const MAX_CONSTRAINTS: usize = 4;
+
+/// Specification of a byte transfer through one or more node resources.
+///
+/// Use the constructors for the common shapes:
+/// [`FlowSpec::network`] (src uplink → dst downlink),
+/// [`FlowSpec::disk_read`], [`FlowSpec::disk_write`], or
+/// [`FlowSpec::custom`] for anything else (e.g. a read-and-send stage that
+/// holds disk-read and uplink simultaneously).
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_simnet::{FlowSpec, Traffic};
+/// let f = FlowSpec::network(0, 3, 64 << 20, Traffic::Repair);
+/// assert_eq!(f.bytes(), (64u64 << 20) as f64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    pub(crate) bytes: f64,
+    pub(crate) constraints: Vec<(NodeId, ResourceKind)>,
+    pub(crate) tag: Traffic,
+}
+
+impl FlowSpec {
+    /// A network transfer from `src` to `dst`, constrained by the source
+    /// uplink and destination downlink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (local copies don't consume the network) or
+    /// if `bytes` is negative.
+    pub fn network(src: NodeId, dst: NodeId, bytes: u64, tag: Traffic) -> Self {
+        assert_ne!(src, dst, "network flow needs distinct endpoints");
+        FlowSpec {
+            bytes: bytes as f64,
+            constraints: vec![(src, ResourceKind::Uplink), (dst, ResourceKind::Downlink)],
+            tag,
+        }
+    }
+
+    /// A disk read of `bytes` on `node`.
+    pub fn disk_read(node: NodeId, bytes: u64, tag: Traffic) -> Self {
+        FlowSpec {
+            bytes: bytes as f64,
+            constraints: vec![(node, ResourceKind::DiskRead)],
+            tag,
+        }
+    }
+
+    /// A disk write of `bytes` on `node`.
+    pub fn disk_write(node: NodeId, bytes: u64, tag: Traffic) -> Self {
+        FlowSpec {
+            bytes: bytes as f64,
+            constraints: vec![(node, ResourceKind::DiskWrite)],
+            tag,
+        }
+    }
+
+    /// A flow constrained by an arbitrary set of resources (at most
+    /// [`MAX_CONSTRAINTS`](crate::FlowSpec::custom) = 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraints` is empty, longer than 4, or contains
+    /// duplicates.
+    pub fn custom(bytes: u64, constraints: Vec<(NodeId, ResourceKind)>, tag: Traffic) -> Self {
+        assert!(
+            !constraints.is_empty() && constraints.len() <= MAX_CONSTRAINTS,
+            "1..=4 constraints required"
+        );
+        for (i, a) in constraints.iter().enumerate() {
+            assert!(
+                constraints[i + 1..].iter().all(|b| b != a),
+                "duplicate constraint {a:?}"
+            );
+        }
+        FlowSpec {
+            bytes: bytes as f64,
+            constraints,
+            tag,
+        }
+    }
+
+    /// Total size of the transfer in bytes.
+    pub fn bytes(&self) -> f64 {
+        self.bytes
+    }
+
+    /// The traffic class of the flow.
+    pub fn tag(&self) -> Traffic {
+        self.tag
+    }
+
+    /// The resources this flow traverses.
+    pub fn constraints(&self) -> &[(NodeId, ResourceKind)] {
+        &self.constraints
+    }
+}
+
+/// A live flow inside the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct Flow {
+    pub(crate) spec: FlowSpec,
+    pub(crate) remaining: f64,
+    pub(crate) rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_flow_has_two_constraints() {
+        let f = FlowSpec::network(1, 2, 100, Traffic::Foreground);
+        assert_eq!(f.constraints().len(), 2);
+        assert_eq!(f.constraints()[0], (1, ResourceKind::Uplink));
+        assert_eq!(f.constraints()[1], (2, ResourceKind::Downlink));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn self_loop_rejected() {
+        let _ = FlowSpec::network(3, 3, 1, Traffic::Repair);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate constraint")]
+    fn duplicate_constraints_rejected() {
+        let _ = FlowSpec::custom(
+            1,
+            vec![(0, ResourceKind::Uplink), (0, ResourceKind::Uplink)],
+            Traffic::Repair,
+        );
+    }
+
+    #[test]
+    fn disk_flows() {
+        let r = FlowSpec::disk_read(5, 10, Traffic::Repair);
+        assert_eq!(r.constraints(), &[(5, ResourceKind::DiskRead)]);
+        let w = FlowSpec::disk_write(5, 10, Traffic::Repair);
+        assert_eq!(w.constraints(), &[(5, ResourceKind::DiskWrite)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Max–min fair rate allocation by progressive filling.
+
+/// Computes the max–min fair allocation for a set of flows over shared
+/// capacity-limited resources.
+///
+/// `capacities[r]` is the capacity of resource `r`; `flows[f]` lists the
+/// resources flow `f` traverses (each flow is limited by its tightest
+/// resource share). Returns the rate of each flow.
+///
+/// This is the classic *progressive filling* algorithm: repeatedly find the
+/// bottleneck resource (smallest equal-share), freeze the flows crossing it
+/// at that share, remove their consumption, and continue. The result is the
+/// unique max–min fair allocation, which models how TCP-like congestion
+/// control divides link bandwidth among competing transfers.
+///
+/// # Panics
+///
+/// Panics if a flow references a resource index out of range (debug
+/// assertions) or lists no resources.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_simnet::allocate_rates;
+/// // One 10-unit link shared by two flows, one of which also crosses a
+/// // 2-unit link: the constrained flow gets 2, the other picks up 8.
+/// let rates = allocate_rates(&[10.0, 2.0], &[vec![0], vec![0, 1]]);
+/// assert_eq!(rates, vec![8.0, 2.0]);
+/// ```
+pub fn allocate_rates(capacities: &[f64], flows: &[Vec<usize>]) -> Vec<f64> {
+    let mut rates = vec![0.0f64; flows.len()];
+    if flows.is_empty() {
+        return rates;
+    }
+    let mut rem_cap = capacities.to_vec();
+    // Number of unfrozen flows crossing each resource.
+    let mut load = vec![0usize; capacities.len()];
+    for f in flows {
+        assert!(!f.is_empty(), "flow must traverse at least one resource");
+        for &r in f {
+            debug_assert!(r < capacities.len(), "resource index out of range");
+            load[r] += 1;
+        }
+    }
+    let mut frozen = vec![false; flows.len()];
+    let mut unfrozen = flows.len();
+
+    while unfrozen > 0 {
+        // Find the bottleneck: the resource with the smallest equal share.
+        let mut best_share = f64::INFINITY;
+        let mut best_res = usize::MAX;
+        for (r, &l) in load.iter().enumerate() {
+            if l > 0 {
+                let share = (rem_cap[r] / l as f64).max(0.0);
+                if share < best_share {
+                    best_share = share;
+                    best_res = r;
+                }
+            }
+        }
+        debug_assert_ne!(
+            best_res,
+            usize::MAX,
+            "unfrozen flows but no loaded resource"
+        );
+
+        // Freeze every unfrozen flow crossing the bottleneck.
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] || !flow.contains(&best_res) {
+                continue;
+            }
+            frozen[f] = true;
+            unfrozen -= 1;
+            rates[f] = best_share;
+            for &r in flow {
+                rem_cap[r] = (rem_cap[r] - best_share).max(0.0);
+                load[r] -= 1;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = allocate_rates(&[5.0], &[vec![0]]);
+        assert_close(rates[0], 5.0);
+    }
+
+    #[test]
+    fn equal_split_on_one_resource() {
+        let rates = allocate_rates(&[9.0], &[vec![0], vec![0], vec![0]]);
+        for r in rates {
+            assert_close(r, 3.0);
+        }
+    }
+
+    #[test]
+    fn bottleneck_releases_capacity_to_others() {
+        // Flow 0 crosses only the big link; flow 1 crosses both.
+        let rates = allocate_rates(&[10.0, 2.0], &[vec![0], vec![0, 1]]);
+        assert_close(rates[1], 2.0);
+        assert_close(rates[0], 8.0);
+    }
+
+    #[test]
+    fn parking_lot_topology() {
+        // Classic max-min example: three links of capacity 1; flow A crosses
+        // all three, flows B, C, D each cross one. Fair share: A = 1/2 on its
+        // tightest link; B, C, D = 1/2 each on their links.
+        let flows = vec![vec![0, 1, 2], vec![0], vec![1], vec![2]];
+        let rates = allocate_rates(&[1.0, 1.0, 1.0], &flows);
+        for r in &rates {
+            assert_close(*r, 0.5);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_flows() {
+        let rates = allocate_rates(&[0.0, 10.0], &[vec![0], vec![1]]);
+        assert_close(rates[0], 0.0);
+        assert_close(rates[1], 10.0);
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_pareto_efficient() {
+        // Random-ish configuration: verify (1) no resource over capacity,
+        // (2) every flow is bottlenecked somewhere (can't be raised alone).
+        let caps = [4.0, 7.0, 3.0, 5.0];
+        let flows = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![1],
+            vec![3],
+        ];
+        let rates = allocate_rates(&caps, &flows);
+        let mut used = [0.0f64; 4];
+        for (f, flow) in flows.iter().enumerate() {
+            for &r in flow {
+                used[r] += rates[f];
+            }
+        }
+        for (u, c) in used.iter().zip(&caps) {
+            assert!(*u <= c + 1e-9, "over capacity: {u} > {c}");
+        }
+        // Pareto: each flow crosses at least one saturated resource.
+        for flow in &flows {
+            assert!(
+                flow.iter().any(|&r| used[r] >= caps[r] - 1e-9),
+                "flow {flow:?} not bottlenecked"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(allocate_rates(&[1.0], &[]).is_empty());
+    }
+}

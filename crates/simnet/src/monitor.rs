@@ -1,0 +1,249 @@
+//! Windowed bandwidth accounting per node, resource, and traffic class.
+
+use crate::node::{NodeCaps, ResourceKind, Traffic};
+
+/// Bytes observed for one (window, node, resource, class) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UsageSample {
+    /// Bytes transferred in the window.
+    pub bytes: f64,
+    /// Window length in seconds (the final window may be partial).
+    pub seconds: f64,
+}
+
+impl UsageSample {
+    /// Average rate over the window, in bytes/s (0 for an empty window).
+    pub fn rate(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+const KINDS: usize = 4;
+const TAGS: usize = 3;
+
+/// Records how many bytes each traffic class moved through each node
+/// resource, in consecutive fixed-length time windows (15 s in the paper's
+/// §II-D analysis).
+///
+/// The monitor is filled by the [`Simulator`](crate::Simulator) as flows
+/// progress; experiments read it to compute fluctuation (Fig. 5) and
+/// most/least-loaded link statistics (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    window_secs: f64,
+    nodes: usize,
+    /// `windows[w][idx(node, kind, tag)]` = bytes.
+    windows: Vec<Vec<f64>>,
+    /// Total simulated time covered so far.
+    horizon: f64,
+}
+
+impl Monitor {
+    /// Creates a monitor for `nodes` nodes with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not positive.
+    pub(crate) fn new(nodes: usize, window_secs: f64) -> Self {
+        assert!(window_secs > 0.0, "window length must be positive");
+        Monitor {
+            window_secs,
+            nodes,
+            windows: Vec::new(),
+            horizon: 0.0,
+        }
+    }
+
+    fn idx(&self, node: usize, kind: ResourceKind, tag: Traffic) -> usize {
+        debug_assert!(node < self.nodes);
+        (node * KINDS + kind.index()) * TAGS + tag.index()
+    }
+
+    /// Accounts a constant-rate transfer segment `[start, end)`.
+    pub(crate) fn record(
+        &mut self,
+        start: f64,
+        end: f64,
+        rate: f64,
+        node: usize,
+        kind: ResourceKind,
+        tag: Traffic,
+    ) {
+        debug_assert!(end >= start);
+        self.horizon = self.horizon.max(end);
+        if rate <= 0.0 || end <= start {
+            return;
+        }
+        let idx = self.idx(node, kind, tag);
+        let mut t = start;
+        while t < end {
+            let w = (t / self.window_secs) as usize;
+            while self.windows.len() <= w {
+                self.windows.push(vec![0.0; self.nodes * KINDS * TAGS]);
+            }
+            let w_end = ((w + 1) as f64) * self.window_secs;
+            let seg_end = end.min(w_end);
+            self.windows[w][idx] += rate * (seg_end - t);
+            t = seg_end;
+        }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    /// Number of windows with any recorded time so far.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Usage of one (window, node, resource, class) cell.
+    ///
+    /// Returns an empty sample for windows beyond the recorded horizon.
+    pub fn usage(
+        &self,
+        window: usize,
+        node: usize,
+        kind: ResourceKind,
+        tag: Traffic,
+    ) -> UsageSample {
+        let Some(w) = self.windows.get(window) else {
+            return UsageSample::default();
+        };
+        let start = window as f64 * self.window_secs;
+        let seconds = (self.horizon - start).clamp(0.0, self.window_secs);
+        UsageSample {
+            bytes: w[self.idx(node, kind, tag)],
+            seconds,
+        }
+    }
+
+    /// Per-window average rates for one (node, resource, class), in bytes/s.
+    pub fn rate_series(&self, node: usize, kind: ResourceKind, tag: Traffic) -> Vec<f64> {
+        (0..self.window_count())
+            .map(|w| self.usage(w, node, kind, tag).rate())
+            .collect()
+    }
+
+    /// Total bytes a traffic class moved through a node resource.
+    pub fn total_bytes(&self, node: usize, kind: ResourceKind, tag: Traffic) -> f64 {
+        let idx = self.idx(node, kind, tag);
+        self.windows.iter().map(|w| w[idx]).sum()
+    }
+
+    /// The fluctuation (max rate − min rate across windows) of a class on a
+    /// node resource — the paper's Fig. 5 metric.
+    pub fn fluctuation(&self, node: usize, kind: ResourceKind, tag: Traffic) -> f64 {
+        let series = self.rate_series(node, kind, tag);
+        if series.is_empty() {
+            return 0.0;
+        }
+        let max = series.iter().cloned().fold(f64::MIN, f64::max);
+        let min = series.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+
+    /// Average rate over the whole recorded horizon for a class on a node
+    /// resource.
+    pub fn mean_rate(&self, node: usize, kind: ResourceKind, tag: Traffic) -> f64 {
+        if self.horizon > 0.0 {
+            self.total_bytes(node, kind, tag) / self.horizon
+        } else {
+            0.0
+        }
+    }
+
+    /// Convenience: verifies no cell ever exceeded its capacity (sanity
+    /// check used by tests; returns the worst relative overshoot).
+    pub fn worst_overshoot(&self, caps: &[NodeCaps]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (w, win) in self.windows.iter().enumerate() {
+            let start = w as f64 * self.window_secs;
+            let seconds = (self.horizon - start).clamp(0.0, self.window_secs);
+            if seconds <= 0.0 {
+                continue;
+            }
+            for node in 0..self.nodes {
+                for kind in ResourceKind::ALL {
+                    let total: f64 = Traffic::ALL
+                        .iter()
+                        .map(|&t| win[self.idx(node, kind, t)])
+                        .sum();
+                    let cap = caps[node].capacity(kind) * seconds;
+                    if cap > 0.0 {
+                        worst = worst.max(total / cap - 1.0);
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_across_windows() {
+        let mut m = Monitor::new(1, 10.0);
+        // 4 bytes/s from t=5 to t=15: 20 bytes in window 0, 20 in window 1.
+        m.record(5.0, 15.0, 4.0, 0, ResourceKind::Uplink, Traffic::Repair);
+        assert_eq!(m.window_count(), 2);
+        let w0 = m.usage(0, 0, ResourceKind::Uplink, Traffic::Repair);
+        let w1 = m.usage(1, 0, ResourceKind::Uplink, Traffic::Repair);
+        assert!((w0.bytes - 20.0).abs() < 1e-9);
+        assert!((w1.bytes - 20.0).abs() < 1e-9);
+        // Window 1 only covers 5 seconds of horizon so far.
+        assert!((w1.seconds - 5.0).abs() < 1e-9);
+        assert!((w1.rate() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classes_are_separate() {
+        let mut m = Monitor::new(2, 10.0);
+        m.record(
+            0.0,
+            1.0,
+            8.0,
+            1,
+            ResourceKind::Downlink,
+            Traffic::Foreground,
+        );
+        m.record(0.0, 1.0, 2.0, 1, ResourceKind::Downlink, Traffic::Repair);
+        assert_eq!(
+            m.total_bytes(1, ResourceKind::Downlink, Traffic::Foreground),
+            8.0
+        );
+        assert_eq!(
+            m.total_bytes(1, ResourceKind::Downlink, Traffic::Repair),
+            2.0
+        );
+        assert_eq!(
+            m.total_bytes(0, ResourceKind::Downlink, Traffic::Repair),
+            0.0
+        );
+    }
+
+    #[test]
+    fn fluctuation_is_max_minus_min() {
+        let mut m = Monitor::new(1, 1.0);
+        m.record(0.0, 1.0, 10.0, 0, ResourceKind::Uplink, Traffic::Foreground);
+        m.record(1.0, 2.0, 4.0, 0, ResourceKind::Uplink, Traffic::Foreground);
+        m.record(2.0, 3.0, 7.0, 0, ResourceKind::Uplink, Traffic::Foreground);
+        assert!((m.fluctuation(0, ResourceKind::Uplink, Traffic::Foreground) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_window_is_empty() {
+        let m = Monitor::new(1, 1.0);
+        let s = m.usage(7, 0, ResourceKind::Uplink, Traffic::Repair);
+        assert_eq!(s.bytes, 0.0);
+        assert_eq!(s.rate(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the simulator: fairness invariants, byte
+//! conservation, and determinism under random flow workloads.
+
+use chameleon_simnet::{
+    allocate_rates, Event, FlowSpec, NodeCaps, ResourceKind, SimConfig, Simulator, Traffic,
+};
+use proptest::prelude::*;
+
+/// Random flow sets over a small resource graph.
+fn flows_strategy(resources: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..resources, 1..=3)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        1..20,
+    )
+}
+
+proptest! {
+    #[test]
+    fn maxmin_never_exceeds_capacity_and_is_pareto(
+        caps in proptest::collection::vec(0.5f64..100.0, 4..8),
+        flows in flows_strategy(4),
+    ) {
+        let flows: Vec<Vec<usize>> = flows
+            .into_iter()
+            .map(|f| f.into_iter().filter(|&r| r < caps.len()).collect::<Vec<_>>())
+            .filter(|f: &Vec<usize>| !f.is_empty())
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let rates = allocate_rates(&caps, &flows);
+        // Feasibility.
+        let mut used = vec![0.0; caps.len()];
+        for (f, flow) in flows.iter().enumerate() {
+            prop_assert!(rates[f] >= 0.0);
+            for &r in flow {
+                used[r] += rates[f];
+            }
+        }
+        for (u, c) in used.iter().zip(&caps) {
+            prop_assert!(*u <= c + 1e-6, "{u} > {c}");
+        }
+        // Pareto efficiency: every flow crosses a saturated resource.
+        for flow in &flows {
+            prop_assert!(
+                flow.iter().any(|&r| used[r] >= caps[r] - 1e-6),
+                "flow {flow:?} could be raised"
+            );
+        }
+    }
+
+    #[test]
+    fn maxmin_is_fair_on_shared_bottleneck(
+        n in 2usize..10,
+        cap in 1.0f64..100.0,
+    ) {
+        // n identical flows over one resource: all get cap / n.
+        let flows = vec![vec![0usize]; n];
+        let rates = allocate_rates(&[cap], &flows);
+        for r in rates {
+            prop_assert!((r - cap / n as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn simulation_conserves_bytes(
+        seed in any::<u64>(),
+        flow_count in 1usize..12,
+    ) {
+        let caps = NodeCaps::symmetric(100.0, 50.0);
+        let mut sim = Simulator::new(SimConfig::uniform(4, caps));
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut expected = [0.0f64; 4];
+        for _ in 0..flow_count {
+            let src = (next() % 4) as usize;
+            let mut dst = (next() % 4) as usize;
+            if dst == src {
+                dst = (dst + 1) % 4;
+            }
+            let bytes = 1 + next() % 500;
+            expected[src] += bytes as f64;
+            sim.start_flow(FlowSpec::network(src, dst, bytes, Traffic::Repair));
+        }
+        let mut completions = 0;
+        while let Some(ev) = sim.next_event() {
+            if matches!(ev, Event::FlowCompleted { .. }) {
+                completions += 1;
+            }
+        }
+        prop_assert_eq!(completions, flow_count);
+        for node in 0..4 {
+            let moved = sim
+                .monitor()
+                .total_bytes(node, ResourceKind::Uplink, Traffic::Repair);
+            prop_assert!(
+                (moved - expected[node]).abs() < 1e-3,
+                "node {node}: {moved} vs {}",
+                expected[node]
+            );
+        }
+        // Monitor never over-reports capacity.
+        let caps_vec = vec![caps; 4];
+        prop_assert!(sim.monitor().worst_overshoot(&caps_vec) < 1e-6);
+    }
+
+    #[test]
+    fn simulation_time_is_monotone_and_deterministic(
+        seed in any::<u64>(),
+    ) {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(SimConfig::uniform(3, NodeCaps::symmetric(10.0, 10.0)));
+            let mut state = seed | 1;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for _ in 0..6 {
+                let src = (next() % 3) as usize;
+                let dst = (src + 1 + (next() % 2) as usize) % 3;
+                sim.start_flow(FlowSpec::network(src, dst, 1 + next() % 100, Traffic::Repair));
+                sim.schedule_in((next() % 10) as f64 * 0.1, next());
+            }
+            let mut trace = Vec::new();
+            let mut last = 0.0;
+            while let Some(ev) = sim.next_event() {
+                let now = sim.now().as_secs();
+                assert!(now >= last, "time went backwards");
+                last = now;
+                trace.push((format!("{ev:?}"), now.to_bits()));
+            }
+            trace
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,197 @@
+//! The remaining YCSB core workloads (B, C, D), complementing
+//! [`YcsbA`](crate::YcsbA).
+//!
+//! The paper's interference study uses workload A (update-heavy); these
+//! variants let experiments sweep the read/write mix the way YCSB users
+//! do: B = 95/5 read/update, C = read-only, D = read-latest (95/5 with
+//! fresh-key skew).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::Zipfian;
+use crate::workloads::{Op, Request, Workload};
+
+const KEY_SPACE: u64 = 10_000;
+const VALUE_SIZE: u64 = 512 * 1024;
+
+/// YCSB-B: 95% reads / 5% updates, Zipfian keys, 512 KB values.
+#[derive(Debug)]
+pub struct YcsbB {
+    rng: StdRng,
+    keys: Zipfian,
+}
+
+impl YcsbB {
+    /// Creates the workload with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        YcsbB {
+            rng: StdRng::seed_from_u64(seed),
+            keys: Zipfian::new(KEY_SPACE, 0.99),
+        }
+    }
+}
+
+impl Workload for YcsbB {
+    fn name(&self) -> &'static str {
+        "YCSB-B"
+    }
+
+    fn next_request(&mut self) -> Request {
+        let op = if self.rng.gen_bool(0.95) {
+            Op::Get
+        } else {
+            Op::Put
+        };
+        Request {
+            op,
+            key: self.keys.sample(&mut self.rng),
+            value_size: VALUE_SIZE,
+        }
+    }
+
+    fn default_request_count(&self) -> usize {
+        100_000
+    }
+}
+
+/// YCSB-C: 100% reads, Zipfian keys, 512 KB values.
+#[derive(Debug)]
+pub struct YcsbC {
+    rng: StdRng,
+    keys: Zipfian,
+}
+
+impl YcsbC {
+    /// Creates the workload with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        YcsbC {
+            rng: StdRng::seed_from_u64(seed),
+            keys: Zipfian::new(KEY_SPACE, 0.99),
+        }
+    }
+}
+
+impl Workload for YcsbC {
+    fn name(&self) -> &'static str {
+        "YCSB-C"
+    }
+
+    fn next_request(&mut self) -> Request {
+        Request {
+            op: Op::Get,
+            key: self.keys.sample(&mut self.rng),
+            value_size: VALUE_SIZE,
+        }
+    }
+
+    fn default_request_count(&self) -> usize {
+        100_000
+    }
+}
+
+/// YCSB-D: 95% reads of *recently inserted* keys / 5% inserts — the
+/// "read latest" workload. Reads are skewed toward the most recent
+/// insert by a Zipfian over recency rank.
+#[derive(Debug)]
+pub struct YcsbD {
+    rng: StdRng,
+    recency: Zipfian,
+    next_key: u64,
+}
+
+impl YcsbD {
+    /// Creates the workload with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        YcsbD {
+            rng: StdRng::seed_from_u64(seed),
+            recency: Zipfian::new(KEY_SPACE, 0.99),
+            next_key: KEY_SPACE,
+        }
+    }
+}
+
+impl Workload for YcsbD {
+    fn name(&self) -> &'static str {
+        "YCSB-D"
+    }
+
+    fn next_request(&mut self) -> Request {
+        if self.rng.gen_bool(0.05) {
+            self.next_key += 1;
+            Request {
+                op: Op::Put,
+                key: self.next_key,
+                value_size: VALUE_SIZE,
+            }
+        } else {
+            // Read a key `rank` positions behind the newest insert.
+            let rank = self.recency.sample(&mut self.rng);
+            Request {
+                op: Op::Get,
+                key: self.next_key.saturating_sub(rank),
+                value_size: VALUE_SIZE,
+            }
+        }
+    }
+
+    fn default_request_count(&self) -> usize {
+        100_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(w: &mut dyn Workload, n: usize) -> f64 {
+        let gets = (0..n).filter(|_| w.next_request().op == Op::Get).count();
+        gets as f64 / n as f64
+    }
+
+    #[test]
+    fn ycsb_b_is_95_percent_reads() {
+        let mut w = YcsbB::new(1);
+        let f = mix(&mut w, 20_000);
+        assert!((f - 0.95).abs() < 0.01, "{f}");
+        assert_eq!(w.name(), "YCSB-B");
+    }
+
+    #[test]
+    fn ycsb_c_is_read_only() {
+        let mut w = YcsbC::new(2);
+        assert_eq!(mix(&mut w, 5_000), 1.0);
+    }
+
+    #[test]
+    fn ycsb_d_reads_concentrate_on_recent_keys() {
+        let mut w = YcsbD::new(3);
+        let mut newest_hits = 0usize;
+        let mut total_reads = 0usize;
+        let mut max_key_seen = 0u64;
+        for _ in 0..50_000 {
+            let r = w.next_request();
+            max_key_seen = max_key_seen.max(r.key);
+            if r.op == Op::Get {
+                total_reads += 1;
+                if max_key_seen - r.key < 10 {
+                    newest_hits += 1;
+                }
+            }
+        }
+        // A large fraction of reads land within the 10 most recent keys.
+        assert!(
+            newest_hits as f64 / total_reads as f64 > 0.3,
+            "{newest_hits}/{total_reads}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = YcsbD::new(7);
+        let mut b = YcsbD::new(7);
+        for _ in 0..200 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+}
