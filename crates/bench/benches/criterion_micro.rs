@@ -10,7 +10,10 @@ use chameleon_cluster::{ChunkId, Cluster, ClusterConfig, PlacementStrategy};
 use chameleon_codes::{ErasureCode, ReedSolomon};
 use chameleon_core::chameleon::{dispatch_chunk, establish_plan, PhaseState};
 use chameleon_core::RepairContext;
-use chameleon_gf::{mul_add_slice, Gf256, Matrix};
+use chameleon_gf::{
+    mul_add_slice, mul_slice_split, mul_slice_with, mul_slice_xor_with, scalar, xor_slice, Gf256,
+    Matrix, MulTable,
+};
 use chameleon_simnet::allocate_rates;
 
 fn bench_gf(c: &mut Criterion) {
@@ -24,6 +27,72 @@ fn bench_gf(c: &mut Criterion) {
     group.bench_function("matrix_invert_10x10", |b| {
         let m = Matrix::cauchy(10, 10);
         b.iter(|| black_box(&m).invert().unwrap())
+    });
+    group.finish();
+}
+
+/// Scalar log/exp loop vs. the split-table kernels, at the ≥64 KiB sizes
+/// where the repair hot path lives. The split-table variant is the
+/// acceptance target: ≥2× over scalar for `mul_slice`.
+fn bench_gf_kernels(c: &mut Criterion) {
+    let coeff = Gf256::new(0x1D);
+    for size in [64 * 1024usize, 1 << 20] {
+        let label = if size == 1 << 20 {
+            "1MiB".to_string()
+        } else {
+            format!("{}KiB", size / 1024)
+        };
+        let mut group = c.benchmark_group(format!("gf_kernels_{label}"));
+        group.throughput(Throughput::Bytes(size as u64));
+        let src = vec![0x5Au8; size];
+        let mut dst = vec![0u8; size];
+        // The decode hot path reuses tables through a MulTableCache, so
+        // the headline split-table entries measure a prebuilt table (wide
+        // double table included); the `_cold` entry pays the build per
+        // call.
+        let table = MulTable::new(coeff);
+        table.ensure_wide();
+        group.bench_function("mul_slice_scalar", |b| {
+            b.iter(|| scalar::mul_slice(coeff, black_box(&src), black_box(&mut dst)))
+        });
+        group.bench_function("mul_slice_split", |b| {
+            b.iter(|| mul_slice_with(black_box(&table), black_box(&src), black_box(&mut dst)))
+        });
+        group.bench_function("mul_slice_split_cold", |b| {
+            b.iter(|| mul_slice_split(coeff, black_box(&src), black_box(&mut dst)))
+        });
+        group.bench_function("mul_slice_xor_scalar", |b| {
+            b.iter(|| scalar::mul_slice_xor(coeff, black_box(&src), black_box(&mut dst)))
+        });
+        group.bench_function("mul_slice_xor_split", |b| {
+            b.iter(|| mul_slice_xor_with(black_box(&table), black_box(&src), black_box(&mut dst)))
+        });
+        group.bench_function("xor_slice_scalar", |b| {
+            b.iter(|| scalar::xor_slice(black_box(&src), black_box(&mut dst)))
+        });
+        group.bench_function("xor_slice_word", |b| {
+            b.iter(|| xor_slice(black_box(&src), black_box(&mut dst)))
+        });
+        group.finish();
+    }
+}
+
+/// Whole-chunk RS repair decode: the sequential path vs. the striped path
+/// that fans cache-sized stripes across scoped worker threads.
+fn bench_striped_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_10_4_striped");
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let size = 1 << 20;
+    let data: Vec<Vec<u8>> = (0..10).map(|i| vec![(i * 37 + 1) as u8; size]).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let stripe = rs.encode(&refs).unwrap();
+    let avail: Vec<(usize, &[u8])> = (1..11).map(|i| (i, stripe[i].as_slice())).collect();
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function("decode_1MiB_sequential", |b| {
+        b.iter(|| rs.decode(black_box(&avail), 0).unwrap())
+    });
+    group.bench_function("decode_1MiB_striped_64KiB", |b| {
+        b.iter(|| rs.decode_striped(black_box(&avail), 0, 64 * 1024).unwrap())
     });
     group.finish();
 }
@@ -98,6 +167,8 @@ fn bench_plan_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gf,
+    bench_gf_kernels,
+    bench_striped_decode,
     bench_rs,
     bench_maxmin,
     bench_plan_generation

@@ -104,6 +104,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
     println!("  throughput      : {:.1} MB/s", outcome.throughput() / 1e6);
     println!("  mean chunk time : {:.3} s", outcome.mean_chunk_secs());
+    if outcome.coding.chunks_coded > 0 {
+        let c = &outcome.coding;
+        println!(
+            "  coding          : {} chunks, {:.1} MiB in {:.2} ms \
+             (scale {:.2} / merge {:.2} / reassemble {:.2})",
+            c.chunks_coded,
+            c.bytes_coded as f64 / (1 << 20) as f64,
+            c.total_nanos() as f64 / 1e6,
+            c.source_scale_nanos as f64 / 1e6,
+            c.relay_merge_nanos as f64 / 1e6,
+            c.reassemble_nanos as f64 / 1e6,
+        );
+    }
     if let Some(fgd) = fg {
         let report = fgd.report(&sim);
         println!("\nforeground ({clients} YCSB-A clients):");

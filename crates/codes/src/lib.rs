@@ -98,6 +98,29 @@ pub trait ErasureCode: Send + Sync {
     /// determine the wanted chunk.
     fn decode(&self, available: &[(usize, &[u8])], wanted: usize) -> Result<Vec<u8>, CodeError>;
 
+    /// Like [`Self::decode`], but implementations may split the chunk into
+    /// cache-sized stripes and decode them on parallel worker threads.
+    ///
+    /// `stripe_bytes` is the stripe granularity (`0` picks the
+    /// implementation default). The output is byte-identical to
+    /// [`Self::decode`]; the default implementation simply delegates to it,
+    /// which is also the correct fallback for codes whose repair mixes
+    /// sub-chunk positions (Butterfly) and therefore cannot be split
+    /// positionally.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decode`].
+    fn decode_striped(
+        &self,
+        available: &[(usize, &[u8])],
+        wanted: usize,
+        stripe_bytes: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        let _ = stripe_bytes;
+        self.decode(available, wanted)
+    }
+
     /// Describes what a *single-chunk* repair of `failed` needs, given the
     /// currently alive chunk indices. Schedulers use this to pick sources.
     ///

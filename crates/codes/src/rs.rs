@@ -89,6 +89,15 @@ impl ErasureCode for ReedSolomon {
         self.inner.decode(available, wanted)
     }
 
+    fn decode_striped(
+        &self,
+        available: &[(usize, &[u8])],
+        wanted: usize,
+        stripe_bytes: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        self.inner.decode_striped(available, wanted, stripe_bytes)
+    }
+
     fn repair_requirement(
         &self,
         failed: usize,

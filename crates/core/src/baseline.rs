@@ -6,6 +6,7 @@ use std::collections::{HashMap, VecDeque};
 use chameleon_cluster::ChunkId;
 use chameleon_simnet::{Event, NodeId, Simulator};
 
+use crate::coding::{CodingStats, PlanCoder};
 use crate::context::RepairContext;
 use crate::exec::{ExecStatus, PlanExecutor};
 use crate::metrics::RepairOutcome;
@@ -52,6 +53,8 @@ pub struct StaticRepairDriver {
     stripe_destinations: HashMap<usize, Vec<NodeId>>,
     per_chunk_secs: Vec<f64>,
     completed_plans: Vec<crate::plan::RepairPlan>,
+    coder: PlanCoder,
+    coding: CodingStats,
     chunks_total: usize,
     skipped: usize,
     started_at: Option<f64>,
@@ -90,6 +93,7 @@ impl StaticRepairDriver {
         selector: SourceSelector,
         boosted: bool,
     ) -> Self {
+        let coder = PlanCoder::new(ctx.chunk_size());
         StaticRepairDriver {
             ctx,
             shape,
@@ -101,6 +105,8 @@ impl StaticRepairDriver {
             stripe_destinations: HashMap::new(),
             per_chunk_secs: Vec::new(),
             completed_plans: Vec::new(),
+            coder,
+            coding: CodingStats::default(),
             chunks_total: 0,
             skipped: 0,
             started_at: None,
@@ -194,10 +200,11 @@ impl RepairDriver for StaticRepairDriver {
                 ExecStatus::NotMine => continue,
                 ExecStatus::InProgress => return true,
                 ExecStatus::Done => {
-                    let exec = self.running.swap_remove(i);
+                    let mut exec = self.running.swap_remove(i);
                     let secs =
                         exec.finished_at().expect("done") - exec.started_at().expect("started");
                     self.per_chunk_secs.push(secs);
+                    self.coding.merge(&exec.run_coding(&mut self.coder));
                     self.completed_plans.push(exec.plan().clone());
                     let chunk = exec.plan().chunk();
                     if let Some(dests) = self.stripe_destinations.get_mut(&chunk.stripe) {
@@ -231,6 +238,7 @@ impl RepairDriver for StaticRepairDriver {
                 _ => None,
             },
             per_chunk_secs: self.per_chunk_secs.clone(),
+            coding: self.coding,
         }
     }
 }
@@ -266,6 +274,10 @@ mod tests {
         let outcome = run_full_repair(PlanShape::Star);
         assert!(outcome.throughput() > 0.0);
         assert_eq!(outcome.algorithm, "CR");
+        // Every repaired chunk went through the real coding stages.
+        assert_eq!(outcome.coding.chunks_coded, outcome.chunks_repaired);
+        assert!(outcome.coding.total_nanos() > 0);
+        assert!(outcome.coding.bytes_coded > 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use chameleon_simnet::{Event, NodeId, Simulator, TimerId};
 
 use crate::chameleon::dispatch::{dispatch_chunk_for, PhaseState, TaskAssignment};
 use crate::chameleon::tunable::establish_plan;
+use crate::coding::{CodingStats, PlanCoder};
 use crate::context::{RepairContext, Resources};
 use crate::exec::{ExecStatus, PlanExecutor};
 use crate::metrics::RepairOutcome;
@@ -130,6 +131,8 @@ pub struct ChameleonDriver {
     check_timer: Option<TimerId>,
     per_chunk_secs: Vec<f64>,
     completed_plans: Vec<crate::plan::RepairPlan>,
+    coder: PlanCoder,
+    coding: CodingStats,
     chunks_total: usize,
     skipped: usize,
     started_at: Option<f64>,
@@ -151,6 +154,7 @@ impl std::fmt::Debug for ChameleonDriver {
 impl ChameleonDriver {
     /// Creates a driver.
     pub fn new(ctx: RepairContext, config: ChameleonConfig) -> Self {
+        let coder = PlanCoder::new(ctx.chunk_size());
         ChameleonDriver {
             ctx,
             config,
@@ -163,6 +167,8 @@ impl ChameleonDriver {
             check_timer: None,
             per_chunk_secs: Vec::new(),
             completed_plans: Vec::new(),
+            coder,
+            coding: CodingStats::default(),
             chunks_total: 0,
             skipped: 0,
             started_at: None,
@@ -400,9 +406,10 @@ impl ChameleonDriver {
     }
 
     fn finish_chunk(&mut self, sim: &mut Simulator, idx: usize) {
-        let a = self.active.swap_remove(idx);
+        let mut a = self.active.swap_remove(idx);
         let secs = a.exec.finished_at().expect("done") - a.exec.started_at().expect("started");
         self.per_chunk_secs.push(secs);
+        self.coding.merge(&a.exec.run_coding(&mut self.coder));
         self.completed_plans.push(a.exec.plan().clone());
         // The chunk's tasks are no longer outstanding.
         if let Some(state) = self.phase_state.as_mut() {
@@ -506,6 +513,7 @@ impl RepairDriver for ChameleonDriver {
                 _ => None,
             },
             per_chunk_secs: self.per_chunk_secs.clone(),
+            coding: self.coding,
         }
     }
 }

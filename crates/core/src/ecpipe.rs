@@ -60,6 +60,28 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
+    fn chain_coding_merges_at_every_relay() {
+        use crate::coding::PlanCoder;
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let chunk = ChunkId {
+            stripe: 1,
+            index: 0,
+        };
+        let mut sel = SourceSelector::random(3);
+        let selection = sel.select(&ctx, chunk, &[]).unwrap();
+        let plan = build(&ctx, chunk, &selection).unwrap();
+        let len = 64 * 1024u64;
+        let stats = PlanCoder::with_stripe(len, 16 * 1024).run(&plan);
+        // A k-chain scales k chunks, merges at k-1 relays, and reassembles
+        // one root at the destination: (2k) chunk-sized passes in total.
+        let k = plan.participants().len() as u64;
+        assert_eq!(stats.bytes_coded, 2 * k * len);
+        assert!(stats.relay_merge_nanos > 0);
+        assert!(stats.source_scale_nanos > 0);
+    }
+
+    #[test]
     fn chain_depth_equals_source_count() {
         let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
         let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));

@@ -10,12 +10,16 @@
 //!
 //! The executor simulates *timing only* — byte-level repair correctness is
 //! the `chameleon-codes` crate's job and is verified end-to-end in the
-//! integration tests.
+//! integration tests. The real GF(2^8) arithmetic a finished plan implies
+//! is run separately by [`PlanExecutor::run_coding`] against the plan *as
+//! actually executed* (including any re-tuned edges), so drivers can
+//! report per-stage coding nanoseconds alongside the simulated timings.
 
 use std::collections::HashMap;
 
 use chameleon_simnet::{Event, FlowId, FlowSpec, NodeId, Simulator, Traffic};
 
+use crate::coding::{CodingStats, PlanCoder};
 use crate::plan::RepairPlan;
 
 /// Result of feeding an event to an executor.
@@ -102,6 +106,7 @@ pub struct PlanExecutor {
     paused: bool,
     started_at: Option<f64>,
     finished_at: Option<f64>,
+    coding: Option<CodingStats>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +175,7 @@ impl PlanExecutor {
             paused: false,
             started_at: None,
             finished_at: None,
+            coding: None,
         }
     }
 
@@ -240,6 +246,23 @@ impl PlanExecutor {
     /// Simulated time the repair finished, if done.
     pub fn finished_at(&self) -> Option<f64> {
         self.finished_at
+    }
+
+    /// Runs the real coding stages of the plan *as executed* (any
+    /// re-tuned edges included) through the word-wide striped kernels, at
+    /// most once per executor; repeated calls return the recorded stats.
+    pub fn run_coding(&mut self, coder: &mut PlanCoder) -> CodingStats {
+        if let Some(stats) = self.coding {
+            return stats;
+        }
+        let stats = coder.run(&self.plan);
+        self.coding = Some(stats);
+        stats
+    }
+
+    /// Stats of [`PlanExecutor::run_coding`], if it ran.
+    pub fn coding_stats(&self) -> Option<CodingStats> {
+        self.coding
     }
 
     /// Fraction of the chunk already written at the destination.

@@ -28,13 +28,15 @@
 //! Full-node repair campaigns are run by [`RepairDriver`]s
 //! ([`baseline::StaticRepairDriver`] and [`chameleon::ChameleonDriver`]),
 //! which produce a [`RepairOutcome`] (repair throughput, per-chunk
-//! latencies, link-utilization statistics).
+//! latencies, link-utilization statistics, and the wall-clock cost of the
+//! real GF(2^8) coding stages measured by [`coding::PlanCoder`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod chameleon;
+pub mod coding;
 mod context;
 pub mod cr;
 pub mod ecpipe;
@@ -45,6 +47,7 @@ pub mod ppr;
 pub mod repairboost;
 mod select;
 
+pub use coding::{CodingStats, PlanCoder};
 pub use context::{RepairContext, Resources};
 pub use exec::{ExecStatus, PlanExecutor};
 pub use metrics::{LinkLoadStats, RepairOutcome};

@@ -2,6 +2,8 @@
 
 use chameleon_simnet::{Monitor, ResourceKind, Traffic};
 
+use crate::coding::CodingStats;
+
 /// Summary of a repair campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepairOutcome {
@@ -18,6 +20,9 @@ pub struct RepairOutcome {
     pub duration: Option<f64>,
     /// Per-chunk repair latencies in seconds.
     pub per_chunk_secs: Vec<f64>,
+    /// Wall-clock cost of the real GF(2^8) coding stages executed for the
+    /// repaired chunks (source scale / relay merge / reassemble).
+    pub coding: CodingStats,
 }
 
 impl RepairOutcome {
@@ -131,6 +136,7 @@ mod tests {
             repaired_bytes: 200.0,
             duration: Some(4.0),
             per_chunk_secs: vec![2.0, 4.0],
+            coding: CodingStats::default(),
         };
         assert_eq!(outcome.throughput(), 50.0);
         assert_eq!(outcome.mean_chunk_secs(), 3.0);
@@ -145,6 +151,7 @@ mod tests {
             repaired_bytes: 100.0,
             duration: None,
             per_chunk_secs: vec![2.0],
+            coding: CodingStats::default(),
         };
         assert_eq!(outcome.throughput(), 0.0);
     }

@@ -68,6 +68,31 @@ pub fn node_touch_counts(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RepairDriver;
+    use chameleon_cluster::{Cluster, ClusterConfig};
+    use chameleon_codes::ReedSolomon;
+    use std::sync::Arc;
+
+    #[test]
+    fn boosted_driver_runs_coding_stages() {
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let mut driver = boost(ctx, PlanShape::Chain, 3);
+        driver.start(&mut sim, lost.clone());
+        while let Some(ev) = sim.next_event() {
+            driver.on_event(&mut sim, &ev);
+        }
+        let outcome = driver.outcome(&sim);
+        assert_eq!(outcome.chunks_repaired, lost.len());
+        // The boosting layer changes selection, not arithmetic: every
+        // repaired chunk still runs the split-table coding stages.
+        assert_eq!(outcome.coding.chunks_coded, outcome.chunks_repaired);
+        assert!(outcome.coding.relay_merge_nanos > 0);
+        assert!(outcome.coding.bytes_coded > 0);
+    }
 
     #[test]
     fn imbalance_of_uniform_loads_is_one() {

@@ -4,7 +4,12 @@ use core::fmt;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
+use crate::kernels;
 use crate::tables::{EXP, LOG};
+
+/// Below this length the split-table build cost outweighs its per-byte
+/// win over the log/exp loop, so the slice kernels stay scalar.
+const SPLIT_TABLE_THRESHOLD: usize = 128;
 
 /// An element of GF(2^8).
 ///
@@ -273,22 +278,10 @@ impl Product for Gf256 {
 /// assert_eq!(dst, src);
 /// ```
 pub fn mul_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "slice length mismatch");
-    if coeff.is_zero() {
-        dst.fill(0);
-        return;
-    }
-    if coeff == Gf256::ONE {
-        dst.copy_from_slice(src);
-        return;
-    }
-    let log_c = LOG[coeff.value() as usize] as usize;
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = if s == 0 {
-            0
-        } else {
-            EXP[log_c + LOG[s as usize] as usize]
-        };
+    if src.len() >= SPLIT_TABLE_THRESHOLD && !coeff.is_zero() && coeff != Gf256::ONE {
+        kernels::mul_slice_split(coeff, src, dst);
+    } else {
+        kernels::scalar::mul_slice(coeff, src, dst);
     }
 }
 
@@ -313,21 +306,12 @@ pub fn mul_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
 /// assert_eq!(acc, [0u8; 4]); // x + x = 0
 /// ```
 pub fn mul_add_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "slice length mismatch");
-    if coeff.is_zero() {
-        return;
-    }
     if coeff == Gf256::ONE {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
-        return;
-    }
-    let log_c = LOG[coeff.value() as usize] as usize;
-    for (d, &s) in dst.iter_mut().zip(src) {
-        if s != 0 {
-            *d ^= EXP[log_c + LOG[s as usize] as usize];
-        }
+        kernels::xor_slice(src, dst);
+    } else if src.len() >= SPLIT_TABLE_THRESHOLD && !coeff.is_zero() {
+        kernels::mul_slice_xor_split(coeff, src, dst);
+    } else {
+        kernels::scalar::mul_slice_xor(coeff, src, dst);
     }
 }
 
@@ -347,10 +331,7 @@ pub fn mul_add_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
 /// assert_eq!(a, [0u8; 3]);
 /// ```
 pub fn add_assign_slice(src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "slice length mismatch");
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    kernels::xor_slice(src, dst);
 }
 
 #[cfg(test)]

@@ -1,0 +1,557 @@
+//! Word-wide GF(2^8) slice kernels.
+//!
+//! The byte-at-a-time log/exp loops in [`crate::field`] pay two table
+//! lookups, an integer add, and a zero-test per byte. The kernels here use
+//! the SPLIT_TABLE(8, 4) layout popularised by GF-Complete: each constant
+//! `c` gets two 16-entry nibble tables (`c * low_nibble` and
+//! `c * high_nibble`), from which a full 256-entry product row is derived
+//! once. The hot loop is then a single dependency-free table lookup per
+//! byte, unrolled eight bytes at a time, and pure XOR passes run eight
+//! bytes per step on `u64` words.
+//!
+//! On top of the 256-entry row, a table can lazily widen to a 65 536-entry
+//! `u16 → u16` product table (GF-Complete's "double table"): one lookup
+//! then covers **two** bytes, halving table-load traffic in the
+//! load-bound inner loop. The wide table costs 128 KiB per constant, so
+//! it is built on first use — either explicitly via
+//! [`MulTable::ensure_wide`] (what the decode paths do after priming a
+//! cache) or automatically once a single call processes
+//! [`WIDE_BUILD_THRESHOLD`] bytes or more.
+//!
+//! [`MulTable`] holds the per-constant tables; [`MulTableCache`] memoises
+//! them so Gauss–Jordan decodes and matrix–chunk products that reuse the
+//! same coefficients never rebuild a table.
+//!
+//! The [`scalar`] module keeps the original byte-at-a-time loops as the
+//! reference implementation for equivalence tests and benchmarks.
+
+use std::sync::OnceLock;
+
+use crate::field::Gf256;
+
+/// Byte count at which a single kernel call amortises building the
+/// 65 536-entry wide table on its own: below this, the call sticks to the
+/// 256-entry row unless the wide table was already built (explicitly via
+/// [`MulTable::ensure_wide`], or by an earlier large call).
+pub const WIDE_BUILD_THRESHOLD: usize = 256 * 1024;
+
+/// Per-constant multiplication tables in SPLIT_TABLE(8, 4) layout.
+///
+/// For a constant `c`, `lo[x & 0xF] = c * (x & 0xF)` and
+/// `hi[x >> 4] = c * (x & 0xF0)`; since multiplication distributes over
+/// XOR, `c * x = lo[x & 0xF] ^ hi[x >> 4]`. The full 256-entry `row` is
+/// materialised from the nibble tables so the bulk kernels do one lookup
+/// per byte.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_gf::{Gf256, MulTable};
+///
+/// let t = MulTable::new(Gf256::new(0x53));
+/// assert_eq!(Gf256::new(t.mul(0xCA)), Gf256::new(0x53) * Gf256::new(0xCA));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulTable {
+    coeff: Gf256,
+    lo: [u8; 16],
+    hi: [u8; 16],
+    row: [u8; 256],
+    /// Lazily-built `u16 → u16` double table: entry `x` is the packed
+    /// little-endian product of both bytes of `x`. 128 KiB, so only worth
+    /// materialising for constants that see bulk traffic.
+    wide: OnceLock<Box<[u16; 65536]>>,
+}
+
+impl MulTable {
+    /// Builds the nibble tables and full product row for `coeff`.
+    pub fn new(coeff: Gf256) -> Self {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for i in 0..16u8 {
+            lo[i as usize] = (coeff * Gf256::new(i)).value();
+            hi[i as usize] = (coeff * Gf256::new(i << 4)).value();
+        }
+        let mut row = [0u8; 256];
+        for (x, r) in row.iter_mut().enumerate() {
+            *r = lo[x & 0xF] ^ hi[x >> 4];
+        }
+        MulTable {
+            coeff,
+            lo,
+            hi,
+            row,
+            wide: OnceLock::new(),
+        }
+    }
+
+    /// The constant these tables multiply by.
+    #[inline]
+    pub fn coeff(&self) -> Gf256 {
+        self.coeff
+    }
+
+    /// Multiplies a single byte: `coeff * x`.
+    #[inline]
+    pub fn mul(&self, x: u8) -> u8 {
+        self.row[x as usize]
+    }
+
+    /// The two 16-entry nibble tables `(lo, hi)` with
+    /// `coeff * x == lo[x & 0xF] ^ hi[x >> 4]`.
+    #[inline]
+    pub fn nibble_tables(&self) -> (&[u8; 16], &[u8; 16]) {
+        (&self.lo, &self.hi)
+    }
+
+    /// Builds the 65 536-entry wide table now (no-op if already built),
+    /// so subsequent bulk kernels of any length take the two-bytes-per-
+    /// lookup path. Safe to call from multiple threads.
+    pub fn ensure_wide(&self) -> &[u16; 65536] {
+        self.wide.get_or_init(|| {
+            let mut wide = vec![0u16; 1 << 16].into_boxed_slice();
+            for (x, w) in wide.iter_mut().enumerate() {
+                *w = self.row[x & 0xFF] as u16 | (self.row[x >> 8] as u16) << 8;
+            }
+            wide.try_into().expect("exactly 65536 entries")
+        })
+    }
+
+    /// The wide table to use for a bulk call over `len` bytes: an
+    /// existing one, one built on the spot when `len` amortises the build,
+    /// or `None` (stay on the 256-entry row).
+    #[inline]
+    fn wide_for(&self, len: usize) -> Option<&[u16; 65536]> {
+        if let Some(w) = self.wide.get() {
+            Some(w)
+        } else if len >= WIDE_BUILD_THRESHOLD {
+            Some(self.ensure_wide())
+        } else {
+            None
+        }
+    }
+}
+
+/// Lazily memoised [`MulTable`]s, one slot per field constant.
+///
+/// Decode paths (Gauss–Jordan back-substitution, matrix–chunk products)
+/// apply the same handful of coefficients to every stripe; caching the
+/// tables makes the table-build cost one-time per coefficient.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_gf::{Gf256, MulTableCache};
+///
+/// let mut cache = MulTableCache::new();
+/// let c = Gf256::new(0x1D);
+/// cache.get(c); // builds
+/// assert!(cache.cached(c).is_some()); // shared reference, no rebuild
+/// ```
+#[derive(Debug, Default)]
+pub struct MulTableCache {
+    tables: Vec<Option<Box<MulTable>>>,
+}
+
+impl MulTableCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        let mut tables = Vec::new();
+        tables.resize_with(256, || None);
+        MulTableCache { tables }
+    }
+
+    /// Returns the table for `coeff`, building it on first use.
+    pub fn get(&mut self, coeff: Gf256) -> &MulTable {
+        let slot = &mut self.tables[coeff.value() as usize];
+        slot.get_or_insert_with(|| Box::new(MulTable::new(coeff)))
+    }
+
+    /// Builds tables for every coefficient up front, so later shared
+    /// (read-only) access via [`MulTableCache::cached`] — e.g. from worker
+    /// threads — always hits.
+    pub fn prime(&mut self, coeffs: impl IntoIterator<Item = Gf256>) {
+        for c in coeffs {
+            self.get(c);
+        }
+    }
+
+    /// Like [`MulTableCache::prime`], but also materialises each table's
+    /// wide double table. Worth it when every coefficient will be applied
+    /// to bulk data in sub-[`WIDE_BUILD_THRESHOLD`] pieces (e.g. stripe-
+    /// sized kernel calls repeated across a whole chunk).
+    pub fn prime_wide(&mut self, coeffs: impl IntoIterator<Item = Gf256>) {
+        for c in coeffs {
+            self.get(c).ensure_wide();
+        }
+    }
+
+    /// Returns the table for `coeff` if it was already built.
+    #[inline]
+    pub fn cached(&self, coeff: Gf256) -> Option<&MulTable> {
+        self.tables[coeff.value() as usize].as_deref()
+    }
+}
+
+/// XOR-accumulates `src` into `dst` (`dst[i] ^= src[i]`) eight bytes at a
+/// time on `u64` words.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_gf::xor_slice;
+/// let mut a = vec![0xFFu8; 13];
+/// xor_slice(&vec![0xFFu8; 13], &mut a);
+/// assert_eq!(a, vec![0u8; 13]);
+/// ```
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let x = u64::from_ne_bytes(dw.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(sw.try_into().expect("8-byte chunk"));
+        dw.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= sb;
+    }
+}
+
+/// Multiplies every byte of `src` by the table's constant, writing into
+/// `dst`: `dst[i] = c * src[i]`.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice_with(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if table.coeff.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if table.coeff == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    if let Some(wide) = table.wide_for(src.len()) {
+        mul_wide(wide, src, dst);
+        return;
+    }
+    let row = &table.row;
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let sb: [u8; 8] = sw.try_into().expect("8-byte chunk");
+        let looked = [
+            row[sb[0] as usize],
+            row[sb[1] as usize],
+            row[sb[2] as usize],
+            row[sb[3] as usize],
+            row[sb[4] as usize],
+            row[sb[5] as usize],
+            row[sb[6] as usize],
+            row[sb[7] as usize],
+        ];
+        dw.copy_from_slice(&looked);
+    }
+    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db = row[sb as usize];
+    }
+}
+
+/// Looks up the four packed `u16` products of a little-endian source
+/// word: two source bytes per table load.
+#[inline(always)]
+fn wide_word(wide: &[u16; 65536], w: u64) -> u64 {
+    wide[(w & 0xFFFF) as usize] as u64
+        | (wide[((w >> 16) & 0xFFFF) as usize] as u64) << 16
+        | (wide[((w >> 32) & 0xFFFF) as usize] as u64) << 32
+        | (wide[(w >> 48) as usize] as u64) << 48
+}
+
+/// `dst[i] = c * src[i]` through the wide double table.
+fn mul_wide(wide: &[u16; 65536], src: &[u8], dst: &mut [u8]) {
+    let mut d = dst.chunks_exact_mut(16);
+    let mut s = src.chunks_exact(16);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let a = u64::from_le_bytes(sw[..8].try_into().expect("8-byte half"));
+        let b = u64::from_le_bytes(sw[8..].try_into().expect("8-byte half"));
+        dw[..8].copy_from_slice(&wide_word(wide, a).to_le_bytes());
+        dw[8..].copy_from_slice(&wide_word(wide, b).to_le_bytes());
+    }
+    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db = (wide[sb as usize] & 0xFF) as u8;
+    }
+}
+
+/// `dst[i] ^= c * src[i]` through the wide double table.
+fn mul_xor_wide(wide: &[u16; 65536], src: &[u8], dst: &mut [u8]) {
+    let mut d = dst.chunks_exact_mut(16);
+    let mut s = src.chunks_exact(16);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let a = u64::from_le_bytes(sw[..8].try_into().expect("8-byte half"));
+        let b = u64::from_le_bytes(sw[8..].try_into().expect("8-byte half"));
+        let xa = u64::from_le_bytes(dw[..8].try_into().expect("8-byte half")) ^ wide_word(wide, a);
+        let xb = u64::from_le_bytes(dw[8..].try_into().expect("8-byte half")) ^ wide_word(wide, b);
+        dw[..8].copy_from_slice(&xa.to_le_bytes());
+        dw[8..].copy_from_slice(&xb.to_le_bytes());
+    }
+    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= (wide[sb as usize] & 0xFF) as u8;
+    }
+}
+
+/// Multiplies every byte of `src` by the table's constant and
+/// XOR-accumulates into `dst`: `dst[i] ^= c * src[i]`.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice_xor_with(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if table.coeff.is_zero() {
+        return;
+    }
+    if table.coeff == Gf256::ONE {
+        xor_slice(src, dst);
+        return;
+    }
+    if let Some(wide) = table.wide_for(src.len()) {
+        mul_xor_wide(wide, src, dst);
+        return;
+    }
+    let row = &table.row;
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let sb: [u8; 8] = sw.try_into().expect("8-byte chunk");
+        let looked = u64::from_le_bytes([
+            row[sb[0] as usize],
+            row[sb[1] as usize],
+            row[sb[2] as usize],
+            row[sb[3] as usize],
+            row[sb[4] as usize],
+            row[sb[5] as usize],
+            row[sb[6] as usize],
+            row[sb[7] as usize],
+        ]);
+        let x = u64::from_le_bytes(dw.try_into().expect("8-byte chunk")) ^ looked;
+        dw.copy_from_slice(&x.to_le_bytes());
+    }
+    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= row[sb as usize];
+    }
+}
+
+/// Builds a [`MulTable`] for `coeff` and runs [`mul_slice_with`].
+///
+/// For repeated use of the same constant, build the table once (or use a
+/// [`MulTableCache`]) and call [`mul_slice_with`] directly.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice_split(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+    mul_slice_with(&MulTable::new(coeff), src, dst);
+}
+
+/// Builds a [`MulTable`] for `coeff` and runs [`mul_slice_xor_with`].
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice_xor_split(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+    mul_slice_xor_with(&MulTable::new(coeff), src, dst);
+}
+
+/// Byte-at-a-time log/exp reference kernels.
+///
+/// These are the original scalar loops, kept as the ground truth that the
+/// word-wide kernels above are property-tested against, and as the
+/// baseline the criterion microbenchmarks compare throughput with.
+pub mod scalar {
+    use crate::field::Gf256;
+    use crate::tables::{EXP, LOG};
+
+    /// Reference `dst[i] = coeff * src[i]`, one byte per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        if coeff.is_zero() {
+            dst.fill(0);
+            return;
+        }
+        if coeff == Gf256::ONE {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let log_c = LOG[coeff.value() as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = if s == 0 {
+                0
+            } else {
+                EXP[log_c + LOG[s as usize] as usize]
+            };
+        }
+    }
+
+    /// Reference `dst[i] ^= coeff * src[i]`, one byte per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_slice_xor(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        if coeff.is_zero() {
+            return;
+        }
+        if coeff == Gf256::ONE {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= s;
+            }
+            return;
+        }
+        let log_c = LOG[coeff.value() as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            if s != 0 {
+                *d ^= EXP[log_c + LOG[s as usize] as usize];
+            }
+        }
+    }
+
+    /// Reference `dst[i] ^= src[i]`, one byte per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_field_mul_for_all_pairs() {
+        for c in 0..=255u8 {
+            let t = MulTable::new(Gf256::new(c));
+            for x in 0..=255u8 {
+                assert_eq!(
+                    Gf256::new(t.mul(x)),
+                    Gf256::new(c) * Gf256::new(x),
+                    "c={c} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_tables_compose_to_row() {
+        let t = MulTable::new(Gf256::new(0xB7));
+        let (lo, hi) = t.nibble_tables();
+        for x in 0..=255u8 {
+            assert_eq!(t.mul(x), lo[(x & 0xF) as usize] ^ hi[(x >> 4) as usize]);
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_scalar_at_odd_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let init: Vec<u8> = (0..len).map(|i| (i * 101 + 5) as u8).collect();
+            let mut fast = init.clone();
+            let mut slow = init.clone();
+            xor_slice(&src, &mut fast);
+            scalar::xor_slice(&src, &mut slow);
+            assert_eq!(fast, slow, "len={len}");
+        }
+    }
+
+    #[test]
+    fn mul_kernels_match_scalar_at_odd_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 65, 1000] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 29 + 3) as u8).collect();
+            let init: Vec<u8> = (0..len).map(|i| (i * 59 + 7) as u8).collect();
+            for c in [0u8, 1, 2, 0x1D, 0x53, 0xFF] {
+                let c = Gf256::new(c);
+                let t = MulTable::new(c);
+                let (mut f1, mut s1) = (vec![0u8; len], vec![0u8; len]);
+                mul_slice_with(&t, &src, &mut f1);
+                scalar::mul_slice(c, &src, &mut s1);
+                assert_eq!(f1, s1, "mul len={len} c={c}");
+                let (mut f2, mut s2) = (init.clone(), init.clone());
+                mul_slice_xor_with(&t, &src, &mut f2);
+                scalar::mul_slice_xor(c, &src, &mut s2);
+                assert_eq!(f2, s2, "mul_xor len={len} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_table_matches_row_kernels() {
+        for c in [2u8, 0x1D, 0x53, 0xFF] {
+            let c = Gf256::new(c);
+            let narrow = MulTable::new(c);
+            let widened = MulTable::new(c);
+            widened.ensure_wide();
+            for len in [0usize, 1, 15, 16, 17, 31, 33, 1000] {
+                let src: Vec<u8> = (0..len).map(|i| (i * 17 + 1) as u8).collect();
+                let init: Vec<u8> = (0..len).map(|i| (i * 43 + 9) as u8).collect();
+                let (mut a, mut b) = (vec![0u8; len], vec![0u8; len]);
+                mul_slice_with(&narrow, &src, &mut a);
+                mul_slice_with(&widened, &src, &mut b);
+                assert_eq!(a, b, "mul len={len} c={c}");
+                let (mut a, mut b) = (init.clone(), init.clone());
+                mul_slice_xor_with(&narrow, &src, &mut a);
+                mul_slice_xor_with(&widened, &src, &mut b);
+                assert_eq!(a, b, "mul_xor len={len} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_table_packs_both_bytes() {
+        let t = MulTable::new(Gf256::new(0x8E));
+        let wide = t.ensure_wide();
+        for x in [0u16, 1, 0x00FF, 0xFF00, 0xABCD, 0xFFFF] {
+            let [lo, hi] = x.to_le_bytes();
+            let expect = u16::from_le_bytes([t.mul(lo), t.mul(hi)]);
+            assert_eq!(wide[x as usize], expect, "x={x:#06x}");
+        }
+    }
+
+    #[test]
+    fn cache_builds_once_and_shares() {
+        let mut cache = MulTableCache::new();
+        let c = Gf256::new(0x35);
+        assert!(cache.cached(c).is_none());
+        assert_eq!(cache.get(c).coeff(), c);
+        assert!(cache.cached(c).is_some());
+        cache.prime([Gf256::ZERO, Gf256::ONE, c]);
+        assert!(cache.cached(Gf256::ZERO).is_some());
+        assert!(cache.cached(Gf256::ONE).is_some());
+    }
+
+    #[test]
+    fn split_convenience_wrappers() {
+        let src = [3u8, 0, 0xFF, 9];
+        let mut a = [0u8; 4];
+        mul_slice_split(Gf256::new(7), &src, &mut a);
+        let mut b = a;
+        mul_slice_xor_split(Gf256::new(7), &src, &mut b);
+        assert_eq!(b, [0u8; 4]); // x ^ x = 0
+    }
+}

@@ -7,7 +7,11 @@
 //!   `x^8 + x^4 + x^3 + x^2 + 1` (0x11D), implemented with compile-time
 //!   log/exp tables.
 //! - Bulk slice kernels ([`mul_slice`], [`mul_add_slice`], [`add_assign_slice`])
-//!   used to encode/decode whole chunks.
+//!   used to encode/decode whole chunks. Long slices are processed by the
+//!   word-wide split-table kernels in [`kernels`] ([`MulTable`],
+//!   [`mul_slice_with`], [`mul_slice_xor_with`], [`xor_slice`]); the
+//!   original byte-at-a-time loops survive as [`scalar`] for equivalence
+//!   tests and benchmarks.
 //! - [`Matrix`]: dense row-major matrices over GF(2^8) with Vandermonde and
 //!   Cauchy constructors and Gauss–Jordan inversion, the building blocks of
 //!   Reed–Solomon and LRC codes.
@@ -29,8 +33,13 @@
 #![warn(missing_docs)]
 
 mod field;
+pub mod kernels;
 mod matrix;
 mod tables;
 
 pub use field::{add_assign_slice, mul_add_slice, mul_slice, Gf256};
+pub use kernels::{
+    mul_slice_split, mul_slice_with, mul_slice_xor_split, mul_slice_xor_with, scalar, xor_slice,
+    MulTable, MulTableCache, WIDE_BUILD_THRESHOLD,
+};
 pub use matrix::{Matrix, MatrixError};

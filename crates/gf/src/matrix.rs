@@ -2,7 +2,8 @@
 
 use core::fmt;
 
-use crate::field::{mul_add_slice, Gf256};
+use crate::field::Gf256;
+use crate::kernels::{mul_slice_xor_with, MulTableCache};
 
 /// Errors produced by matrix operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,10 +251,12 @@ impl Matrix {
         if chunks.iter().any(|c| c.len() != len) {
             return Err(MatrixError::DimensionMismatch);
         }
+        // One split table per distinct coefficient, shared across all cells.
+        let mut tables = MulTableCache::new();
         let mut out = vec![vec![0u8; len]; self.rows];
         for (i, out_chunk) in out.iter_mut().enumerate() {
             for (j, chunk) in chunks.iter().enumerate() {
-                mul_add_slice(self[(i, j)], chunk, out_chunk);
+                mul_slice_xor_with(tables.get(self[(i, j)]), chunk, out_chunk);
             }
         }
         Ok(out)

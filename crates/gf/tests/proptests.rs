@@ -1,6 +1,11 @@
-//! Property-based tests for GF(2^8) field axioms and matrix algebra.
+//! Property-based tests for GF(2^8) field axioms, matrix algebra, and
+//! the equivalence of the word-wide slice kernels with the byte-at-a-time
+//! scalar reference.
 
-use chameleon_gf::{add_assign_slice, mul_add_slice, mul_slice, Gf256, Matrix};
+use chameleon_gf::{
+    add_assign_slice, mul_add_slice, mul_slice, mul_slice_split, mul_slice_with,
+    mul_slice_xor_split, mul_slice_xor_with, scalar, xor_slice, Gf256, Matrix, MulTable,
+};
 use proptest::prelude::*;
 
 fn elem() -> impl Strategy<Value = Gf256> {
@@ -89,6 +94,69 @@ proptest! {
         prop_assert!(acc.iter().all(|&b| b == 0));
     }
 
+    // Kernel equivalence: the split-table and word-wide kernels must be
+    // byte-identical to the scalar reference for arbitrary buffers —
+    // lengths deliberately straddle the 8- and 16-byte unroll widths so
+    // tail handling is always exercised.
+
+    #[test]
+    fn split_mul_matches_scalar(
+        c in elem(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut fast = vec![0u8; data.len()];
+        let mut slow = vec![0u8; data.len()];
+        mul_slice_split(c, &data, &mut fast);
+        scalar::mul_slice(c, &data, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn split_mul_xor_matches_scalar(
+        c in elem(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        seed in any::<u8>(),
+    ) {
+        let init: Vec<u8> = data.iter().map(|&b| b.wrapping_add(seed)).collect();
+        let mut fast = init.clone();
+        let mut slow = init;
+        mul_slice_xor_split(c, &data, &mut fast);
+        scalar::mul_slice_xor(c, &data, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn word_xor_matches_scalar(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        init in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let len = data.len().min(init.len());
+        let mut fast = init[..len].to_vec();
+        let mut slow = fast.clone();
+        xor_slice(&data[..len], &mut fast);
+        scalar::xor_slice(&data[..len], &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn wide_table_kernels_match_scalar(
+        c in elem(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let table = MulTable::new(c);
+        table.ensure_wide();
+        let mut fast = vec![0u8; data.len()];
+        let mut slow = vec![0u8; data.len()];
+        mul_slice_with(&table, &data, &mut fast);
+        scalar::mul_slice(c, &data, &mut slow);
+        prop_assert_eq!(&fast, &slow, "mul");
+        let mut facc = data.clone();
+        let mut sacc = data.clone();
+        mul_slice_xor_with(&table, &data, &mut facc);
+        scalar::mul_slice_xor(c, &data, &mut sacc);
+        prop_assert_eq!(facc, sacc);
+    }
+
     #[test]
     fn cauchy_row_selections_invert(
         n in 2usize..8,
@@ -132,5 +200,31 @@ proptest! {
         let coded_refs: Vec<&[u8]> = coded.iter().map(|c| c.as_slice()).collect();
         let back = inv.apply(&coded_refs).unwrap();
         prop_assert_eq!(back, chunks);
+    }
+}
+
+/// Exhaustive (not sampled): every one of the 256 field constants, on a
+/// buffer whose length is not a multiple of the 8- or 16-byte unrolls.
+#[test]
+fn every_constant_matches_scalar_on_unaligned_buffer() {
+    let len = 3 * 16 + 5;
+    let data: Vec<u8> = (0..len).map(|i| (i * 89 + 41) as u8).collect();
+    let init: Vec<u8> = (0..len).map(|i| (i * 23 + 7) as u8).collect();
+    for c in 0..=255u8 {
+        let c = Gf256::new(c);
+        let table = MulTable::new(c);
+        table.ensure_wide();
+        let (mut fast, mut slow) = (vec![0u8; len], vec![0u8; len]);
+        mul_slice_split(c, &data, &mut fast);
+        scalar::mul_slice(c, &data, &mut slow);
+        assert_eq!(fast, slow, "row mul c={c}");
+        let (mut fast2, mut slow2) = (vec![0u8; len], vec![0u8; len]);
+        mul_slice_with(&table, &data, &mut fast2);
+        scalar::mul_slice(c, &data, &mut slow2);
+        assert_eq!(fast2, slow2, "wide mul c={c}");
+        let (mut facc, mut sacc) = (init.clone(), init.clone());
+        mul_slice_xor_with(&table, &data, &mut facc);
+        scalar::mul_slice_xor(c, &data, &mut sacc);
+        assert_eq!(facc, sacc, "wide mul_xor c={c}");
     }
 }

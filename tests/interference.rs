@@ -50,13 +50,18 @@ fn run_with_foreground(
 #[test]
 fn foreground_traffic_slows_repair_down() {
     let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(4, 2).unwrap());
-    let (ctx, _) = failed_context_busiest(code.clone(), contended_config(6, 30));
+    // Enough concurrent client machines that contention is a physical
+    // certainty rather than an artifact of where one RNG stream happens to
+    // land the hot keys (each client machine has one request in flight).
+    let mut cfg = contended_config(6, 30);
+    cfg.clients = 12;
+    let (ctx, _) = failed_context_busiest(code.clone(), cfg);
 
     let mut idle_driver = StaticRepairDriver::new(ctx.clone(), PlanShape::Star, 7);
     let (idle, _) = run_with_foreground(&ctx, &mut idle_driver, 0, 0);
 
     let mut busy_driver = StaticRepairDriver::new(ctx.clone(), PlanShape::Star, 7);
-    let (busy, _) = run_with_foreground(&ctx, &mut busy_driver, 4, 2000);
+    let (busy, _) = run_with_foreground(&ctx, &mut busy_driver, 12, 2000);
 
     assert!(
         busy.duration.unwrap() > idle.duration.unwrap() * 1.02,

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace cannot reach a crates.io
+//! registry, so this vendored crate implements the subset of the criterion
+//! API used by `crates/bench`: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! fixed-duration batches; the reported figure is the median over samples
+//! (nanoseconds per iteration), plus derived throughput when
+//! [`BenchmarkGroup::throughput`] was set. Output goes to stdout as
+//! `group/name  time: … ns/iter  thrpt: … MiB/s`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies. Re-exported from `std::hint`.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const SAMPLE: Duration = Duration::from_millis(8);
+const MIN_SAMPLES: usize = 11;
+const MAX_MEASURE: Duration = Duration::from_millis(400);
+
+/// How per-iteration work is expressed when reporting throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `body`, storing the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(body());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let batch = ((SAMPLE.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+
+        let mut samples = Vec::new();
+        let measure_start = Instant::now();
+        while samples.len() < MIN_SAMPLES && measure_start.elapsed() < MAX_MEASURE {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// The entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used to derive throughput figures.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { median_ns: 0.0 };
+    f(&mut bencher);
+    let ns = bencher.median_ns;
+    let mut line = format!("{id:<48} time: {} /iter", fmt_ns(ns));
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / (ns * 1e-9);
+        match t {
+            Throughput::Bytes(b) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.1} MiB/s",
+                    per_sec(b) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(e) => {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(e)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { median_ns: 0.0 };
+        b.iter(|| black_box(2u64).wrapping_mul(3));
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use core::ops::{Range, RangeInclusive};
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size interval for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let span = self.hi - self.lo + 1;
+        self.lo + (rng.next_u64() % span as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s with a size in `size` (best effort: if the element
+/// domain is too small to reach the drawn size, a smaller set results).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let want = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Bounded retries: tiny element domains cannot fill large sets.
+        let mut attempts = 0usize;
+        while set.len() < want && attempts < want * 64 + 64 {
+            set.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let s = vec(any::<u8>(), 3..7);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let s = vec(0.0f64..1.0, 20);
+        let mut rng = TestRng::seed_from_u64(2);
+        assert_eq!(s.new_value(&mut rng).len(), 20);
+    }
+
+    #[test]
+    fn btree_set_is_bounded_and_in_domain() {
+        let s = btree_set(0usize..5, 1..=3);
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let set = s.new_value(&mut rng);
+            assert!(!set.is_empty() && set.len() <= 3);
+            assert!(set.iter().all(|&x| x < 5));
+        }
+    }
+}

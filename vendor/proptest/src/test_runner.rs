@@ -1,0 +1,180 @@
+//! Case execution: configuration, RNG, and the pass/fail/reject protocol.
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejection: the inputs don't apply; draw new ones.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The deterministic generator handed to strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the generator via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test's name so every
+/// test explores a different (but fully reproducible) part of the space.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF29CE484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Runs up to `config.cases` generated cases of `case`, panicking on the
+/// first failure with the generated inputs included in the message.
+///
+/// `case` returns the body outcome plus a rendering of the generated inputs
+/// for diagnostics. Rejected cases (via `prop_assume!`) are re-drawn and do
+/// not count toward the case budget; too many consecutive rejects abort.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    let mut draw = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(draw));
+        draw += 1;
+        let (outcome, inputs) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected cases ({rejected}); \
+                     prop_assume! conditions are unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "{name}: property failed after {passed} passing case(s)\n\
+                     {reason}\ninputs:{inputs}\n"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn run_cases_counts_passes() {
+        let mut calls = 0;
+        run_cases("demo", &ProptestConfig::with_cases(10), |_| {
+            calls += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn rejects_are_redrawn() {
+        let mut calls = 0u32;
+        run_cases("demo_reject", &ProptestConfig::with_cases(5), |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                (Err(TestCaseError::reject("odd only")), String::new())
+            } else {
+                (Ok(()), String::new())
+            }
+        });
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        run_cases("demo_fail", &ProptestConfig::with_cases(5), |_| {
+            (Err(TestCaseError::fail("nope")), "\n    x = 1".into())
+        });
+    }
+}
