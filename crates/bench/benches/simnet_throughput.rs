@@ -1,0 +1,107 @@
+//! Simulator-throughput benchmark: sustained events/sec at 1k/10k/100k
+//! concurrent flows on a 20-node cluster, for the indexed engine
+//! (inverted-index max–min solver, incremental class tables, completion
+//! heap) against the original full-rescan reference engine.
+//!
+//! Every ChameleonEC experiment replays a trace through `simnet`, so
+//! events/sec is the wall-clock ceiling of the whole evaluation. The
+//! results seed the perf trajectory: `results/BENCH_simnet.json` is
+//! uploaded as a CI artifact so future PRs can track the number.
+
+use std::time::Instant;
+
+use chameleon_bench::table::{print_table, write_json};
+use chameleon_simnet::{FlowSpec, NodeCaps, SimConfig, Simulator, Traffic};
+
+const NODES: usize = 20;
+
+/// Deterministic LCG so both engines replay the identical workload.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn random_spec(rng: &mut Rng) -> FlowSpec {
+    let src = (rng.next() as usize) % NODES;
+    let dst = (src + 1 + (rng.next() as usize) % (NODES - 1)) % NODES;
+    // 1–64 MiB transfers, a plausible chunk/sub-chunk mix.
+    let bytes = (1 + rng.next() % 64) << 20;
+    let tag = match rng.next() % 10 {
+        0..=5 => Traffic::Foreground,
+        6..=8 => Traffic::Repair,
+        _ => Traffic::Background,
+    };
+    FlowSpec::network(src, dst, bytes, tag)
+}
+
+/// Runs a closed-loop workload at a fixed concurrency: every completion
+/// admits a replacement flow, so the solver always sees `flows` active
+/// flows. Returns sustained events/sec.
+fn measure(flows: usize, reference: bool, budget_secs: f64, min_events: u64) -> f64 {
+    let mut sim = Simulator::new(SimConfig::uniform(NODES, NodeCaps::default()));
+    sim.use_reference_engine(reference);
+    let mut rng = Rng(0x5EED ^ flows as u64);
+    // Batched admission: the initial burst costs one rate solve.
+    sim.start_flows((0..flows).map(|_| random_spec(&mut rng)));
+
+    let start = Instant::now();
+    let mut events = 0u64;
+    loop {
+        sim.next_event().expect("closed loop never drains");
+        sim.start_flow(random_spec(&mut rng));
+        events += 1;
+        if events.is_multiple_of(32)
+            && events >= min_events
+            && start.elapsed().as_secs_f64() > budget_secs
+        {
+            break;
+        }
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("simnet throughput: sustained events/sec, {NODES}-node cluster, closed loop");
+    let mut rows = Vec::new();
+    let mut json_levels = Vec::new();
+    for &flows in &[1_000usize, 10_000, 100_000] {
+        // The reference engine is O(rounds x flows) per event; give it a
+        // smaller event floor so the 100k level stays affordable.
+        let indexed = measure(flows, false, 1.0, 512);
+        let reference = measure(flows, true, 1.0, 32);
+        let speedup = indexed / reference;
+        rows.push(vec![
+            format!("{flows}"),
+            format!("{indexed:.0}"),
+            format!("{reference:.0}"),
+            format!("{speedup:.1}x"),
+        ]);
+        json_levels.push(format!(
+            "    {{\"flows\": {flows}, \"indexed_events_per_sec\": {indexed:.1}, \
+             \"reference_events_per_sec\": {reference:.1}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    print_table(
+        "simulator throughput (indexed vs reference engine)",
+        &[
+            "concurrent flows",
+            "indexed ev/s",
+            "reference ev/s",
+            "speedup",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"simnet_throughput\",\n  \"nodes\": {NODES},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        json_levels.join(",\n")
+    );
+    write_json("BENCH_simnet", &json);
+    println!("target: >= 5x events/sec over the reference engine at 10k concurrent flows.");
+}

@@ -68,6 +68,21 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Writes a pre-rendered JSON document under `results/<name>.json`.
+/// Errors are reported, not fatal, like [`write_csv`].
+pub fn write_json(name: &str, json: &str) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match fs::write(&path, json) {
+        Ok(()) => println!("(json written to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
 fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
     let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());

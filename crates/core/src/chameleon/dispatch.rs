@@ -36,6 +36,10 @@ impl PhaseState {
     /// With [`Resources::Storage`] (ChameleonEC-IO), disk read/write
     /// residuals are used instead of the network links.
     pub fn measure(sim: &mut Simulator, ctx: &RepairContext, resources: Resources) -> Self {
+        // One solve up front; every probe below is then an O(1) table
+        // lookup on the immutable simulator.
+        sim.refresh();
+        let sim: &Simulator = sim;
         let nodes = ctx.cluster.storage_nodes();
         let (up_kind, down_kind) = match resources {
             Resources::Network => (ResourceKind::Uplink, ResourceKind::Downlink),
@@ -48,7 +52,7 @@ impl PhaseState {
             // Even a saturated resource yields a fair share to one more
             // flow (TCP-like sharing), so the usable bandwidth is at
             // least capacity / (competing flows + 1).
-            let estimate = |sim: &mut Simulator, kind| {
+            let estimate = |sim: &Simulator, kind| {
                 let cap = sim.capacity(node, kind);
                 let competitors: usize = other
                     .iter()

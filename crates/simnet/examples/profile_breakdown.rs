@@ -1,0 +1,83 @@
+//! Ad-hoc breakdown of the indexed engine's per-event cost at 10k flows.
+//! Run with: cargo run --release -p chameleon-simnet --example profile_breakdown
+
+use std::time::Instant;
+
+use chameleon_simnet::{FlowSpec, MaxMinSolver, NodeCaps, SimConfig, Simulator, Traffic};
+
+const NODES: usize = 20;
+const FLOWS: usize = 10_000;
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn random_spec(rng: &mut Rng) -> FlowSpec {
+    let src = (rng.next() as usize) % NODES;
+    let dst = (src + 1 + (rng.next() as usize) % (NODES - 1)) % NODES;
+    let bytes = (1 + rng.next() % 64) << 20;
+    FlowSpec::network(src, dst, bytes, Traffic::Foreground)
+}
+
+fn main() {
+    let mut rng = Rng(7);
+
+    // --- solver alone on a 10k-flow CSR ---
+    let caps = vec![125_000_000.0f64; NODES * 4];
+    let mut offsets = vec![0u32];
+    let mut targets = Vec::new();
+    for _ in 0..FLOWS {
+        let src = (rng.next() as usize) % NODES;
+        let dst = (src + 1 + (rng.next() as usize) % (NODES - 1)) % NODES;
+        targets.push((src * 4) as u32);
+        targets.push((dst * 4 + 1) as u32);
+        offsets.push(targets.len() as u32);
+    }
+    let mut rates = vec![0.0; FLOWS];
+    let mut solver = MaxMinSolver::new();
+    solver.solve_into(&caps, &offsets, &targets, &mut rates); // warm
+    let t = Instant::now();
+    let iters = 200;
+    for _ in 0..iters {
+        solver.solve_into(&caps, &offsets, &targets, &mut rates);
+    }
+    println!(
+        "solve_into:      {:>8.1} us",
+        t.elapsed().as_secs_f64() * 1e6 / iters as f64
+    );
+
+    // --- refresh cycle (cancel one + admit one + refresh) ---
+    let mut sim = Simulator::new(SimConfig::uniform(NODES, NodeCaps::default()));
+    let ids = sim.start_flows((0..FLOWS).map(|_| random_spec(&mut rng)));
+    sim.refresh();
+    let t = Instant::now();
+    for &id in ids.iter().take(iters) {
+        sim.cancel_flow(id);
+        sim.start_flow(random_spec(&mut rng));
+        sim.refresh();
+    }
+    println!(
+        "refresh cycle:   {:>8.1} us",
+        t.elapsed().as_secs_f64() * 1e6 / iters as f64
+    );
+
+    // --- full event loop ---
+    let mut sim = Simulator::new(SimConfig::uniform(NODES, NodeCaps::default()));
+    sim.start_flows((0..FLOWS).map(|_| random_spec(&mut rng)));
+    let t = Instant::now();
+    for _ in 0..iters {
+        sim.next_event().unwrap();
+        sim.start_flow(random_spec(&mut rng));
+    }
+    println!(
+        "full event loop: {:>8.1} us",
+        t.elapsed().as_secs_f64() * 1e6 / iters as f64
+    );
+}

@@ -1,16 +1,65 @@
 //! The discrete-event engine.
+//!
+//! The default ("indexed") engine is built for trace-scale event
+//! throughput:
+//!
+//! - rates come from the indexed [`MaxMinSolver`] (inverted resource→flow
+//!   index, reusable scratch — no per-solve allocation);
+//! - flows live in a slab (dense slot vector + free list + id→slot map),
+//!   so every per-event pass is a linear scan over contiguous memory and
+//!   the constraint cells are packed flat at admission — no tree walks or
+//!   per-flow pointer chasing on the hot path;
+//! - per-(node, resource, class) aggregate rate and flow-count tables are
+//!   maintained incrementally, so [`Simulator::class_rate`],
+//!   [`Simulator::residual_capacity`] and [`Simulator::class_flow_count`]
+//!   are O(1) lookups (and take `&self`);
+//! - the earliest completion comes from a lazy-invalidation binary heap of
+//!   predicted completion times, re-pushed only for flows whose rate
+//!   actually changed in the last solve; when a solve moves most
+//!   predictions at once the heap is rebuilt wholesale (O(F) heapify
+//!   instead of F pushes into a heap full of dead entries);
+//! - flow `remaining` values are materialized lazily at rate solves, so
+//!   advancing time between events touches no per-flow state; the monitor
+//!   records from the aggregate class tables instead of per flow.
+//!
+//! [`Simulator::use_reference_engine`] switches to the original
+//! full-rescan implementation (reference solver, linear completion scan,
+//! per-flow bookkeeping). It exists as the oracle for the differential
+//! test suite and as the baseline for the simulator-throughput benchmark.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use crate::flow::{Flow, FlowId, FlowSpec, TimerId};
-use crate::maxmin::allocate_rates;
+use crate::flow::{Flow, FlowId, FlowSpec, TimerId, MAX_CONSTRAINTS};
+use crate::maxmin::{reference, MaxMinSolver};
 use crate::monitor::Monitor;
 use crate::node::{NodeCaps, NodeId, ResourceKind, Traffic};
 use crate::time::SimTime;
 
 /// Bytes below which a flow counts as finished (guards float rounding).
 const EPS_BYTES: f64 = 1e-6;
+
+/// Full class-rate-table rebuilds happen every this many solves, bounding
+/// the drift incremental `+=`/`-=` updates can accumulate.
+const TABLE_REBUILD_PERIOD: u64 = 1024;
+
+/// Number of resource kinds per node (the flattened-table stride).
+const KINDS: usize = 4;
+/// Number of traffic classes (the flattened-table stride).
+const TAGS: usize = 3;
+
+/// A *flow group*: all active flows sharing one exact resource-cell
+/// sequence. Max–min fairness gives every member the same rate and
+/// freezes them in the same progressive-filling round, so the solver can
+/// price the whole group at once — a cluster has O(nodes²) distinct
+/// shapes no matter how many flows are live.
+#[derive(Debug, Clone)]
+struct FlowGroup {
+    cells: [u32; MAX_CONSTRAINTS],
+    ncells: u8,
+    /// Number of member flows; 0 means the group slot is free.
+    count: u32,
+}
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -65,6 +114,14 @@ pub enum Event {
 /// [`Simulator::next_event`], reacting to completions. Between events all
 /// active flows progress at their max–min fair rates.
 ///
+/// Mutating the flow set ([`Simulator::start_flow`],
+/// [`Simulator::cancel_flow`]) marks the rates stale; they are re-solved
+/// lazily by [`Simulator::next_event`] or an explicit
+/// [`Simulator::refresh`]. The `&self` rate read paths
+/// ([`Simulator::flow_rate`], [`Simulator::class_rate`],
+/// [`Simulator::residual_capacity`]) require fresh rates and panic
+/// otherwise — call `refresh()` first when probing between mutations.
+///
 /// See the [crate docs](crate) for a worked example.
 #[derive(Debug)]
 pub struct Simulator {
@@ -72,15 +129,64 @@ pub struct Simulator {
     node_caps: Vec<NodeCaps>,
     /// Flattened capacities: `caps[node * 4 + kind]`.
     caps: Vec<f64>,
-    /// Active flows, keyed by id for deterministic iteration order.
-    flows: BTreeMap<u64, Flow>,
+    /// The flow slab: `None` slots are free (listed in `free_slots`).
+    flows: Vec<Option<Flow>>,
+    /// The flow id occupying each slot (stale for free slots).
+    slot_ids: Vec<u64>,
+    /// Free-slot stack; reuse is LIFO and therefore deterministic.
+    free_slots: Vec<u32>,
+    /// Flow id → slab slot, the O(1) public-lookup path.
+    id_to_slot: HashMap<u64, u32>,
+    live_flows: usize,
     next_flow_id: u64,
     next_timer_id: u64,
     /// Min-heap of (fire time, timer id, key).
     timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// Ids of pending timers that have been cancelled. Only ids still in
+    /// `pending_timers` are ever inserted, so the set cannot leak ids of
+    /// timers that already fired.
     cancelled_timers: HashSet<u64>,
+    /// Ids of scheduled timers that have not yet fired or been discarded.
+    pending_timers: HashSet<u64>,
     rates_stale: bool,
     monitor: Monitor,
+
+    // --- Indexed-engine state ---
+    /// Whether to run the original full-rescan engine instead.
+    reference_mode: bool,
+    /// Aggregate rate per (node, kind, tag) cell, maintained incrementally
+    /// (indexed mode only).
+    class_rate_tbl: Vec<f64>,
+    /// Active-flow count per (node, kind, tag) cell (maintained in both
+    /// modes; integer, exact).
+    class_count_tbl: Vec<u32>,
+    /// Lazy-invalidation min-heap of (predicted completion, flow id,
+    /// epoch).
+    completions: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// The time `Flow::remaining` values are accurate as of.
+    last_materialize: SimTime,
+    /// Solve counter, for periodic class-rate-table rebuilds.
+    solves: u64,
+    solver: MaxMinSolver,
+    /// Flow groups (slab; `count == 0` slots are free and listed in
+    /// `free_groups`). Maintained in both engine modes, solved against in
+    /// indexed mode.
+    groups: Vec<FlowGroup>,
+    free_groups: Vec<u32>,
+    /// Cell sequence → group index (unused key slots are `u32::MAX`).
+    group_ids: HashMap<[u32; MAX_CONSTRAINTS], u32>,
+    grp_offsets: Vec<u32>,
+    grp_targets: Vec<u32>,
+    grp_weights: Vec<u32>,
+    /// Group index → dense solve row (stale for free groups).
+    grp_row: Vec<u32>,
+    grp_rates: Vec<f64>,
+    /// Every live completion prediction from the last apply pass (the
+    /// heap-rebuild source).
+    scr_entries: Vec<Reverse<(SimTime, u64, u64)>>,
+    /// Predictions re-stamped by the last apply pass (the incremental-push
+    /// set).
+    scr_changed: Vec<Reverse<(SimTime, u64, u64)>>,
 }
 
 impl Simulator {
@@ -91,24 +197,66 @@ impl Simulator {
     /// Panics if the configuration has no nodes.
     pub fn new(config: SimConfig) -> Self {
         assert!(!config.nodes.is_empty(), "at least one node required");
-        let caps = config
+        let caps: Vec<f64> = config
             .nodes
             .iter()
             .flat_map(|n| ResourceKind::ALL.map(|k| n.capacity(k)))
             .collect();
         let monitor = Monitor::new(config.nodes.len(), config.monitor_window_secs);
+        let cells = config.nodes.len() * KINDS * TAGS;
         Simulator {
             now: SimTime::ZERO,
             caps,
             node_caps: config.nodes,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
+            slot_ids: Vec::new(),
+            free_slots: Vec::new(),
+            id_to_slot: HashMap::new(),
+            live_flows: 0,
             next_flow_id: 0,
             next_timer_id: 0,
             timers: BinaryHeap::new(),
             cancelled_timers: HashSet::new(),
+            pending_timers: HashSet::new(),
             rates_stale: true,
             monitor,
+            reference_mode: false,
+            class_rate_tbl: vec![0.0; cells],
+            class_count_tbl: vec![0; cells],
+            completions: BinaryHeap::new(),
+            last_materialize: SimTime::ZERO,
+            solves: 0,
+            solver: MaxMinSolver::new(),
+            groups: Vec::new(),
+            free_groups: Vec::new(),
+            group_ids: HashMap::new(),
+            grp_offsets: Vec::new(),
+            grp_targets: Vec::new(),
+            grp_weights: Vec::new(),
+            grp_row: Vec::new(),
+            grp_rates: Vec::new(),
+            scr_entries: Vec::new(),
+            scr_changed: Vec::new(),
         }
+    }
+
+    /// Switches between the indexed engine (default, `false`) and the
+    /// original full-rescan reference engine.
+    ///
+    /// The reference engine exists for differential testing and as the
+    /// simulator-throughput benchmark baseline; both engines produce the
+    /// same event log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flows are already active — pick the engine before
+    /// starting traffic.
+    pub fn use_reference_engine(&mut self, on: bool) {
+        assert!(
+            self.live_flows == 0,
+            "switch engine modes before starting flows"
+        );
+        self.reference_mode = on;
     }
 
     /// Current simulated time.
@@ -137,7 +285,7 @@ impl Simulator {
 
     /// Number of currently active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.live_flows
     }
 
     /// The windowed bandwidth monitor.
@@ -145,70 +293,239 @@ impl Simulator {
         &self.monitor
     }
 
+    fn cell(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> usize {
+        (node * KINDS + kind.index()) * TAGS + tag.index()
+    }
+
     /// Starts a flow; it begins transferring immediately.
+    ///
+    /// Rates are re-solved lazily, so admitting a burst of flows costs a
+    /// single solve (see [`Simulator::start_flows`]).
     ///
     /// # Panics
     ///
     /// Panics if the spec references a node out of range.
-    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+    pub fn start_flow(&mut self, mut spec: FlowSpec) -> FlowId {
         for &(node, _) in spec.constraints() {
             assert!(node < self.node_caps.len(), "node {node} out of range");
         }
+        // Dedupe repeated (node, kind) pairs: a duplicate would
+        // double-count the flow's load in the solver and double-record its
+        // bytes in the monitor.
+        let c = &mut spec.constraints;
+        let mut i = 1;
+        while i < c.len() {
+            if c[..i].contains(&c[i]) {
+                c.remove(i);
+            } else {
+                i += 1;
+            }
+        }
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
-        let remaining = spec.bytes;
-        self.flows.insert(
-            id.0,
-            Flow {
-                spec,
-                remaining,
-                rate: 0.0,
-            },
-        );
+        let mut flow = Flow::new(spec);
+        let tag = flow.spec.tag.index();
+        for &c in flow.cells() {
+            self.class_count_tbl[c as usize * TAGS + tag] += 1;
+        }
+        flow.group = self.join_group(&flow);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.flows[s as usize] = Some(flow);
+                self.slot_ids[s as usize] = id.0;
+                s
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.slot_ids.push(id.0);
+                (self.flows.len() - 1) as u32
+            }
+        };
+        self.id_to_slot.insert(id.0, slot);
+        self.live_flows += 1;
         self.rates_stale = true;
         id
+    }
+
+    /// Starts a batch of flows at the current time, returning their ids in
+    /// order.
+    ///
+    /// Admission is lazy in both engines, so the whole batch is priced by
+    /// one rate solve — the entry point trace replay should use when an
+    /// op fans out into several flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec references a node out of range.
+    pub fn start_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) -> Vec<FlowId> {
+        specs.into_iter().map(|s| self.start_flow(s)).collect()
+    }
+
+    /// The group-map key for a flow: its exact cell sequence, padded with
+    /// `u32::MAX`.
+    fn group_key(flow: &Flow) -> [u32; MAX_CONSTRAINTS] {
+        let mut key = [u32::MAX; MAX_CONSTRAINTS];
+        key[..flow.ncells as usize].copy_from_slice(flow.cells());
+        key
+    }
+
+    /// Adds a flow to the group sharing its resource-cell sequence,
+    /// creating the group if it is the first member.
+    fn join_group(&mut self, flow: &Flow) -> u32 {
+        use std::collections::hash_map::Entry;
+        match self.group_ids.entry(Self::group_key(flow)) {
+            Entry::Occupied(e) => {
+                let g = *e.get();
+                self.groups[g as usize].count += 1;
+                g
+            }
+            Entry::Vacant(e) => {
+                let grp = FlowGroup {
+                    cells: flow.cells,
+                    ncells: flow.ncells,
+                    count: 1,
+                };
+                let g = match self.free_groups.pop() {
+                    Some(g) => {
+                        self.groups[g as usize] = grp;
+                        g
+                    }
+                    None => {
+                        self.groups.push(grp);
+                        (self.groups.len() - 1) as u32
+                    }
+                };
+                *e.insert(g)
+            }
+        }
+    }
+
+    /// Removes a departed flow from its group, freeing empty groups.
+    fn leave_group(&mut self, flow: &Flow) {
+        let g = flow.group as usize;
+        debug_assert!(self.groups[g].count > 0);
+        self.groups[g].count -= 1;
+        if self.groups[g].count == 0 {
+            self.group_ids.remove(&Self::group_key(flow));
+            self.free_groups.push(flow.group);
+        }
+    }
+
+    /// Detaches a flow from the slab, freeing its slot.
+    fn remove_flow(&mut self, id: u64) -> Option<Flow> {
+        let slot = self.id_to_slot.remove(&id)?;
+        let flow = self.flows[slot as usize]
+            .take()
+            .expect("mapped slot occupied");
+        self.free_slots.push(slot);
+        self.live_flows -= 1;
+        Some(flow)
+    }
+
+    /// Subtracts a departing flow from the class tables and its group.
+    fn retire_flow_accounting(&mut self, flow: &Flow) {
+        let tag = flow.spec.tag.index();
+        for &c in flow.cells() {
+            let cell = c as usize * TAGS + tag;
+            debug_assert!(self.class_count_tbl[cell] > 0);
+            self.class_count_tbl[cell] -= 1;
+            if !self.reference_mode {
+                self.class_rate_tbl[cell] -= flow.rate;
+            }
+        }
+        self.leave_group(flow);
+    }
+
+    /// `remaining` of a live flow as of `now` (lazily materialized).
+    fn live_remaining(&self, flow: &Flow) -> f64 {
+        let dt = (self.now - self.last_materialize).as_secs();
+        if flow.rate > 0.0 && dt > 0.0 {
+            (flow.remaining - flow.rate * dt).max(0.0)
+        } else {
+            flow.remaining
+        }
     }
 
     /// Cancels a flow, returning the bytes it had left, or `None` if it has
     /// already completed (or never existed).
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<f64> {
-        let flow = self.flows.remove(&id.0)?;
+        let flow = self.remove_flow(id.0)?;
+        let left = self.live_remaining(&flow);
+        self.retire_flow_accounting(&flow);
         self.rates_stale = true;
-        Some(flow.remaining)
+        Some(left)
+    }
+
+    /// Re-solves max–min fair rates now if the flow set changed since the
+    /// last solve. The `&self` read paths ([`Simulator::flow_rate`],
+    /// [`Simulator::class_rate`], [`Simulator::residual_capacity`])
+    /// require this; [`Simulator::next_event`] calls it implicitly.
+    pub fn refresh(&mut self) {
+        self.refresh_rates();
+    }
+
+    #[track_caller]
+    fn assert_fresh(&self) {
+        assert!(
+            !self.rates_stale,
+            "rates are stale: call refresh() (or next_event()) after \
+             mutating flows before reading rates"
+        );
+    }
+
+    /// Looks up a live flow by id.
+    fn flow(&self, id: u64) -> Option<&Flow> {
+        self.id_to_slot.get(&id).map(|&s| {
+            self.flows[s as usize]
+                .as_ref()
+                .expect("mapped slot occupied")
+        })
     }
 
     /// Current max–min fair rate of a flow, in bytes/s.
-    pub fn flow_rate(&mut self, id: FlowId) -> Option<f64> {
-        self.refresh_rates();
-        self.flows.get(&id.0).map(|f| f.rate)
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are stale — call [`Simulator::refresh`] first.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.assert_fresh();
+        self.flow(id.0).map(|f| f.rate)
     }
 
     /// Bytes a flow still has to transfer.
     pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id.0).map(|f| f.remaining)
+        self.flow(id.0).map(|f| self.live_remaining(f))
     }
 
     /// Instantaneous aggregate rate of one traffic class through one node
     /// resource, in bytes/s — what a bandwidth monitor daemon (NetHogs in
-    /// the paper) would report right now.
-    pub fn class_rate(&mut self, node: NodeId, kind: ResourceKind, tag: Traffic) -> f64 {
-        self.refresh_rates();
-        self.flows
-            .values()
-            .filter(|f| f.spec.tag == tag)
-            .filter(|f| f.spec.constraints.contains(&(node, kind)))
-            .map(|f| f.rate)
-            .sum()
+    /// the paper) would report right now. O(1) in the indexed engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are stale — call [`Simulator::refresh`] first.
+    pub fn class_rate(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> f64 {
+        self.assert_fresh();
+        if self.reference_mode {
+            self.flows
+                .iter()
+                .flatten()
+                .filter(|f| f.spec.tag == tag)
+                .filter(|f| f.spec.constraints.contains(&(node, kind)))
+                .map(|f| f.rate)
+                .sum()
+        } else {
+            self.class_rate_tbl[self.cell(node, kind, tag)].max(0.0)
+        }
     }
 
     /// Residual (idle) bandwidth of a node resource after subtracting the
     /// given traffic classes — the quantity ChameleonEC dispatches against.
-    pub fn residual_capacity(
-        &mut self,
-        node: NodeId,
-        kind: ResourceKind,
-        subtract: &[Traffic],
-    ) -> f64 {
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are stale — call [`Simulator::refresh`] first.
+    pub fn residual_capacity(&self, node: NodeId, kind: ResourceKind, subtract: &[Traffic]) -> f64 {
         let cap = self.capacity(node, kind);
         let used: f64 = subtract
             .iter()
@@ -220,12 +537,9 @@ impl Simulator {
     /// Number of active flows of one traffic class crossing a node
     /// resource. Schedulers use this for fair-share estimates: a new flow
     /// on a saturated resource still gets roughly `capacity / (count+1)`.
+    /// O(1): maintained incrementally on admission/retirement.
     pub fn class_flow_count(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> usize {
-        self.flows
-            .values()
-            .filter(|f| f.spec.tag == tag)
-            .filter(|f| f.spec.constraints.contains(&(node, kind)))
-            .count()
+        self.class_count_tbl[self.cell(node, kind, tag)] as usize
     }
 
     /// Schedules a timer to fire `delay_secs` from now, with a caller-chosen
@@ -245,12 +559,16 @@ impl Simulator {
         let id = TimerId(self.next_timer_id);
         self.next_timer_id += 1;
         self.timers.push(Reverse((at, id.0, key)));
+        self.pending_timers.insert(id.0);
         id
     }
 
-    /// Cancels a pending timer (no effect if it already fired).
+    /// Cancels a pending timer (no effect if it already fired or never
+    /// existed — stale ids are not retained).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id.0);
+        if self.pending_timers.contains(&id.0) {
+            self.cancelled_timers.insert(id.0);
+        }
     }
 
     /// Advances the simulation to the next event and returns it, or `None`
@@ -265,33 +583,52 @@ impl Simulator {
         // Discard cancelled timers at the head.
         while let Some(Reverse((_, id, _))) = self.timers.peek() {
             if self.cancelled_timers.remove(id) {
+                self.pending_timers.remove(id);
                 self.timers.pop();
             } else {
                 break;
             }
         }
 
-        if self.flows.is_empty() && self.timers.is_empty() {
+        if self.live_flows == 0 && self.timers.is_empty() {
             return None;
         }
 
         self.refresh_rates();
 
-        // Earliest flow completion (ties broken by lowest id, which BTreeMap
-        // iteration gives us for free).
-        let mut flow_done: Option<(SimTime, u64)> = None;
-        for (&id, f) in &self.flows {
-            let t = if f.remaining <= EPS_BYTES {
-                self.now
-            } else if f.rate > 0.0 {
-                self.now + SimTime::from_secs(f.remaining / f.rate)
-            } else {
-                continue; // starved flow; cannot finish at current rates
-            };
-            if flow_done.is_none_or(|(bt, _)| t < bt) {
-                flow_done = Some((t, id));
+        // Earliest flow completion (ties broken by lowest id).
+        let flow_done: Option<(SimTime, u64)> = if self.reference_mode {
+            let mut best: Option<(SimTime, u64)> = None;
+            for (slot, f) in self.flows.iter().enumerate() {
+                let Some(f) = f else { continue };
+                let t = if f.remaining <= EPS_BYTES {
+                    self.now
+                } else if f.rate > 0.0 {
+                    self.now + SimTime::from_secs(f.remaining / f.rate)
+                } else {
+                    continue; // starved flow; cannot finish at current rates
+                };
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, self.slot_ids[slot]));
+                }
             }
-        }
+            best
+        } else {
+            // Pop lazily-invalidated heap entries until a live one
+            // surfaces (leave it in place: a timer may still pre-empt it).
+            loop {
+                match self.completions.peek() {
+                    None => break None,
+                    Some(&Reverse((t, id, epoch))) => {
+                        let live = self.flow(id).is_some_and(|f| f.epoch == epoch);
+                        if live {
+                            break Some((t, id));
+                        }
+                        self.completions.pop();
+                    }
+                }
+            }
+        };
 
         let timer_next = self
             .timers
@@ -311,7 +648,7 @@ impl Simulator {
             (None, None) => {
                 panic!(
                     "simulation stalled: {} active flows have zero rate and no timers pending",
-                    self.flows.len()
+                    self.live_flows
                 );
             }
         };
@@ -320,7 +657,12 @@ impl Simulator {
 
         if is_flow {
             let id = flow_done.expect("flow event chosen").1;
-            let flow = self.flows.remove(&id).expect("flow exists");
+            if !self.reference_mode {
+                // The live entry we peeked above is still the heap head.
+                self.completions.pop();
+            }
+            let flow = self.remove_flow(id).expect("flow exists");
+            self.retire_flow_accounting(&flow);
             self.rates_stale = true;
             Some(Event::FlowCompleted {
                 id: FlowId(id),
@@ -328,6 +670,7 @@ impl Simulator {
             })
         } else {
             let Reverse((_, id, key)) = self.timers.pop().expect("timer event chosen");
+            self.pending_timers.remove(&id);
             Some(Event::Timer {
                 id: TimerId(id),
                 key,
@@ -338,21 +681,39 @@ impl Simulator {
     /// Moves time forward, progressing flows and recording monitor usage.
     fn advance_to(&mut self, t: SimTime) {
         debug_assert!(t >= self.now);
+        debug_assert!(!self.rates_stale, "advance with stale rates");
         let dt = (t - self.now).as_secs();
         if dt > 0.0 {
             let start = self.now.as_secs();
             let end = t.as_secs();
-            for f in self.flows.values_mut() {
-                if f.rate > 0.0 {
-                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            if self.reference_mode {
+                for f in self.flows.iter_mut().flatten() {
+                    if f.rate > 0.0 {
+                        f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    }
                 }
-            }
-            // Borrow juggling: record after updating.
-            for f in self.flows.values() {
-                if f.rate > 0.0 {
-                    for &(node, kind) in &f.spec.constraints {
-                        self.monitor
-                            .record(start, end, f.rate, node, kind, f.spec.tag);
+                // Borrow juggling: record after updating.
+                for f in self.flows.iter().flatten() {
+                    if f.rate > 0.0 {
+                        for &(node, kind) in &f.spec.constraints {
+                            self.monitor
+                                .record(start, end, f.rate, node, kind, f.spec.tag);
+                        }
+                    }
+                }
+                self.last_materialize = t;
+            } else {
+                // Per-flow state is untouched (remaining is lazy); the
+                // monitor records straight from the aggregate class
+                // tables — O(nodes) per event instead of O(flows).
+                for node in 0..self.node_caps.len() {
+                    for kind in ResourceKind::ALL {
+                        for tag in Traffic::ALL {
+                            let rate = self.class_rate_tbl[self.cell(node, kind, tag)];
+                            if rate > 0.0 {
+                                self.monitor.record(start, end, rate, node, kind, tag);
+                            }
+                        }
                     }
                 }
             }
@@ -365,20 +726,139 @@ impl Simulator {
         if !self.rates_stale {
             return;
         }
-        let flow_resources: Vec<Vec<usize>> = self
-            .flows
-            .values()
-            .map(|f| {
-                f.spec
-                    .constraints
-                    .iter()
-                    .map(|&(node, kind)| node * 4 + kind.index())
-                    .collect()
-            })
-            .collect();
-        let rates = allocate_rates(&self.caps, &flow_resources);
-        for (f, rate) in self.flows.values_mut().zip(rates) {
-            f.rate = rate;
+        if self.reference_mode {
+            let flow_resources: Vec<Vec<usize>> = self
+                .flows
+                .iter()
+                .flatten()
+                .map(|f| f.cells().iter().map(|&c| c as usize).collect())
+                .collect();
+            let rates = reference::allocate_rates(&self.caps, &flow_resources);
+            for (f, rate) in self.flows.iter_mut().flatten().zip(rates) {
+                f.rate = rate;
+            }
+            self.rates_stale = false;
+            return;
+        }
+
+        // Solve over flow groups, not flows: the group-level CSR is
+        // O(distinct shapes) long (≤ nodes² for network flows) however
+        // many flows are live, and group membership is maintained
+        // incrementally at admission/retirement.
+        self.grp_offsets.clear();
+        self.grp_targets.clear();
+        self.grp_weights.clear();
+        self.grp_offsets.push(0);
+        self.grp_row.resize(self.groups.len(), u32::MAX);
+        for (g, grp) in self.groups.iter().enumerate() {
+            if grp.count == 0 {
+                continue;
+            }
+            self.grp_row[g] = self.grp_weights.len() as u32;
+            self.grp_targets
+                .extend_from_slice(&grp.cells[..grp.ncells as usize]);
+            self.grp_offsets.push(self.grp_targets.len() as u32);
+            self.grp_weights.push(grp.count);
+        }
+        self.grp_rates.resize(self.grp_weights.len(), 0.0);
+        self.solver.solve_weighted_into(
+            &self.caps,
+            &self.grp_offsets,
+            &self.grp_targets,
+            &self.grp_weights,
+            &mut self.grp_rates,
+        );
+
+        // One slab pass: materialize each flow's remaining up to now at
+        // the (constant) old rate that applied since the last solve, then
+        // apply its group's new rate — updating class-rate cells and
+        // re-stamping completion predictions only for flows whose rate
+        // actually changed (the changed-set), while also collecting every
+        // live prediction in case the heap is rebuilt below.
+        let dt = (self.now - self.last_materialize).as_secs();
+        self.last_materialize = self.now;
+        let now = self.now;
+        let nflows = self.live_flows;
+        let Self {
+            flows,
+            slot_ids,
+            class_rate_tbl,
+            grp_row,
+            grp_rates,
+            scr_entries,
+            scr_changed,
+            completions,
+            ..
+        } = self;
+        scr_entries.clear();
+        scr_changed.clear();
+        for (slot, f) in flows.iter_mut().enumerate() {
+            let Some(f) = f else { continue };
+            if dt > 0.0 && f.rate > 0.0 {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+            let new_rate = grp_rates[grp_row[f.group as usize] as usize];
+            let changed = new_rate.to_bits() != f.rate.to_bits();
+            if changed {
+                let tag = f.spec.tag.index();
+                for &c in &f.cells[..f.ncells as usize] {
+                    class_rate_tbl[c as usize * TAGS + tag] += new_rate - f.rate;
+                }
+                f.rate = new_rate;
+            }
+            if changed || !f.has_entry {
+                f.epoch += 1;
+                let pred = if f.remaining <= EPS_BYTES {
+                    Some(now)
+                } else if f.rate > 0.0 {
+                    Some(now + SimTime::from_secs(f.remaining / f.rate))
+                } else {
+                    None // starved; no completion at current rates
+                };
+                match pred {
+                    Some(t) => {
+                        f.pred = t;
+                        f.has_entry = true;
+                        scr_changed.push(Reverse((t, slot_ids[slot], f.epoch)));
+                    }
+                    None => f.has_entry = false,
+                }
+            }
+            if f.has_entry {
+                scr_entries.push(Reverse((f.pred, slot_ids[slot], f.epoch)));
+            }
+        }
+
+        // Heap maintenance. When a solve moves most predictions (the
+        // common case under symmetric load), F pushes into a heap full of
+        // newly-dead entries cost O(F log F) and leave the garbage behind;
+        // a wholesale O(F) heapify from the live predictions collected
+        // above is cheaper and leaves the heap exactly `live_flows` long.
+        // The same rebuild bounds lazy-invalidation garbage in the
+        // few-changes regime.
+        if scr_changed.len() * 2 >= nflows.max(1)
+            || completions.len() + scr_changed.len() > 4 * nflows + 64
+        {
+            // Heapify consumes the entry buffer; recycle the old heap's
+            // allocation as the next solve's scratch.
+            let old = std::mem::replace(completions, BinaryHeap::from(std::mem::take(scr_entries)));
+            *scr_entries = old.into_vec();
+        } else {
+            for e in scr_changed.drain(..) {
+                completions.push(e);
+            }
+        }
+
+        self.solves += 1;
+        if self.solves.is_multiple_of(TABLE_REBUILD_PERIOD) {
+            // Bound incremental float drift with an exact rebuild.
+            self.class_rate_tbl.fill(0.0);
+            for f in self.flows.iter().flatten() {
+                let tag = f.spec.tag.index();
+                for &c in f.cells() {
+                    self.class_rate_tbl[c as usize * TAGS + tag] += f.rate;
+                }
+            }
         }
         self.rates_stale = false;
     }
@@ -396,6 +876,7 @@ mod tests {
     fn single_flow_finishes_at_capacity_rate() {
         let mut sim = two_node_sim();
         let f = sim.start_flow(FlowSpec::network(0, 1, 200, Traffic::Repair));
+        sim.refresh();
         assert_eq!(sim.flow_rate(f), Some(100.0));
         let ev = sim.next_event().unwrap();
         assert_eq!(
@@ -414,6 +895,7 @@ mod tests {
         let mut sim = two_node_sim();
         let a = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
         let b = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Foreground));
+        sim.refresh();
         assert_eq!(sim.flow_rate(a), Some(50.0));
         assert_eq!(sim.flow_rate(b), Some(50.0));
         // First completes at t=2 (ties: lowest id first).
@@ -431,6 +913,7 @@ mod tests {
         let mut sim = two_node_sim();
         let n = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
         let d = sim.start_flow(FlowSpec::disk_read(0, 50, Traffic::Repair));
+        sim.refresh();
         assert_eq!(sim.flow_rate(n), Some(100.0));
         assert_eq!(sim.flow_rate(d), Some(50.0));
     }
@@ -457,6 +940,24 @@ mod tests {
         let ev = sim.next_event().unwrap();
         assert!(matches!(ev, Event::Timer { key: 2, .. }));
         assert_eq!(sim.next_event(), None);
+        // The cancelled id was discarded along the way; nothing lingers.
+        assert!(sim.cancelled_timers.is_empty());
+        assert!(sim.pending_timers.is_empty());
+    }
+
+    #[test]
+    fn cancelling_fired_or_unknown_timers_leaves_no_residue() {
+        let mut sim = two_node_sim();
+        let t = sim.schedule_in(0.5, 9);
+        let ev = sim.next_event().unwrap();
+        assert_eq!(ev, Event::Timer { id: t, key: 9 });
+        // Fire-then-cancel: the id is gone, so nothing must be retained.
+        sim.cancel_timer(t);
+        assert!(sim.cancelled_timers.is_empty());
+        // Cancelling a never-existing timer is equally inert.
+        sim.cancel_timer(TimerId(12345));
+        assert!(sim.cancelled_timers.is_empty());
+        assert!(sim.pending_timers.is_empty());
     }
 
     #[test]
@@ -474,6 +975,7 @@ mod tests {
     fn class_rate_and_residual_capacity() {
         let mut sim = two_node_sim();
         sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Foreground));
+        sim.refresh();
         assert_eq!(
             sim.class_rate(0, ResourceKind::Uplink, Traffic::Foreground),
             100.0
@@ -490,6 +992,87 @@ mod tests {
             sim.residual_capacity(1, ResourceKind::Uplink, &[Traffic::Foreground]),
             100.0
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "rates are stale")]
+    fn stale_rate_reads_panic() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let _ = sim.flow_rate(f);
+    }
+
+    #[test]
+    fn class_flow_count_tracks_admission_and_retirement() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        sim.start_flow(FlowSpec::network(0, 1, 200, Traffic::Repair));
+        assert_eq!(
+            sim.class_flow_count(0, ResourceKind::Uplink, Traffic::Repair),
+            2
+        );
+        sim.cancel_flow(f);
+        assert_eq!(
+            sim.class_flow_count(0, ResourceKind::Uplink, Traffic::Repair),
+            1
+        );
+        while sim.next_event().is_some() {}
+        assert_eq!(
+            sim.class_flow_count(0, ResourceKind::Uplink, Traffic::Repair),
+            0
+        );
+    }
+
+    #[test]
+    fn duplicate_constraints_are_deduped_at_admission() {
+        // Regression: a spec listing the same (node, kind) twice used to
+        // double-count load in the solver (halving the flow's rate) and
+        // double-record monitor bytes.
+        let mut sim = two_node_sim();
+        let spec = FlowSpec {
+            bytes: 200.0,
+            constraints: vec![
+                (0, ResourceKind::Uplink),
+                (0, ResourceKind::Uplink),
+                (1, ResourceKind::Downlink),
+            ],
+            tag: Traffic::Repair,
+        };
+        let f = sim.start_flow(spec);
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(100.0));
+        assert_eq!(
+            sim.class_flow_count(0, ResourceKind::Uplink, Traffic::Repair),
+            1
+        );
+        while sim.next_event().is_some() {}
+        let moved = sim
+            .monitor()
+            .total_bytes(0, ResourceKind::Uplink, Traffic::Repair);
+        assert!((moved - 200.0).abs() < 1e-6, "double-recorded: {moved}");
+    }
+
+    #[test]
+    fn slots_are_reused_after_retirement() {
+        let mut sim = two_node_sim();
+        let a = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let b = sim.start_flow(FlowSpec::network(1, 0, 100, Traffic::Repair));
+        sim.cancel_flow(a);
+        // The freed slot is recycled; ids stay unique and resolvable.
+        let c = sim.start_flow(FlowSpec::network(0, 1, 50, Traffic::Repair));
+        assert_eq!(sim.active_flows(), 2);
+        assert_eq!(sim.flows.len(), 2, "slab should not grow past peak");
+        sim.refresh();
+        assert_eq!(sim.flow_rate(a), None);
+        assert_eq!(sim.flow_rate(b), Some(100.0));
+        assert_eq!(sim.flow_rate(c), Some(100.0));
+        let mut done = Vec::new();
+        while let Some(ev) = sim.next_event() {
+            if let Event::FlowCompleted { id, .. } = ev {
+                done.push(id);
+            }
+        }
+        assert_eq!(done, vec![c, b]);
     }
 
     #[test]
@@ -539,5 +1122,55 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batched_admission_equals_sequential() {
+        let specs =
+            || (0..5u64).map(|i| FlowSpec::network(i as usize % 3, 3, 40 + i * 7, Traffic::Repair));
+        let drain = |sim: &mut Simulator| {
+            let mut log = Vec::new();
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs().to_bits()));
+            }
+            log
+        };
+        let mut batched = Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0)));
+        let ids = batched.start_flows(specs());
+        assert_eq!(ids.len(), 5);
+        let mut sequential = Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0)));
+        for s in specs() {
+            sequential.start_flow(s);
+        }
+        assert_eq!(drain(&mut batched), drain(&mut sequential));
+    }
+
+    #[test]
+    fn reference_engine_produces_the_same_log() {
+        let run = |reference: bool| {
+            let mut sim = Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0)));
+            sim.use_reference_engine(reference);
+            for i in 0..4u64 {
+                sim.start_flow(FlowSpec::network(
+                    i as usize,
+                    (i as usize + 1) % 4,
+                    30 + i * 11,
+                    Traffic::Repair,
+                ));
+            }
+            sim.schedule_in(1.7, 3);
+            let mut log = Vec::new();
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs()));
+            }
+            log
+        };
+        let fast = run(false);
+        let slow = run(true);
+        assert_eq!(fast.len(), slow.len());
+        for ((ea, ta), (eb, tb)) in fast.iter().zip(&slow) {
+            assert_eq!(ea, eb);
+            assert!((ta - tb).abs() < 1e-9, "{ta} vs {tb}");
+        }
     }
 }

@@ -124,11 +124,60 @@ impl FlowSpec {
 }
 
 /// A live flow inside the engine.
+///
+/// In the indexed engine, `remaining` is accurate as of the simulator's
+/// last rate solve (`last_materialize`), not necessarily as of `now`; the
+/// engine materializes it lazily. `epoch`/`has_entry`/`pred` back the
+/// lazy-invalidation completion heap: an entry `(pred, id, epoch)` is live
+/// iff the flow still exists and its epoch matches.
 #[derive(Debug, Clone)]
 pub(crate) struct Flow {
     pub(crate) spec: FlowSpec,
     pub(crate) remaining: f64,
     pub(crate) rate: f64,
+    /// The flow's resource cells (`node * 4 + kind`), packed flat at
+    /// admission so the per-solve hot loops never chase the `spec`
+    /// constraint vector.
+    pub(crate) cells: [u32; MAX_CONSTRAINTS],
+    pub(crate) ncells: u8,
+    /// Index of the flow group (distinct resource set) this flow belongs
+    /// to; assigned by the engine at admission.
+    pub(crate) group: u32,
+    /// Bumped whenever the rate (and thus the completion prediction)
+    /// changes; stale heap entries are detected by epoch mismatch.
+    pub(crate) epoch: u64,
+    /// Whether a live heap entry exists for this flow (starved flows have
+    /// none).
+    pub(crate) has_entry: bool,
+    /// The predicted completion time of the live heap entry.
+    pub(crate) pred: crate::time::SimTime,
+}
+
+impl Flow {
+    pub(crate) fn new(spec: FlowSpec) -> Self {
+        let remaining = spec.bytes;
+        let mut cells = [0u32; MAX_CONSTRAINTS];
+        for (c, &(node, kind)) in cells.iter_mut().zip(&spec.constraints) {
+            *c = (node * 4 + kind.index()) as u32;
+        }
+        let ncells = spec.constraints.len() as u8;
+        Flow {
+            spec,
+            remaining,
+            rate: 0.0,
+            cells,
+            ncells,
+            group: u32::MAX,
+            epoch: 0,
+            has_entry: false,
+            pred: crate::time::SimTime::ZERO,
+        }
+    }
+
+    /// The packed resource cells this flow traverses.
+    pub(crate) fn cells(&self) -> &[u32] {
+        &self.cells[..self.ncells as usize]
+    }
 }
 
 #[cfg(test)]

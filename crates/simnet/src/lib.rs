@@ -46,14 +46,14 @@
 
 mod engine;
 mod flow;
-mod maxmin;
+pub mod maxmin;
 mod monitor;
 mod node;
 mod time;
 
 pub use engine::{Event, SimConfig, Simulator};
 pub use flow::{FlowId, FlowSpec, TimerId};
-pub use maxmin::allocate_rates;
+pub use maxmin::{allocate_rates, MaxMinSolver};
 pub use monitor::{Monitor, UsageSample};
 pub use node::{NodeCaps, NodeId, ResourceKind, Traffic};
 pub use time::SimTime;

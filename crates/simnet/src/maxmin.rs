@@ -1,4 +1,21 @@
 //! Max–min fair rate allocation by progressive filling.
+//!
+//! Two implementations live here:
+//!
+//! - [`MaxMinSolver`] — the production solver. It builds a
+//!   resource→flow inverted index once per solve and keeps per-resource
+//!   live-load counters, so each freeze round touches only the flows that
+//!   actually cross the bottleneck: O(total constraint degree) across all
+//!   rounds instead of O(flows × resources) per round. Scratch buffers are
+//!   reused across solves, so a solver embedded in the simulator allocates
+//!   nothing in steady state.
+//! - [`reference`] — the original textbook implementation, kept verbatim as
+//!   the oracle for the differential proptest suite and the
+//!   simulator-throughput benchmark baseline.
+//!
+//! Both perform the same floating-point operations in the same order, so
+//! their results are bit-identical (the differential tests assert this to
+//! 1e-9 to stay robust against future refactors).
 
 /// Computes the max–min fair allocation for a set of flows over shared
 /// capacity-limited resources.
@@ -28,57 +45,275 @@
 /// assert_eq!(rates, vec![8.0, 2.0]);
 /// ```
 pub fn allocate_rates(capacities: &[f64], flows: &[Vec<usize>]) -> Vec<f64> {
-    let mut rates = vec![0.0f64; flows.len()];
-    if flows.is_empty() {
-        return rates;
-    }
-    let mut rem_cap = capacities.to_vec();
-    // Number of unfrozen flows crossing each resource.
-    let mut load = vec![0usize; capacities.len()];
+    let mut solver = MaxMinSolver::new();
+    let mut offsets = Vec::with_capacity(flows.len() + 1);
+    let mut targets = Vec::new();
+    offsets.push(0u32);
     for f in flows {
         assert!(!f.is_empty(), "flow must traverse at least one resource");
         for &r in f {
             debug_assert!(r < capacities.len(), "resource index out of range");
-            load[r] += 1;
+            targets.push(r as u32);
         }
+        offsets.push(targets.len() as u32);
     }
-    let mut frozen = vec![false; flows.len()];
-    let mut unfrozen = flows.len();
+    let mut rates = vec![0.0f64; flows.len()];
+    solver.solve_into(capacities, &offsets, &targets, &mut rates);
+    rates
+}
 
-    while unfrozen > 0 {
-        // Find the bottleneck: the resource with the smallest equal share.
-        let mut best_share = f64::INFINITY;
-        let mut best_res = usize::MAX;
-        for (r, &l) in load.iter().enumerate() {
-            if l > 0 {
-                let share = (rem_cap[r] / l as f64).max(0.0);
-                if share < best_share {
-                    best_share = share;
-                    best_res = r;
+/// Reusable progressive-filling solver over a CSR flow→resource incidence
+/// list.
+///
+/// The caller describes the flow set in compressed sparse row form: flow
+/// `f` traverses `targets[offsets[f]..offsets[f+1]]`. All working memory
+/// (the inverted index, load counters, freeze flags) lives in the solver
+/// and is reused by the next call, so repeated solves over a mutating flow
+/// set — the simulator's per-event pattern — are allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_simnet::MaxMinSolver;
+/// let mut solver = MaxMinSolver::new();
+/// let mut rates = vec![0.0; 2];
+/// // Flow 0 crosses resource 0; flow 1 crosses resources 0 and 1.
+/// solver.solve_into(&[10.0, 2.0], &[0, 1, 3], &[0, 0, 1], &mut rates);
+/// assert_eq!(rates, vec![8.0, 2.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct MaxMinSolver {
+    /// Remaining capacity per resource.
+    rem_cap: Vec<f64>,
+    /// Total weight of unfrozen flows crossing each resource.
+    load: Vec<u32>,
+    /// Inverted index: flows crossing each resource, CSR.
+    res_offsets: Vec<u32>,
+    res_flows: Vec<u32>,
+    /// Write cursor per resource while building the inverted index.
+    cursor: Vec<u32>,
+    frozen: Vec<bool>,
+    /// All-ones weight buffer backing the unweighted entry point.
+    ones: Vec<u32>,
+}
+
+impl MaxMinSolver {
+    /// Creates an empty solver; buffers grow on first use.
+    pub fn new() -> Self {
+        MaxMinSolver::default()
+    }
+
+    /// Solves the max–min allocation, writing one rate per flow into
+    /// `rates`.
+    ///
+    /// Equivalent to [`MaxMinSolver::solve_weighted_into`] with every
+    /// weight 1 (and bit-identical to it: a weight-1 freeze performs the
+    /// exact same float operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() + 1 != offsets.len()`, if a flow lists no
+    /// resources, or (debug assertions) if a resource index is out of
+    /// range.
+    pub fn solve_into(
+        &mut self,
+        capacities: &[f64],
+        offsets: &[u32],
+        targets: &[u32],
+        rates: &mut [f64],
+    ) {
+        self.ones.resize(rates.len(), 1);
+        let ones = core::mem::take(&mut self.ones);
+        self.solve_weighted_into(capacities, offsets, targets, &ones, rates);
+        self.ones = ones;
+    }
+
+    /// Solves the max–min allocation over *flow groups*: row `f` of the
+    /// CSR stands for `weights[f]` identical flows, each of which receives
+    /// `rates[f]`.
+    ///
+    /// Flows with the same resource set always freeze in the same round at
+    /// the same share, so grouping them is exact (up to float-op
+    /// reassociation: a group freeze subtracts `share × weight` once
+    /// instead of `share` per member). The simulator exploits this: a
+    /// cluster has O(nodes²) distinct flow shapes no matter how many
+    /// flows are active, collapsing the per-solve cost from
+    /// O(flows × degree) to O(groups × degree + rounds × resources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates`, `weights` and `offsets` disagree on the group
+    /// count, if a group lists no resources or has zero weight, or (debug
+    /// assertions) if a resource index is out of range.
+    pub fn solve_weighted_into(
+        &mut self,
+        capacities: &[f64],
+        offsets: &[u32],
+        targets: &[u32],
+        weights: &[u32],
+        rates: &mut [f64],
+    ) {
+        let nflows = rates.len();
+        assert_eq!(offsets.len(), nflows + 1, "offsets must bracket each flow");
+        assert_eq!(weights.len(), nflows, "one weight per flow group");
+        rates.fill(0.0);
+        if nflows == 0 {
+            return;
+        }
+        let nres = capacities.len();
+
+        self.rem_cap.clear();
+        self.rem_cap.extend_from_slice(capacities);
+        self.load.clear();
+        self.load.resize(nres, 0);
+        for f in 0..nflows {
+            assert!(weights[f] > 0, "flow group must have positive weight");
+            for &r in &targets[offsets[f] as usize..offsets[f + 1] as usize] {
+                debug_assert!((r as usize) < nres, "resource index out of range");
+                self.load[r as usize] += weights[f];
+            }
+        }
+
+        // Build the resource→flow inverted index by counting sort, which
+        // keeps flows in ascending order within each bucket — the same
+        // freeze order as the reference solver.
+        self.res_offsets.clear();
+        self.res_offsets.resize(nres + 1, 0);
+        self.cursor.clear();
+        self.cursor.resize(nres, 0);
+        for &r in targets {
+            self.cursor[r as usize] += 1;
+        }
+        for r in 0..nres {
+            self.res_offsets[r + 1] = self.res_offsets[r] + self.cursor[r];
+        }
+        self.cursor.copy_from_slice(&self.res_offsets[..nres]);
+        self.res_flows.clear();
+        self.res_flows.resize(targets.len(), 0);
+        for f in 0..nflows {
+            let (lo, hi) = (offsets[f] as usize, offsets[f + 1] as usize);
+            assert!(lo < hi, "flow must traverse at least one resource");
+            for &r in &targets[lo..hi] {
+                let c = &mut self.cursor[r as usize];
+                self.res_flows[*c as usize] = f as u32;
+                *c += 1;
+            }
+        }
+
+        self.frozen.clear();
+        self.frozen.resize(nflows, false);
+        let mut unfrozen = nflows;
+
+        while unfrozen > 0 {
+            // Find the bottleneck: the resource with the smallest equal
+            // share (ties broken by lowest index, as in the reference).
+            let mut best_share = f64::INFINITY;
+            let mut best_res = usize::MAX;
+            for (r, &l) in self.load.iter().enumerate() {
+                if l > 0 {
+                    let share = (self.rem_cap[r] / l as f64).max(0.0);
+                    if share < best_share {
+                        best_share = share;
+                        best_res = r;
+                    }
+                }
+            }
+            debug_assert_ne!(
+                best_res,
+                usize::MAX,
+                "unfrozen flows but no loaded resource"
+            );
+
+            // Freeze every unfrozen group crossing the bottleneck — via
+            // the inverted index, so only groups actually on `best_res`
+            // are touched.
+            let (lo, hi) = (
+                self.res_offsets[best_res] as usize,
+                self.res_offsets[best_res + 1] as usize,
+            );
+            for i in lo..hi {
+                let f = self.res_flows[i] as usize;
+                if self.frozen[f] {
+                    continue;
+                }
+                self.frozen[f] = true;
+                unfrozen -= 1;
+                rates[f] = best_share;
+                let w = weights[f];
+                let consumed = best_share * w as f64;
+                for &r in &targets[offsets[f] as usize..offsets[f + 1] as usize] {
+                    let r = r as usize;
+                    self.rem_cap[r] = (self.rem_cap[r] - consumed).max(0.0);
+                    self.load[r] -= w;
                 }
             }
         }
-        debug_assert_ne!(
-            best_res,
-            usize::MAX,
-            "unfrozen flows but no loaded resource"
-        );
+    }
+}
 
-        // Freeze every unfrozen flow crossing the bottleneck.
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] || !flow.contains(&best_res) {
-                continue;
-            }
-            frozen[f] = true;
-            unfrozen -= 1;
-            rates[f] = best_share;
-            for &r in flow {
-                rem_cap[r] = (rem_cap[r] - best_share).max(0.0);
-                load[r] -= 1;
+/// The original O(flows × resources)-per-round progressive-filling solver,
+/// kept as the oracle for differential tests and benchmark baselines.
+pub mod reference {
+    /// Computes the max–min fair allocation exactly like
+    /// [`allocate_rates`](super::allocate_rates), with the pre-index
+    /// full-rescan algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow lists no resources.
+    pub fn allocate_rates(capacities: &[f64], flows: &[Vec<usize>]) -> Vec<f64> {
+        let mut rates = vec![0.0f64; flows.len()];
+        if flows.is_empty() {
+            return rates;
+        }
+        let mut rem_cap = capacities.to_vec();
+        // Number of unfrozen flows crossing each resource.
+        let mut load = vec![0usize; capacities.len()];
+        for f in flows {
+            assert!(!f.is_empty(), "flow must traverse at least one resource");
+            for &r in f {
+                debug_assert!(r < capacities.len(), "resource index out of range");
+                load[r] += 1;
             }
         }
+        let mut frozen = vec![false; flows.len()];
+        let mut unfrozen = flows.len();
+
+        while unfrozen > 0 {
+            // Find the bottleneck: the resource with the smallest equal share.
+            let mut best_share = f64::INFINITY;
+            let mut best_res = usize::MAX;
+            for (r, &l) in load.iter().enumerate() {
+                if l > 0 {
+                    let share = (rem_cap[r] / l as f64).max(0.0);
+                    if share < best_share {
+                        best_share = share;
+                        best_res = r;
+                    }
+                }
+            }
+            debug_assert_ne!(
+                best_res,
+                usize::MAX,
+                "unfrozen flows but no loaded resource"
+            );
+
+            // Freeze every unfrozen flow crossing the bottleneck.
+            for (f, flow) in flows.iter().enumerate() {
+                if frozen[f] || !flow.contains(&best_res) {
+                    continue;
+                }
+                frozen[f] = true;
+                unfrozen -= 1;
+                rates[f] = best_share;
+                for &r in flow {
+                    rem_cap[r] = (rem_cap[r] - best_share).max(0.0);
+                    load[r] -= 1;
+                }
+            }
+        }
+        rates
     }
-    rates
 }
 
 #[cfg(test)]
@@ -165,5 +400,76 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(allocate_rates(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn indexed_matches_reference_bit_for_bit() {
+        let caps = [4.0, 7.0, 3.0, 5.0, 0.5, 11.0];
+        let flows = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![1],
+            vec![3],
+            vec![4, 5],
+            vec![5],
+            vec![0, 4],
+            vec![2, 5, 1],
+        ];
+        let a = allocate_rates(&caps, &flows);
+        let b = reference::allocate_rates(&caps, &flows);
+        assert_eq!(a, b, "indexed and reference solvers diverged");
+    }
+
+    #[test]
+    fn duplicate_resource_entries_match_reference() {
+        // A malformed flow listing a resource twice must at least agree
+        // with the reference (the engine dedupes before it gets here).
+        let caps = [6.0, 4.0];
+        let flows = vec![vec![0, 0], vec![0, 1], vec![1]];
+        let a = allocate_rates(&caps, &flows);
+        let b = reference::allocate_rates(&caps, &flows);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_groups_match_expanded_flows() {
+        // 3 identical flows on link 0 + 2 identical flows on links 0 and 1,
+        // expressed as two weighted groups vs five unit flows.
+        let caps = [10.0, 3.0];
+        let expanded = allocate_rates(&caps, &[vec![0], vec![0], vec![0], vec![0, 1], vec![0, 1]]);
+        let mut solver = MaxMinSolver::new();
+        let mut grouped = vec![0.0; 2];
+        solver.solve_weighted_into(&caps, &[0, 1, 3], &[0, 0, 1], &[3, 2], &mut grouped);
+        assert_close(grouped[0], expanded[0]);
+        assert_close(grouped[1], expanded[3]);
+        // Within a group the expanded flows all agree exactly.
+        assert_eq!(expanded[0], expanded[1]);
+        assert_eq!(expanded[3], expanded[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_group_rejected() {
+        let mut solver = MaxMinSolver::new();
+        let mut rates = vec![0.0; 1];
+        solver.solve_weighted_into(&[1.0], &[0, 1], &[0], &[0], &mut rates);
+    }
+
+    #[test]
+    fn solver_is_reusable_across_solves() {
+        let mut solver = MaxMinSolver::new();
+        let mut rates = vec![0.0; 2];
+        solver.solve_into(&[10.0, 2.0], &[0, 1, 3], &[0, 0, 1], &mut rates);
+        assert_eq!(rates, vec![8.0, 2.0]);
+        // Smaller follow-up problem: buffers shrink logically, not physically.
+        let mut rates = vec![0.0; 1];
+        solver.solve_into(&[7.0], &[0, 1], &[0], &mut rates);
+        assert_close(rates[0], 7.0);
+        // And empty.
+        let mut rates: Vec<f64> = Vec::new();
+        solver.solve_into(&[1.0], &[0], &[], &mut rates);
+        assert!(rates.is_empty());
     }
 }
