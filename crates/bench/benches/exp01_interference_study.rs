@@ -1,83 +1,7 @@
-//! Exp#1 (Fig. 12): repair throughput and foreground P99 latency for
-//! CR / PPR / ECPipe / ChameleonEC under four real-world trace families.
-//!
-//! Paper result: ChameleonEC improves repair throughput by 23.5% / 31.4% /
-//! 65.6% on average over CR / PPR / ECPipe across traces, and shortens the
-//! traces' P99 latency by 18.2% / 9.1% / 17.6%.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_repair, FgSpec};
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_traces::TraceKind;
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp01`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    let cfg = scale.cluster_config(14);
-
-    println!(
-        "Exp#1 (Fig. 12): interference study at scale '{}' — RS(10,4), {} clients",
-        scale.name(),
-        scale.clients
-    );
-
-    let mut rows = Vec::new();
-    let mut cham_tp: Vec<f64> = Vec::new();
-    let mut base_tp: Vec<(AlgoKind, f64)> = Vec::new();
-
-    for trace in TraceKind::ALL {
-        for algo in AlgoKind::HEADLINE {
-            let fg = FgSpec::uniform(trace, scale.clients, scale.requests_per_client);
-            let out = run_repair(
-                code.clone(),
-                cfg.clone(),
-                &[0],
-                |ctx| algo.driver(ctx, 7),
-                Some(fg),
-            );
-            let mbps = out.repair_mbps();
-            let p99 = out.p99_ms();
-            rows.push(vec![
-                trace.name().to_string(),
-                algo.label(),
-                format!("{mbps:.1}"),
-                format!("{p99:.3}"),
-            ]);
-            if algo == AlgoKind::Chameleon {
-                cham_tp.push(mbps);
-            } else {
-                base_tp.push((algo, mbps));
-            }
-        }
-    }
-
-    print_table(
-        "repair throughput and trace P99 under interference",
-        &["trace", "algorithm", "repair MB/s", "P99 (ms)"],
-        &rows,
-    );
-    write_csv(
-        "exp01_interference_study",
-        &["trace", "algorithm", "repair_mbps", "p99_ms"],
-        &rows,
-    );
-
-    // Summarize ChameleonEC's average gain over each baseline.
-    for base in AlgoKind::BASELINES {
-        let gains: Vec<f64> = base_tp
-            .iter()
-            .filter(|(a, _)| *a == base)
-            .zip(&cham_tp)
-            .map(|((_, b), c)| improvement(*c, *b))
-            .collect();
-        let avg = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
-        println!(
-            "ChameleonEC vs {:<8}: {} average repair-throughput gain (paper: +23.5%/+31.4%/+65.6%)",
-            base.label(),
-            pct(avg)
-        );
-    }
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp01::run);
 }

@@ -1,92 +1,7 @@
-//! Exp#2 (Fig. 13): impact on trace execution time — the *interference
-//! degree* `T*/T - 1`, where `T` is a trace's execution time without
-//! repair and `T*` with a concurrent repair.
-//!
-//! Paper result: ChameleonEC reduces the interference degree by 45.9% /
-//! 50.2% / 56.7% on average vs CR / PPR / ECPipe, with the biggest
-//! reductions on highly variable traces (IBM-COS, FB-ETC).
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_foreground_only, run_repair, FgSpec};
-use chameleon_bench::table::{print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_traces::TraceKind;
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp02`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    let cfg = scale.cluster_config(14);
-
-    println!(
-        "Exp#2 (Fig. 13): interference degree (T*/T - 1) per trace (scale '{}')",
-        scale.name()
-    );
-
-    let mut rows = Vec::new();
-    let mut cham_deg: Vec<f64> = Vec::new();
-    let mut base_deg: Vec<(AlgoKind, f64)> = Vec::new();
-    for trace in TraceKind::ALL {
-        let spec = FgSpec::uniform(trace, scale.clients, scale.requests_per_client);
-        let (clean, _) = run_foreground_only(code.clone(), cfg.clone(), spec.clone());
-        let t = clean.execution_time.expect("finished");
-        for algo in AlgoKind::HEADLINE {
-            let out = run_repair(
-                code.clone(),
-                cfg.clone(),
-                &[0],
-                |ctx| algo.driver(ctx, 7),
-                Some(spec.clone()),
-            );
-            let t_star = out
-                .fg_report
-                .as_ref()
-                .and_then(|r| r.execution_time)
-                .expect("finished");
-            let degree = (t_star / t - 1.0).max(0.0);
-            rows.push(vec![
-                trace.name().to_string(),
-                algo.label(),
-                format!("{t:.1}"),
-                format!("{t_star:.1}"),
-                format!("{:.3}", degree),
-            ]);
-            if algo == AlgoKind::Chameleon {
-                cham_deg.push(degree);
-            } else {
-                base_deg.push((algo, degree));
-            }
-        }
-    }
-    print_table(
-        "interference degree per trace and algorithm",
-        &["trace", "algorithm", "T (s)", "T* (s)", "degree"],
-        &rows,
-    );
-    write_csv(
-        "exp02_trace_execution",
-        &["trace", "algorithm", "t_secs", "t_star_secs", "degree"],
-        &rows,
-    );
-
-    for base in AlgoKind::BASELINES {
-        let pairs: Vec<(f64, f64)> = base_deg
-            .iter()
-            .filter(|(a, _)| *a == base)
-            .zip(&cham_deg)
-            .map(|((_, b), c)| (*b, *c))
-            .collect();
-        let reduction: f64 = pairs
-            .iter()
-            .map(|(b, c)| if *b > 0.0 { 1.0 - c / b } else { 0.0 })
-            .sum::<f64>()
-            / pairs.len().max(1) as f64;
-        println!(
-            "ChameleonEC reduces interference degree vs {:<8} by {:.1}% on average \
-             (paper: 45.9%/50.2%/56.7%)",
-            base.label(),
-            reduction * 100.0
-        );
-    }
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp02::run);
 }

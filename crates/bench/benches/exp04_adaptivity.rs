@@ -1,143 +1,7 @@
-//! Exp#4 (Fig. 15): adaptivity — the foreground trace *transitions* to a
-//! different family every 15 s while the repair runs; we record repair
-//! throughput over time.
-//!
-//! Paper result: ChameleonEC dips briefly right after each transition
-//! (~19% for a few seconds) and then recovers its lead; overall it
-//! improves average throughput by 51.5% / 53.0% / 97.2% over CR / PPR /
-//! ECPipe.
-
-use std::sync::Arc;
-
-use chameleon_bench::table::{print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_cluster::{Cluster, ForegroundDriver};
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_core::RepairContext;
-use chameleon_simnet::{Event, ResourceKind, Traffic};
-use chameleon_traces::{TraceKind, Workload};
-
-const TRANSITION_SECS: f64 = 15.0;
-
-/// Runs a repair while cycling the foreground trace; returns per-window
-/// repair throughput (MB/s) plus the overall repair throughput.
-fn run(algo: AlgoKind, scale: &Scale) -> (Vec<f64>, f64) {
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    // 1 Gb/s links + a stressed chunk count so the repair spans several
-    // 15 s trace transitions.
-    let mut cfg = scale.cluster_config_with_bandwidth(14, 1.25e8, 500e6);
-    cfg.monitor_window_secs = 5.0;
-    let mut cluster = Cluster::new(cfg).expect("cluster");
-    cluster.fail_node(0).expect("fail");
-    let lost = cluster.lost_chunks(&[0]);
-    let ctx = RepairContext::new(cluster, code);
-    let mut sim = ctx.cluster.build_simulator();
-
-    let sequence = TraceKind::ALL;
-    let workloads: Vec<Box<dyn Workload>> = (0..scale.clients)
-        .map(|c| sequence[0].build(0xFACE + c as u64))
-        .collect();
-    let mut fg = ForegroundDriver::new(workloads, usize::MAX);
-    fg.start(&ctx.cluster, &mut sim);
-
-    let mut driver = algo.driver(ctx.clone(), 7);
-    driver.start(&mut sim, lost);
-
-    let mut transition = sim.schedule_in(TRANSITION_SECS, 0);
-    let mut stage = 1usize;
-    while let Some(ev) = sim.next_event() {
-        if let Event::Timer { id, .. } = ev {
-            if id == transition {
-                let kind = sequence[stage % sequence.len()];
-                for c in 0..scale.clients {
-                    fg.replace_workload(c, kind.build(0xFACE + 100 * stage as u64 + c as u64));
-                }
-                stage += 1;
-                transition = sim.schedule_in(TRANSITION_SECS, 0);
-                continue;
-            }
-        }
-        if driver.on_event(&mut sim, &ev) {
-            if driver.is_done() {
-                fg.stop();
-            }
-            continue;
-        }
-        fg.on_event(&ctx.cluster, &mut sim, &ev);
-        if driver.is_done() && fg.in_flight_count() == 0 {
-            break;
-        }
-    }
-    assert!(driver.is_done(), "repair stuck");
-
-    // Repaired data per window = repair-tagged disk writes.
-    let m = sim.monitor();
-    let series: Vec<f64> = (0..m.window_count())
-        .map(|w| {
-            (0..20)
-                .map(|node| {
-                    m.usage(w, node, ResourceKind::DiskWrite, Traffic::Repair)
-                        .bytes
-                })
-                .sum::<f64>()
-                / m.window_secs()
-                / 1e6
-        })
-        .collect();
-    (series, driver.outcome(&sim).throughput() / 1e6)
-}
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp04`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env().stressed();
-    println!(
-        "Exp#4 (Fig. 15): repair throughput under trace transitions every {TRANSITION_SECS} s \
-         (scale '{}')",
-        scale.name()
-    );
-
-    let mut rows = Vec::new();
-    let mut overall = Vec::new();
-    for algo in AlgoKind::HEADLINE {
-        let (series, total) = run(algo, &scale);
-        println!(
-            "  {:<12} {}  ({} windows)",
-            algo.label(),
-            chameleon_bench::table::sparkline(&series),
-            series.len()
-        );
-        overall.push((algo, total));
-        for (w, mbps) in series.iter().enumerate() {
-            rows.push(vec![
-                algo.label(),
-                format!("{:.0}", w as f64 * 5.0),
-                format!("{mbps:.1}"),
-            ]);
-        }
-    }
-    print_table(
-        "repair throughput over time (5 s windows)",
-        &["algorithm", "t (s)", "repair MB/s"],
-        &rows,
-    );
-    write_csv(
-        "exp04_adaptivity",
-        &["algorithm", "t_secs", "repair_mbps"],
-        &rows,
-    );
-
-    println!("\noverall repair throughput:");
-    let cham = overall
-        .iter()
-        .find(|(a, _)| *a == AlgoKind::Chameleon)
-        .map(|(_, t)| *t)
-        .unwrap_or(0.0);
-    for (algo, total) in &overall {
-        let note = if *algo == AlgoKind::Chameleon {
-            String::new()
-        } else {
-            format!("  (ChameleonEC {:+.1}%)", (cham / total - 1.0) * 100.0)
-        };
-        println!("  {:<12} {:>8.1} MB/s{}", algo.label(), total, note);
-    }
-    println!("(paper: +51.5%/+53.0%/+97.2% over CR/PPR/ECPipe)");
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp04::run);
 }

@@ -1,81 +1,7 @@
-//! Exp#6 (Fig. 17): the baselines boosted by RepairBoost vs ChameleonEC,
-//! under YCSB foreground traffic.
-//!
-//! Paper result: RepairBoost lifts every baseline (e.g. ECPipe from
-//! 110.6 to 142.7 MB/s), but ChameleonEC still wins by 34.8% / 16.7% /
-//! 46.2% over RB+CR / RB+PPR / RB+ECPipe — a fixed plan shape re-creates
-//! the bandwidth imbalance RepairBoost tries to remove.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_repair, FgSpec};
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_codes::{ErasureCode, ReedSolomon};
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp06`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    let cfg = scale.cluster_config(14);
-
-    println!(
-        "Exp#6 (Fig. 17): RepairBoost-boosted baselines vs ChameleonEC (scale '{}')",
-        scale.name()
-    );
-
-    let algos = [
-        AlgoKind::Cr,
-        AlgoKind::RbCr,
-        AlgoKind::Ppr,
-        AlgoKind::RbPpr,
-        AlgoKind::EcPipe,
-        AlgoKind::RbEcPipe,
-        AlgoKind::Chameleon,
-    ];
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    for algo in algos {
-        let out = run_repair(
-            code.clone(),
-            cfg.clone(),
-            &[0],
-            |ctx| algo.driver(ctx, 7),
-            Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
-        );
-        let mbps = out.repair_mbps();
-        results.push((algo, mbps));
-        rows.push(vec![
-            algo.label(),
-            format!("{mbps:.1}"),
-            format!("{:.2}", out.p99_ms()),
-        ]);
-    }
-    print_table(
-        "repair throughput under RepairBoost",
-        &["algorithm", "repair MB/s", "P99 (ms)"],
-        &rows,
-    );
-    write_csv(
-        "exp06_repairboost",
-        &["algorithm", "repair_mbps", "p99_ms"],
-        &rows,
-    );
-
-    let get = |kind: AlgoKind| results.iter().find(|(a, _)| *a == kind).map(|(_, t)| *t);
-    let cham = get(AlgoKind::Chameleon).unwrap_or(0.0);
-    for (plain, boosted) in [
-        (AlgoKind::Cr, AlgoKind::RbCr),
-        (AlgoKind::Ppr, AlgoKind::RbPpr),
-        (AlgoKind::EcPipe, AlgoKind::RbEcPipe),
-    ] {
-        let (p, b) = (get(plain).unwrap_or(0.0), get(boosted).unwrap_or(0.0));
-        println!(
-            "{:<10}: RB lifts {p:.1} -> {b:.1} MB/s ({}); ChameleonEC still {} better than {}",
-            plain.label(),
-            pct(improvement(b, p)),
-            pct(improvement(cham, b)),
-            boosted.label(),
-        );
-    }
-    println!("(paper: ChameleonEC +34.8%/+16.7%/+46.2% over RB+CR/RB+PPR/RB+ECPipe)");
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp06::run);
 }

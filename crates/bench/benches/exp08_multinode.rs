@@ -1,69 +1,7 @@
-//! Exp#8 (Fig. 19): multi-node repair — one to three simultaneous node
-//! failures, under YCSB foreground traffic.
-//!
-//! Paper result: throughput declines slightly with more failed nodes
-//! (fewer dispatch targets, less aggregate bandwidth), but ChameleonEC
-//! keeps its lead and even grows it (+43.6% at one failure, +65.7% at
-//! three) because it shines when bandwidth is stringent.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_repair, FgSpec};
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_codes::{ErasureCode, ReedSolomon};
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp08`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    let cfg = scale.cluster_config(14);
-
-    println!(
-        "Exp#8 (Fig. 19): multi-node repair (scale '{}')",
-        scale.name()
-    );
-
-    let mut rows = Vec::new();
-    for failures in 1usize..=3 {
-        let victims: Vec<usize> = (0..failures).collect();
-        let mut cham = 0.0f64;
-        let mut bases = Vec::new();
-        for algo in AlgoKind::HEADLINE {
-            let out = run_repair(
-                code.clone(),
-                cfg.clone(),
-                &victims,
-                |ctx| algo.driver(ctx, 7),
-                Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
-            );
-            let mbps = out.repair_mbps();
-            rows.push(vec![
-                failures.to_string(),
-                algo.label(),
-                format!("{mbps:.1}"),
-                out.outcome.chunks_repaired.to_string(),
-            ]);
-            if algo == AlgoKind::Chameleon {
-                cham = mbps;
-            } else {
-                bases.push(mbps);
-            }
-        }
-        let avg_base = bases.iter().sum::<f64>() / bases.len() as f64;
-        println!(
-            "  {failures} failed node(s): ChameleonEC vs baseline average: {}",
-            pct(improvement(cham, avg_base))
-        );
-    }
-    print_table(
-        "repair throughput vs number of failed nodes",
-        &["failed nodes", "algorithm", "repair MB/s", "chunks"],
-        &rows,
-    );
-    write_csv(
-        "exp08_multinode",
-        &["failed_nodes", "algorithm", "repair_mbps", "chunks"],
-        &rows,
-    );
-    println!("(paper: +43.6% at 1 failure growing to +65.7% at 3)");
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp08::run);
 }

@@ -1,113 +1,7 @@
-//! Exp#10 (Fig. 21): degraded reads — a client requests one chunk on a
-//! failed node; the chunk is repaired on the fly. Degraded-read
-//! throughput = chunk size / restore latency, under YCSB foreground
-//! traffic.
-//!
-//! Paper result: ChameleonEC improves degraded-read throughput by
-//! 20.9–152.0%; the gain shrinks as k grows (with k = 10, half of a
-//! 20-node testbed already participates, so there is less freedom left).
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::FgSpec;
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_cluster::Cluster;
-use chameleon_codes::{ErasureCode, ReedSolomon};
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp10`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    println!(
-        "Exp#10 (Fig. 21): degraded-read throughput (scale '{}')",
-        scale.name()
-    );
-
-    let mut rows = Vec::new();
-    for (k, m) in [(4usize, 2usize), (6, 3), (8, 3), (10, 4)] {
-        let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(k, m).expect("code"));
-        let cfg = scale.cluster_config(k + m);
-        // Identify which node holds stripe 0 / chunk 0 so we can fail it
-        // and request exactly that chunk.
-        let probe = Cluster::new(cfg.clone()).expect("cluster");
-        let victim = probe.placement().stripe_nodes(0)[0];
-
-        let mut per_algo = Vec::new();
-        for algo in AlgoKind::HEADLINE {
-            // Repair only the requested chunk (degraded read), while the
-            // cluster serves foreground requests.
-            let out = run_one_chunk(
-                code.clone(),
-                cfg.clone(),
-                victim,
-                algo,
-                FgSpec::ycsb(scale.clients, scale.requests_per_client / 4),
-            );
-            per_algo.push((algo, out));
-        }
-        let cham = per_algo
-            .iter()
-            .find(|(a, _)| *a == AlgoKind::Chameleon)
-            .map(|(_, t)| *t)
-            .unwrap_or(0.0);
-        for (algo, mbps) in &per_algo {
-            let vs = if *algo == AlgoKind::Chameleon {
-                "-".into()
-            } else {
-                pct(improvement(cham, *mbps))
-            };
-            rows.push(vec![
-                format!("RS({k},{m})"),
-                algo.label(),
-                format!("{mbps:.1}"),
-                vs,
-            ]);
-        }
-    }
-    print_table(
-        "degraded-read throughput (chunk restored per second, MB/s)",
-        &["code", "algorithm", "DR MB/s", "ChameleonEC gain"],
-        &rows,
-    );
-    write_csv(
-        "exp10_degraded_read",
-        &["code", "algorithm", "dr_mbps", "chameleon_gain"],
-        &rows,
-    );
-    println!("shape check: ChameleonEC's gain shrinks as k grows (paper: 59.1% at k=6 -> 35.7% at k=10).");
-}
-
-/// Restores a single chunk; returns degraded-read throughput in MB/s.
-fn run_one_chunk(
-    code: Arc<dyn ErasureCode>,
-    cfg: chameleon_cluster::ClusterConfig,
-    victim: usize,
-    algo: AlgoKind,
-    fg: FgSpec,
-) -> f64 {
-    use chameleon_core::RepairContext;
-
-    let mut cluster = Cluster::new(cfg).expect("cluster");
-    cluster.fail_node(victim).expect("fail");
-    let requested = chameleon_cluster::ChunkId {
-        stripe: 0,
-        index: 0,
-    };
-    let ctx = RepairContext::new(cluster, code);
-    let mut sim = ctx.cluster.build_simulator();
-    let mut fgd = chameleon_cluster::ForegroundDriver::new(fg.workloads(), fg.requests_per_client);
-    fgd.start(&ctx.cluster, &mut sim);
-    let mut driver = algo.driver(ctx.clone(), 7);
-    driver.start(&mut sim, vec![requested]);
-    while let Some(ev) = sim.next_event() {
-        if driver.on_event(&mut sim, &ev) {
-            if driver.is_done() {
-                break; // measure the read latency; the trace keeps running
-            }
-            continue;
-        }
-        fgd.on_event(&ctx.cluster, &mut sim, &ev);
-    }
-    let outcome = driver.outcome(&sim);
-    let latency = outcome.duration.expect("finished");
-    (ctx.chunk_size() as f64 / latency) / 1e6
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp10::run);
 }

@@ -1,142 +1,7 @@
-//! Exp#11 (Fig. 22): breakdown study — ETRP (dispatch + tunable plans
-//! only) vs full ChameleonEC (ETRP + SAR), with a straggler injected at
-//! different points of a repair phase (0 s, 5 s, 10 s), compared against
-//! the baselines. The straggler is mimicked by background readers
-//! hammering one participating node (the paper uses eight Redis reader
-//! threads).
-//!
-//! Paper result: ChameleonEC (ETRP+SAR) beats CR/PPR/ECPipe by
-//! 34.5%/18.8%/43.5% in the disturbed phase, and beats plain ETRP by
-//! ~31.4% — re-scheduling matters. The later the straggler appears, the
-//! higher everyone's phase throughput.
-
-use std::sync::Arc;
-
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_cluster::Cluster;
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_core::RepairContext;
-use chameleon_simnet::{Event, FlowSpec, Traffic};
-
-/// The paper's monitored phase length: the straggler hits inside a 20 s
-/// phase and the *phase's* repair throughput is reported.
-const PHASE_SECS: f64 = 20.0;
-
-/// Runs a full-node repair; at `straggle_at` seconds, eight background
-/// readers flood one surviving node. Returns the repair throughput of the
-/// monitored 20 s phase (repaired bytes written during `[0, 20 s)`), in
-/// MB/s.
-fn run(algo: AlgoKind, scale: &Scale, straggle_at: f64) -> f64 {
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    // 1 Gb/s links + stressed chunk count: the repair spans the monitored
-    // 20 s phase so mid-phase stragglers actually overlap it.
-    let mut cfg = scale.cluster_config_with_bandwidth(14, 1.25e8, 500e6);
-    cfg.monitor_window_secs = PHASE_SECS;
-    let mut cluster = Cluster::new(cfg).expect("cluster");
-    cluster.fail_node(0).expect("fail");
-    let lost = cluster.lost_chunks(&[0]);
-    let victim = 1usize; // a surviving node that will straggle
-    let ctx = RepairContext::new(cluster, code);
-    let mut sim = ctx.cluster.build_simulator();
-    let mut driver = algo.driver(ctx.clone(), 7);
-    driver.start(&mut sim, lost);
-
-    let hog = sim.schedule_in(straggle_at, 0);
-    while let Some(ev) = sim.next_event() {
-        if let Event::Timer { id, .. } = ev {
-            if id == hog {
-                // Eight reader threads pulling from the straggler, and the
-                // symmetric write pressure (the paper's Redis readers).
-                for i in 0..8usize {
-                    let peer = 2 + (i % 8);
-                    sim.start_flow(FlowSpec::network(
-                        victim,
-                        peer,
-                        2 << 30,
-                        Traffic::Background,
-                    ));
-                    sim.start_flow(FlowSpec::network(
-                        peer,
-                        victim,
-                        2 << 30,
-                        Traffic::Background,
-                    ));
-                }
-                continue;
-            }
-        }
-        driver.on_event(&mut sim, &ev);
-        if driver.is_done() {
-            break;
-        }
-    }
-    assert!(driver.is_done(), "repair stuck under straggler");
-    // Repaired data written during the monitored phase.
-    let m = sim.monitor();
-    let written: f64 = (0..20)
-        .map(|node| {
-            m.usage(
-                0,
-                node,
-                chameleon_simnet::ResourceKind::DiskWrite,
-                Traffic::Repair,
-            )
-            .bytes
-        })
-        .sum();
-    written / PHASE_SECS / 1e6
-}
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp11`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env().stressed();
-    println!(
-        "Exp#11 (Fig. 22): breakdown with a straggler at different phase offsets \
-         (scale '{}')",
-        scale.name()
-    );
-
-    let algos = [
-        AlgoKind::Cr,
-        AlgoKind::Ppr,
-        AlgoKind::EcPipe,
-        AlgoKind::Etrp,
-        AlgoKind::Chameleon,
-    ];
-    let mut rows = Vec::new();
-    for straggle_at in [0.0f64, 5.0, 10.0] {
-        let mut etrp = 0.0f64;
-        let mut cham = 0.0f64;
-        for algo in algos {
-            let mbps = run(algo, &scale, straggle_at);
-            rows.push(vec![
-                format!("{straggle_at:.0}"),
-                algo.label(),
-                format!("{mbps:.1}"),
-            ]);
-            match algo {
-                AlgoKind::Etrp => etrp = mbps,
-                AlgoKind::Chameleon => cham = mbps,
-                _ => {}
-            }
-        }
-        println!(
-            "  straggler at {straggle_at:.0}s: ETRP+SAR vs ETRP alone: {}",
-            pct(improvement(cham, etrp))
-        );
-    }
-    print_table(
-        "repair throughput with an injected straggler",
-        &["straggler at (s)", "algorithm", "repair MB/s"],
-        &rows,
-    );
-    write_csv(
-        "exp11_breakdown",
-        &["straggle_at_secs", "algorithm", "repair_mbps"],
-        &rows,
-    );
-    println!(
-        "(paper: ETRP+SAR beats CR/PPR/ECPipe by 34.5%/18.8%/43.5% and plain ETRP by ~31.4%; \
-         later stragglers hurt less)"
-    );
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp11::run);
 }

@@ -1,130 +1,7 @@
-//! Exp#12 (Fig. 23): storage-bottlenecked scenarios — disk bandwidth
-//! throttled to 250–500 MB/s against 1.25 GB/s links, comparing the
-//! baselines, ChameleonEC, and the storage-aware ChameleonEC-IO variant.
-//!
-//! Paper result: ChameleonEC's edge shrinks as disks get slower (network
-//! scheduling matters less), and ChameleonEC-IO — which dispatches on
-//! residual *disk* bandwidth — beats plain ChameleonEC by ~35.7% under
-//! stringent storage bandwidth.
-//!
-//! This harness additionally sweeps 125 MB/s (beyond the paper's range)
-//! and injects network-invisible background disk load ("compactions") on
-//! six nodes — the information asymmetry that motivates the IO variant.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::FgSpec;
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_cluster::{Cluster, ForegroundDriver};
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_core::RepairContext;
-use chameleon_simnet::{FlowSpec, Traffic};
-
-/// Nodes with heavy background disk activity (compaction/scrubbing-style
-/// I/O that is *invisible on the network*) — the situation where
-/// disk-aware dispatch has information network-aware dispatch lacks.
-const COMPACTING_NODES: [usize; 6] = [2, 5, 8, 11, 14, 17];
-
-/// Runs a repair under YCSB foreground plus background disk load on the
-/// compacting nodes; returns (repair MB/s, P99 ms).
-fn run(
-    code: Arc<dyn ErasureCode>,
-    cfg: &chameleon_cluster::ClusterConfig,
-    algo: AlgoKind,
-    fg: FgSpec,
-) -> (f64, f64) {
-    let mut cluster = Cluster::new(cfg.clone()).expect("cluster");
-    cluster.fail_node(0).expect("fail");
-    let lost = cluster.lost_chunks(&[0]);
-    let ctx = RepairContext::new(cluster, code);
-    let mut sim = ctx.cluster.build_simulator();
-    // Long-running background disk readers+writers (compaction) that the
-    // network monitor cannot see.
-    for &node in &COMPACTING_NODES {
-        sim.start_flow(FlowSpec::disk_read(node, 1 << 40, Traffic::Background));
-        sim.start_flow(FlowSpec::disk_write(node, 1 << 40, Traffic::Background));
-    }
-    let mut fgd = ForegroundDriver::new(fg.workloads(), fg.requests_per_client);
-    fgd.start(&ctx.cluster, &mut sim);
-    let mut driver = algo.driver(ctx.clone(), 7);
-    driver.start(&mut sim, lost);
-    while let Some(ev) = sim.next_event() {
-        if !driver.on_event(&mut sim, &ev) {
-            fgd.on_event(&ctx.cluster, &mut sim, &ev);
-        }
-        if driver.is_done() && fgd.is_done() {
-            break; // the immortal compaction flows never finish
-        }
-    }
-    assert!(driver.is_done(), "repair stuck");
-    let outcome = driver.outcome(&sim);
-    (
-        outcome.throughput() / 1e6,
-        fgd.report(&sim).p99_latency * 1e3,
-    )
-}
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp12`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-
-    println!(
-        "Exp#12 (Fig. 23): storage-bottlenecked repair (scale '{}'); nodes {:?} run \
-         background compactions (disk-only load, invisible to network monitoring)",
-        scale.name(),
-        COMPACTING_NODES
-    );
-
-    let algos = [
-        AlgoKind::Cr,
-        AlgoKind::Ppr,
-        AlgoKind::EcPipe,
-        AlgoKind::Chameleon,
-        AlgoKind::ChameleonIo,
-    ];
-    let mut rows = Vec::new();
-    for disk_mbps in [125.0f64, 250.0, 375.0, 500.0] {
-        let cfg = scale.cluster_config_with_bandwidth(14, 1.25e9, disk_mbps * 1e6);
-        let mut cham = 0.0f64;
-        let mut io = 0.0f64;
-        let mut best_base = 0.0f64;
-        for algo in algos {
-            let (mbps, _p99) = run(
-                code.clone(),
-                &cfg,
-                algo,
-                FgSpec::ycsb(scale.clients, scale.requests_per_client),
-            );
-            rows.push(vec![
-                format!("{disk_mbps:.0}"),
-                algo.label(),
-                format!("{mbps:.1}"),
-            ]);
-            match algo {
-                AlgoKind::Chameleon => cham = mbps,
-                AlgoKind::ChameleonIo => io = mbps,
-                _ => best_base = best_base.max(mbps),
-            }
-        }
-        println!(
-            "  disk {disk_mbps:.0} MB/s: ChameleonEC vs best baseline {}, ChameleonEC-IO vs ChameleonEC {}",
-            pct(improvement(cham, best_base)),
-            pct(improvement(io, cham)),
-        );
-    }
-    print_table(
-        "repair throughput under throttled storage bandwidth",
-        &["disk MB/s", "algorithm", "repair MB/s"],
-        &rows,
-    );
-    write_csv(
-        "exp12_storage_bottleneck",
-        &["disk_mbps", "algorithm", "repair_mbps"],
-        &rows,
-    );
-    println!(
-        "(paper: ChameleonEC's gain drops from 43.8% at 500 MB/s to 15.5% at 250 MB/s; \
-         ChameleonEC-IO +35.7% over ChameleonEC when storage is stringent)"
-    );
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp12::run);
 }

@@ -1,74 +1,7 @@
-//! Exp#13 (Fig. 24): impact of network bandwidth — links swept from
-//! 1 Gb/s to 10 Gb/s with YCSB foreground traffic (disks fixed at
-//! 500 MB/s).
-//!
-//! Paper result: absolute throughput rises with bandwidth, but
-//! ChameleonEC's relative gain *falls* (from 64.4% at 1 Gb/s to 40.1% at
-//! 10 Gb/s) — once storage I/O starts to dominate, network-aware
-//! scheduling matters less.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_repair, FgSpec};
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_codes::{ErasureCode, ReedSolomon};
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp13`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-
-    println!(
-        "Exp#13 (Fig. 24): repair throughput vs network bandwidth (scale '{}')",
-        scale.name()
-    );
-
-    let mut rows = Vec::new();
-    let mut gain_series = Vec::new();
-    for gbps in [1.0f64, 2.0, 5.0, 10.0] {
-        let cfg = scale.cluster_config_with_bandwidth(14, gbps * 1e9 / 8.0, 500e6);
-        let mut cham = 0.0f64;
-        let mut bases = Vec::new();
-        for algo in AlgoKind::HEADLINE {
-            let out = run_repair(
-                code.clone(),
-                cfg.clone(),
-                &[0],
-                |ctx| algo.driver(ctx, 7),
-                Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
-            );
-            let mbps = out.repair_mbps();
-            rows.push(vec![
-                format!("{gbps:.0}"),
-                algo.label(),
-                format!("{mbps:.1}"),
-            ]);
-            if algo == AlgoKind::Chameleon {
-                cham = mbps;
-            } else {
-                bases.push(mbps);
-            }
-        }
-        let avg_base = bases.iter().sum::<f64>() / bases.len() as f64;
-        let gain = improvement(cham, avg_base);
-        gain_series.push((gbps, gain));
-        println!(
-            "  {gbps:.0} Gb/s: ChameleonEC vs baseline average: {}",
-            pct(gain)
-        );
-    }
-    print_table(
-        "repair throughput vs network bandwidth (YCSB foreground)",
-        &["link Gb/s", "algorithm", "repair MB/s"],
-        &rows,
-    );
-    write_csv(
-        "exp13_bandwidth",
-        &["link_gbps", "algorithm", "repair_mbps"],
-        &rows,
-    );
-    println!(
-        "(paper: gain falls from +64.4% at 1 Gb/s to +40.1% at 10 Gb/s as storage I/O \
-         starts to dominate)"
-    );
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp13::run);
 }

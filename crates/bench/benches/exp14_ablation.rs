@@ -1,163 +1,7 @@
-//! Ablation study (beyond the paper): sensitivity of ChameleonEC to its
-//! own design knobs.
-//!
-//! Three sweeps:
-//! 1. concurrent chunk cap (the proxies' work-queue width),
-//! 2. straggler-detection aggressiveness (progress ratio) under an
-//!    injected straggler,
-//! 3. multi-node repair ordering policy (§III-D's three options) under a
-//!    double failure.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_repair, FgSpec};
-use chameleon_bench::table::{print_table, write_csv};
-use chameleon_bench::Scale;
-use chameleon_cluster::Cluster;
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_core::chameleon::{ChameleonConfig, ChameleonDriver, MultiNodePolicy};
-use chameleon_core::{RepairContext, RepairDriver};
-use chameleon_simnet::{Event, FlowSpec, Traffic};
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp14`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-
-    println!(
-        "Ablation (beyond the paper): ChameleonEC design-knob sensitivity (scale '{}')",
-        scale.name()
-    );
-
-    // --- 1. Concurrency cap. ------------------------------------------------
-    let cfg = scale.cluster_config(14);
-    let mut rows = Vec::new();
-    for cap in [1usize, 2, 4, 8, 16] {
-        let config = ChameleonConfig {
-            max_concurrent_chunks: cap,
-            ..ChameleonConfig::default()
-        };
-        let out = run_repair(
-            code.clone(),
-            cfg.clone(),
-            &[0],
-            |ctx| Box::new(ChameleonDriver::new(ctx, config)),
-            Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
-        );
-        rows.push(vec![
-            cap.to_string(),
-            format!("{:.1}", out.repair_mbps()),
-            format!("{:.2}", out.p99_ms()),
-        ]);
-    }
-    print_table(
-        "(1) concurrent-chunk cap vs repair throughput / P99",
-        &["cap", "repair MB/s", "P99 (ms)"],
-        &rows,
-    );
-    write_csv(
-        "exp14a_concurrency",
-        &["cap", "repair_mbps", "p99_ms"],
-        &rows,
-    );
-
-    // --- 2. Straggler-detection aggressiveness. ----------------------------
-    let stressed = scale.stressed();
-    let cfg = stressed.cluster_config_with_bandwidth(14, 1.25e8, 500e6);
-    let mut rows = Vec::new();
-    for ratio in [0.0, 0.25, 0.5, 0.75, 0.95] {
-        let config = ChameleonConfig {
-            straggler_progress_ratio: ratio,
-            ..ChameleonConfig::default()
-        };
-        let (mbps, retunes, reorders) = run_with_straggler(code.clone(), &cfg, config);
-        rows.push(vec![
-            format!("{ratio:.2}"),
-            format!("{mbps:.1}"),
-            retunes.to_string(),
-            reorders.to_string(),
-        ]);
-    }
-    print_table(
-        "(2) straggler progress-ratio vs throughput under a straggler",
-        &["ratio", "repair MB/s", "re-tunes", "re-orders"],
-        &rows,
-    );
-    write_csv(
-        "exp14b_straggler_ratio",
-        &["ratio", "repair_mbps", "retunes", "reorders"],
-        &rows,
-    );
-
-    // --- 3. Multi-node repair policy. ---------------------------------------
-    let cfg = scale.cluster_config(14);
-    let mut rows = Vec::new();
-    for (policy, label) in [
-        (MultiNodePolicy::Sequential, "sequential"),
-        (MultiNodePolicy::MostFailedFirst, "most-failed-first"),
-        (MultiNodePolicy::FastestFirst, "fastest-first"),
-    ] {
-        let config = ChameleonConfig {
-            multi_node_policy: policy,
-            ..ChameleonConfig::default()
-        };
-        let out = run_repair(
-            code.clone(),
-            cfg.clone(),
-            &[0, 1],
-            |ctx| Box::new(ChameleonDriver::new(ctx, config)),
-            Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
-        );
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}", out.repair_mbps()),
-            format!("{:.3}", out.outcome.mean_chunk_secs()),
-        ]);
-    }
-    print_table(
-        "(3) multi-node ordering policy (2 failed nodes)",
-        &["policy", "repair MB/s", "mean chunk (s)"],
-        &rows,
-    );
-    write_csv(
-        "exp14c_multinode_policy",
-        &["policy", "repair_mbps", "mean_chunk_secs"],
-        &rows,
-    );
-}
-
-/// Repair with a straggler flood at t = 1 s; returns (MB/s, retunes,
-/// reorders).
-fn run_with_straggler(
-    code: Arc<dyn ErasureCode>,
-    cfg: &chameleon_cluster::ClusterConfig,
-    config: ChameleonConfig,
-) -> (f64, usize, usize) {
-    let mut cluster = Cluster::new(cfg.clone()).expect("cluster");
-    cluster.fail_node(0).expect("fail");
-    let lost = cluster.lost_chunks(&[0]);
-    let ctx = RepairContext::new(cluster, code);
-    let mut sim = ctx.cluster.build_simulator();
-    let mut driver = ChameleonDriver::new(ctx, config);
-    driver.start(&mut sim, lost);
-    let hog = sim.schedule_in(1.0, 0);
-    while let Some(ev) = sim.next_event() {
-        if let Event::Timer { id, .. } = ev {
-            if id == hog {
-                for peer in 2..10usize {
-                    sim.start_flow(FlowSpec::network(1, peer, 1 << 30, Traffic::Background));
-                }
-                continue;
-            }
-        }
-        driver.on_event(&mut sim, &ev);
-        if driver.is_done() {
-            break;
-        }
-    }
-    let stats = driver.stats();
-    (
-        driver.outcome(&sim).throughput() / 1e6,
-        stats.retunes,
-        stats.reorders,
-    )
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp14::run);
 }

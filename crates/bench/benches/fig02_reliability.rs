@@ -1,46 +1,7 @@
-//! Fig. 2 (§II-B): data-loss probability during a single-node repair as a
-//! function of repair throughput, for RS(10,4) with 96 TB nodes and
-//! 10-year expected node lifetimes.
-//!
-//! Paper result: Pr_dl falls monotonically (by orders of magnitude) as
-//! repair throughput grows — the motivation for fast repair.
-
-use chameleon_bench::table::{print_table, write_csv};
-use chameleon_cluster::reliability::ReliabilityModel;
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::fig02`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let model = ReliabilityModel::paper_default();
-    println!(
-        "Fig. 2: Pr_dl vs repair throughput — RS({},{}), {} TB/node, theta = {} years",
-        model.k,
-        model.m,
-        model.node_capacity_bytes / 1e12,
-        model.node_lifetime_years
-    );
-
-    let mut rows = Vec::new();
-    let mut last = f64::INFINITY;
-    for mbps in [10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0] {
-        let throughput = mbps * 1e6;
-        let tau_hours = model.repair_duration_secs(throughput) / 3600.0;
-        let p = model.data_loss_probability(throughput);
-        assert!(p <= last, "Pr_dl must fall with throughput");
-        last = p;
-        rows.push(vec![
-            format!("{mbps:.0}"),
-            format!("{tau_hours:.1}"),
-            format!("{p:.3e}"),
-        ]);
-    }
-    print_table(
-        "data-loss probability vs repair throughput",
-        &["repair MB/s", "repair time (h)", "Pr_dl"],
-        &rows,
-    );
-    write_csv(
-        "fig02_reliability",
-        &["repair_mbps", "repair_hours", "pr_dl"],
-        &rows,
-    );
-    println!("shape check: Pr_dl is monotonically decreasing — matches the paper.");
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::fig02::run);
 }

@@ -1,103 +1,7 @@
-//! Fig. 4 (§II-D): the motivating trace-driven interference analysis —
-//! repair time and YCSB P99 latency as the number of YCSB clients grows
-//! from 0 (no interference) to 4, for the three baselines.
-//!
-//! Paper result: interference increases repair time by 3.6–91.5% and YCSB
-//! P99 by 4.7–31.5%; both grow with the number of clients.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_foreground_only, run_repair, FgSpec};
-use chameleon_bench::table::{improvement, pct, print_table, write_csv};
-use chameleon_bench::{AlgoKind, Scale};
-use chameleon_codes::{ErasureCode, ReedSolomon};
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::fig04`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    let cfg = scale.cluster_config(14);
-
-    println!(
-        "Fig. 4: repair/foreground interference vs client count (scale '{}')",
-        scale.name()
-    );
-
-    // (a) repair time vs number of clients.
-    let mut rows_a = Vec::new();
-    let mut idle_time = std::collections::HashMap::new();
-    for algo in AlgoKind::BASELINES {
-        for clients in [0usize, 1, 2, 4] {
-            let fg = (clients > 0).then(|| FgSpec::ycsb(clients, scale.requests_per_client));
-            let out = run_repair(
-                code.clone(),
-                cfg.clone(),
-                &[0],
-                |ctx| algo.driver(ctx, 7),
-                fg,
-            );
-            let secs = out.outcome.duration.expect("finished");
-            if clients == 0 {
-                idle_time.insert(algo.label(), secs);
-            }
-            let slowdown = improvement(secs, idle_time[&algo.label()]);
-            rows_a.push(vec![
-                algo.label(),
-                clients.to_string(),
-                format!("{secs:.2}"),
-                pct(slowdown),
-            ]);
-        }
-    }
-    print_table(
-        "(a) repair time vs clients",
-        &["algorithm", "clients", "repair time (s)", "vs idle"],
-        &rows_a,
-    );
-    write_csv(
-        "fig04a_repair_time",
-        &["algorithm", "clients", "repair_secs", "slowdown"],
-        &rows_a,
-    );
-
-    // (b) YCSB P99 vs number of clients, with and without repair.
-    let mut rows_b = Vec::new();
-    for clients in [1usize, 2, 4] {
-        let (only, _) = run_foreground_only(
-            code.clone(),
-            cfg.clone(),
-            FgSpec::ycsb(clients, scale.requests_per_client),
-        );
-        rows_b.push(vec![
-            "YCSB-Only".into(),
-            clients.to_string(),
-            format!("{:.2}", only.p99_latency * 1e3),
-            "-".into(),
-        ]);
-        for algo in AlgoKind::BASELINES {
-            let out = run_repair(
-                code.clone(),
-                cfg.clone(),
-                &[0],
-                |ctx| algo.driver(ctx, 7),
-                Some(FgSpec::ycsb(clients, scale.requests_per_client)),
-            );
-            let p99 = out.p99_ms();
-            rows_b.push(vec![
-                algo.label(),
-                clients.to_string(),
-                format!("{p99:.2}"),
-                pct(improvement(p99, only.p99_latency * 1e3)),
-            ]);
-        }
-    }
-    print_table(
-        "(b) YCSB P99 latency vs clients",
-        &["workload", "clients", "P99 (ms)", "vs YCSB-only"],
-        &rows_b,
-    );
-    write_csv(
-        "fig04b_p99",
-        &["workload", "clients", "p99_ms", "inflation"],
-        &rows_b,
-    );
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::fig04::run);
 }

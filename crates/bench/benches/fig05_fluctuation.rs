@@ -1,76 +1,7 @@
-//! Fig. 5 (§II-D): fluctuation of the bandwidth occupied by the
-//! foreground traffic, in consecutive 15-second windows, per node and
-//! direction.
-//!
-//! Paper result: foreground bandwidth fluctuates by ~1.1 Gb/s on average
-//! per window and up to 3.6 Gb/s — repair plans that ignore this cannot
-//! react to contention.
-
-use std::sync::Arc;
-
-use chameleon_bench::runner::{run_foreground_only, FgSpec};
-use chameleon_bench::table::{print_table, write_csv};
-use chameleon_bench::Scale;
-use chameleon_codes::{ErasureCode, ReedSolomon};
-use chameleon_simnet::{ResourceKind, Traffic};
-use chameleon_traces::TraceKind;
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::fig05`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the paper artifact it reproduces.
 
 fn main() {
-    let scale = Scale::from_env();
-    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
-    let mut cfg = scale.cluster_config(14);
-    // The paper analyses 15 s windows over a multi-minute run; at small
-    // scale the trace replay is shorter, so shrink the window to keep a
-    // comparable number of windows per run.
-    if scale.name() == "small" {
-        cfg.monitor_window_secs = 1.0;
-    }
-
-    println!(
-        "Fig. 5: foreground bandwidth fluctuation per {}s window (scale '{}')",
-        cfg.monitor_window_secs,
-        scale.name()
-    );
-
-    let mut rows = Vec::new();
-    for trace in TraceKind::ALL {
-        let (_, sim) = run_foreground_only(
-            code.clone(),
-            cfg.clone(),
-            FgSpec::uniform(trace, scale.clients, scale.requests_per_client),
-        );
-        let m = sim.monitor();
-        for (dir, kind) in [
-            ("uplink", ResourceKind::Uplink),
-            ("downlink", ResourceKind::Downlink),
-        ] {
-            // Fluctuation per storage node; report avg / max / min in Gb/s.
-            let flucts: Vec<f64> = (0..20)
-                .map(|node| m.fluctuation(node, kind, Traffic::Foreground) * 8.0 / 1e9)
-                .collect();
-            let avg = flucts.iter().sum::<f64>() / flucts.len() as f64;
-            let max = flucts.iter().cloned().fold(f64::MIN, f64::max);
-            let min = flucts.iter().cloned().fold(f64::MAX, f64::min);
-            rows.push(vec![
-                trace.name().to_string(),
-                dir.to_string(),
-                format!("{avg:.2}"),
-                format!("{max:.2}"),
-                format!("{min:.2}"),
-            ]);
-        }
-    }
-    print_table(
-        "foreground bandwidth fluctuation (Gb/s per window)",
-        &["trace", "direction", "avg", "max", "min"],
-        &rows,
-    );
-    write_csv(
-        "fig05_fluctuation",
-        &["trace", "direction", "avg_gbps", "max_gbps", "min_gbps"],
-        &rows,
-    );
-    println!(
-        "shape check: nonzero fluctuation everywhere; bursty traces (IBM-COS) fluctuate most."
-    );
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::fig05::run);
 }

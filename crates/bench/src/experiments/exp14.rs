@@ -1,0 +1,192 @@
+//! Ablation study (beyond the paper): sensitivity of ChameleonEC to its
+//! own design knobs.
+//!
+//! Three sweeps:
+//! 1. concurrent chunk cap (the proxies' work-queue width),
+//! 2. straggler-detection aggressiveness (progress ratio) under an
+//!    injected straggler,
+//! 3. multi-node repair ordering policy (§III-D's three options) under a
+//!    double failure.
+
+use std::sync::Arc;
+
+use chameleon_cluster::Cluster;
+use chameleon_codes::{ErasureCode, ReedSolomon};
+use chameleon_core::chameleon::{ChameleonConfig, ChameleonDriver, MultiNodePolicy};
+use chameleon_core::{RepairContext, RepairDriver};
+use chameleon_simnet::{Event, FlowSpec, Traffic};
+
+use crate::grid::{run_grid, run_specs, DriverSpec, RunSpec};
+use crate::runner::FgSpec;
+use crate::table::{print_table, write_csv};
+use crate::Scale;
+
+/// Runs the experiment at the given scale across `jobs` workers.
+pub fn run(scale: &Scale, jobs: usize) {
+    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(10, 4).expect("RS(10,4)"));
+
+    println!(
+        "Ablation (beyond the paper): ChameleonEC design-knob sensitivity (scale '{}')",
+        scale.name()
+    );
+
+    // --- 1. Concurrency cap. ------------------------------------------------
+    let cfg = scale.cluster_config(14);
+    let caps = [1usize, 2, 4, 8, 16];
+    let specs: Vec<RunSpec> = caps
+        .iter()
+        .map(|&cap| {
+            let config = ChameleonConfig {
+                max_concurrent_chunks: cap,
+                ..ChameleonConfig::default()
+            };
+            RunSpec::new(
+                format!("cap={cap}"),
+                code.clone(),
+                cfg.clone(),
+                DriverSpec::Chameleon(config),
+                Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
+            )
+        })
+        .collect();
+    let outs = run_specs(&specs, jobs);
+    let rows: Vec<Vec<String>> = caps
+        .iter()
+        .zip(&outs)
+        .map(|(cap, out)| {
+            vec![
+                cap.to_string(),
+                format!("{:.1}", out.repair_mbps()),
+                format!("{:.2}", out.p99_ms()),
+            ]
+        })
+        .collect();
+    print_table(
+        "(1) concurrent-chunk cap vs repair throughput / P99",
+        &["cap", "repair MB/s", "P99 (ms)"],
+        &rows,
+    );
+    write_csv(
+        "exp14a_concurrency",
+        &["cap", "repair_mbps", "p99_ms"],
+        &rows,
+    );
+
+    // --- 2. Straggler-detection aggressiveness. ----------------------------
+    let stressed = scale.stressed();
+    let cfg2 = stressed.cluster_config_with_bandwidth(14, 1.25e8, 500e6);
+    let ratios = [0.0, 0.25, 0.5, 0.75, 0.95];
+    let results = run_grid(&ratios, jobs, |&ratio| {
+        let config = ChameleonConfig {
+            straggler_progress_ratio: ratio,
+            ..ChameleonConfig::default()
+        };
+        run_with_straggler(code.clone(), &cfg2, config)
+    });
+    let rows: Vec<Vec<String>> = ratios
+        .iter()
+        .zip(&results)
+        .map(|(ratio, (mbps, retunes, reorders))| {
+            vec![
+                format!("{ratio:.2}"),
+                format!("{mbps:.1}"),
+                retunes.to_string(),
+                reorders.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "(2) straggler progress-ratio vs throughput under a straggler",
+        &["ratio", "repair MB/s", "re-tunes", "re-orders"],
+        &rows,
+    );
+    write_csv(
+        "exp14b_straggler_ratio",
+        &["ratio", "repair_mbps", "retunes", "reorders"],
+        &rows,
+    );
+
+    // --- 3. Multi-node repair policy. ---------------------------------------
+    let cfg3 = scale.cluster_config(14);
+    let policies = [
+        (MultiNodePolicy::Sequential, "sequential"),
+        (MultiNodePolicy::MostFailedFirst, "most-failed-first"),
+        (MultiNodePolicy::FastestFirst, "fastest-first"),
+    ];
+    let specs: Vec<RunSpec> = policies
+        .iter()
+        .map(|&(policy, label)| {
+            let config = ChameleonConfig {
+                multi_node_policy: policy,
+                ..ChameleonConfig::default()
+            };
+            RunSpec::new(
+                label,
+                code.clone(),
+                cfg3.clone(),
+                DriverSpec::Chameleon(config),
+                Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
+            )
+            .with_victims(vec![0, 1])
+        })
+        .collect();
+    let outs = run_specs(&specs, jobs);
+    let rows: Vec<Vec<String>> = policies
+        .iter()
+        .zip(&outs)
+        .map(|((_, label), out)| {
+            vec![
+                label.to_string(),
+                format!("{:.1}", out.repair_mbps()),
+                format!("{:.3}", out.outcome.mean_chunk_secs()),
+            ]
+        })
+        .collect();
+    print_table(
+        "(3) multi-node ordering policy (2 failed nodes)",
+        &["policy", "repair MB/s", "mean chunk (s)"],
+        &rows,
+    );
+    write_csv(
+        "exp14c_multinode_policy",
+        &["policy", "repair_mbps", "mean_chunk_secs"],
+        &rows,
+    );
+}
+
+/// Repair with a straggler flood at t = 1 s; returns (MB/s, retunes,
+/// reorders).
+fn run_with_straggler(
+    code: Arc<dyn ErasureCode>,
+    cfg: &chameleon_cluster::ClusterConfig,
+    config: ChameleonConfig,
+) -> (f64, usize, usize) {
+    let mut cluster = Cluster::new(cfg.clone()).expect("cluster");
+    cluster.fail_node(0).expect("fail");
+    let lost = cluster.lost_chunks(&[0]);
+    let ctx = RepairContext::new(cluster, code);
+    let mut sim = ctx.cluster.build_simulator();
+    let mut driver = ChameleonDriver::new(ctx, config);
+    driver.start(&mut sim, lost);
+    let hog = sim.schedule_in(1.0, 0);
+    while let Some(ev) = sim.next_event() {
+        if let Event::Timer { id, .. } = ev {
+            if id == hog {
+                for peer in 2..10usize {
+                    sim.start_flow(FlowSpec::network(1, peer, 1 << 30, Traffic::Background));
+                }
+                continue;
+            }
+        }
+        driver.on_event(&mut sim, &ev);
+        if driver.is_done() {
+            break;
+        }
+    }
+    let stats = driver.stats();
+    (
+        driver.outcome(&sim).throughput() / 1e6,
+        stats.retunes,
+        stats.reorders,
+    )
+}

@@ -17,10 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod experiments;
+pub mod grid;
 pub mod runner;
 pub mod scale;
 pub mod table;
 
 pub use algo::AlgoKind;
-pub use runner::{run_repair, FgSpec, RunOutput};
+pub use grid::{run_grid, run_specs, DriverSpec, RunMode, RunSpec};
+pub use runner::{client_seed, run_repair, FgSpec, RunOutput, SimSummary};
 pub use scale::Scale;

@@ -44,6 +44,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Renders headers + rows as a CSV document (the exact bytes
+/// [`write_csv`] persists) — the unit the grid determinism suite compares
+/// across `--jobs` settings.
+pub fn csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::with_capacity(64 * (rows.len() + 1));
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
 /// Writes rows as CSV under `results/<name>.csv` (relative to the
 /// workspace root when run via cargo). Errors are reported, not fatal —
 /// a read-only filesystem must not kill a benchmark run.
@@ -56,10 +70,7 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = dir.join(format!("{name}.csv"));
     let write = || -> std::io::Result<()> {
         let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", headers.join(","))?;
-        for row in rows {
-            writeln!(f, "{}", row.join(","))?;
-        }
+        write!(f, "{}", csv_string(headers, rows))?;
         Ok(())
     };
     match write() {
@@ -84,9 +95,14 @@ pub fn write_json(name: &str, json: &str) {
 }
 
 fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
-    PathBuf::from(manifest).join("../../results")
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace
+    // root. When the binary runs outside cargo (no manifest dir), fall
+    // back to `results/` under the current directory — never a relative
+    // `../..`, which would escape the checkout.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(manifest) => PathBuf::from(manifest).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    }
 }
 
 /// Renders a numeric series as a unicode sparkline (e.g. `▂▄▆█▅▁`),

@@ -1,0 +1,56 @@
+//! The grid determinism contract, end to end: running a real experiment
+//! grid at `--jobs` 1 / 4 / 8 must produce byte-identical CSV rows.
+//!
+//! Exp#2 exercises the trickiest shape (mixed clean/repair cells whose
+//! formatting depends on the *clean* cell's result), Exp#8 exercises
+//! multi-victim repairs. Both run at a tiny scale so the whole suite stays
+//! in seconds.
+
+use chameleon_bench::experiments::{exp02, exp08};
+use chameleon_bench::table::csv_string;
+use chameleon_bench::Scale;
+
+/// A scale small enough for 12–16 full simulations per jobs level.
+fn tiny() -> Scale {
+    let mut scale = Scale::small();
+    scale.chunks_per_node = 2;
+    scale.clients = 2;
+    scale.requests_per_client = 100;
+    scale
+}
+
+#[test]
+fn exp02_rows_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = ["trace", "algorithm", "t_secs", "t_star_secs", "degree"];
+    let sequential = csv_string(&headers, &exp02::csv_rows(&scale, 1));
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    for jobs in [4, 8] {
+        let parallel = csv_string(&headers, &exp02::csv_rows(&scale, jobs));
+        assert_eq!(
+            sequential, parallel,
+            "exp02 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn exp08_rows_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = ["failed_nodes", "algorithm", "repair_mbps", "chunks"];
+    let sequential = csv_string(&headers, &exp08::csv_rows(&scale, 1));
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    for jobs in [4, 8] {
+        let parallel = csv_string(&headers, &exp08::csv_rows(&scale, jobs));
+        assert_eq!(
+            sequential, parallel,
+            "exp08 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}

@@ -23,6 +23,15 @@ COMMANDS:
                     --chunk-mb   chunk size in MB                  (default 64)
                     --seed       RNG seed                          (default 7)
 
+    sweep         Run an algorithm x seed grid in parallel worker threads
+                    --algos      comma list (as --algo above)   (default cr,ppr,ecpipe,chameleon)
+                    --seeds      seeds per algorithm            (default 3)
+                    --clients    foreground YCSB clients        (default 4)
+                    --requests   requests per client            (default 4000)
+                    --chunks     chunks lost on the failed node (default 20)
+                    --jobs       worker threads (0 = --jobs/CHAMELEON_JOBS/
+                                 available parallelism)         (default 0)
+
     plan          Show the repair plan ChameleonEC builds for one chunk
                     --code, --gbps, --seed as above
 

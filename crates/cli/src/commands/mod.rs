@@ -4,4 +4,5 @@ pub mod help;
 pub mod plan;
 pub mod reliability;
 pub mod repair;
+pub mod sweep;
 pub mod traces;

@@ -1,0 +1,115 @@
+//! The `sweep` subcommand: a parallel algorithm x seed grid from the
+//! command line, executed on the `chameleon-bench` worker pool.
+//!
+//! Every (algorithm, seed) cell runs one full-node repair under YCSB
+//! foreground load; the table reports per-cell repair throughput and P99,
+//! plus a per-algorithm mean across seeds. Results are independent of
+//! `--jobs` (the grid's determinism contract).
+
+use chameleon_bench::grid::{self, RunSpec};
+use chameleon_bench::runner::FgSpec;
+use chameleon_bench::table::print_table;
+use chameleon_bench::{AlgoKind, Scale};
+
+use crate::args::{parse_code, Flags};
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&[
+        "code", "algos", "seeds", "clients", "requests", "chunks", "jobs",
+    ])?;
+    let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
+    let algos = parse_algos(&flags.str_or("algos", "cr,ppr,ecpipe,chameleon"))?;
+    let seeds: usize = flags.num_or("seeds", 3)?;
+    let clients: usize = flags.num_or("clients", 4)?;
+    let requests: usize = flags.num_or("requests", 4000)?;
+    let chunks: usize = flags.num_or("chunks", 20)?;
+    let jobs: usize = match flags.num_or("jobs", 0)? {
+        0 => grid::jobs_from_env(),
+        n => n,
+    };
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+
+    let mut scale = Scale::small();
+    scale.chunks_per_node = chunks;
+    scale.clients = clients;
+    scale.requests_per_client = requests;
+    let cfg = scale.cluster_config(code.n());
+
+    let mut cells = Vec::new();
+    let mut specs = Vec::new();
+    for &algo in &algos {
+        for seed in 0..seeds as u64 {
+            cells.push((algo, seed));
+            specs.push(
+                RunSpec::new(
+                    format!("{}/seed{}", algo.label(), seed),
+                    code.clone(),
+                    cfg.clone(),
+                    algo,
+                    Some(FgSpec {
+                        kinds: vec![chameleon_traces::TraceKind::YcsbA],
+                        clients,
+                        requests_per_client: requests,
+                        seed: 0xFACE + seed,
+                    }),
+                )
+                .with_seed(7 + seed),
+            );
+        }
+    }
+    println!(
+        "sweep: {} algorithms x {seeds} seeds = {} runs, code {}, {jobs} worker(s)",
+        algos.len(),
+        specs.len(),
+        code.name()
+    );
+    let outs = grid::run_specs(&specs, jobs);
+
+    let mut rows = Vec::new();
+    for (group, group_outs) in cells.chunks(seeds).zip(outs.chunks(seeds)) {
+        let algo = group[0].0;
+        let mbps: Vec<f64> = group_outs.iter().map(|o| o.repair_mbps()).collect();
+        let p99: Vec<f64> = group_outs.iter().map(|o| o.p99_ms()).collect();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let spread = mbps.iter().cloned().fold(f64::MIN, f64::max)
+            - mbps.iter().cloned().fold(f64::MAX, f64::min);
+        rows.push(vec![
+            algo.label(),
+            format!("{:.1}", mean(&mbps)),
+            format!("{spread:.1}"),
+            format!("{:.2}", mean(&p99)),
+        ]);
+    }
+    print_table(
+        "repair throughput across seeds (YCSB foreground)",
+        &[
+            "algorithm",
+            "mean repair MB/s",
+            "spread MB/s",
+            "mean P99 (ms)",
+        ],
+        &rows,
+    );
+    Ok(())
+}
+
+fn parse_algos(spec: &str) -> Result<Vec<AlgoKind>, String> {
+    spec.split(',')
+        .map(|s| match s.trim() {
+            "cr" => Ok(AlgoKind::Cr),
+            "ppr" => Ok(AlgoKind::Ppr),
+            "ecpipe" => Ok(AlgoKind::EcPipe),
+            "rb-cr" => Ok(AlgoKind::RbCr),
+            "rb-ppr" => Ok(AlgoKind::RbPpr),
+            "rb-ecpipe" => Ok(AlgoKind::RbEcPipe),
+            "chameleon" => Ok(AlgoKind::Chameleon),
+            "chameleon-io" => Ok(AlgoKind::ChameleonIo),
+            "etrp" => Ok(AlgoKind::Etrp),
+            other => Err(format!("unknown algorithm `{other}` in --algos")),
+        })
+        .collect()
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chameleonec repair   --code rs:10,4 --algo chameleon --clients 4
+//! chameleonec sweep    --algos cr,chameleon --seeds 5 --jobs 4
 //! chameleonec plan     --code rs:4,2 --algo chameleon
 //! chameleonec traces   --kind ycsb --count 10000
 //! chameleonec reliability --throughput 50,100,500
@@ -21,6 +22,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "repair" => commands::repair::run(rest),
+        "sweep" => commands::sweep::run(rest),
         "plan" => commands::plan::run(rest),
         "traces" => commands::traces::run(rest),
         "reliability" => commands::reliability::run(rest),

@@ -41,3 +41,15 @@ pub mod stats;
 pub use config::{Cluster, ClusterConfig, ClusterError};
 pub use foreground::{ForegroundDriver, ForegroundReport};
 pub use placement::{ChunkId, Placement, PlacementStrategy};
+
+// Send-bound audit for the parallel experiment grid in `chameleon-bench`:
+// clusters are shared read-only across worker threads (inside `RunSpec`s)
+// and foreground drivers run on them (`Workload: Send` keeps the boxed
+// workloads movable).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Cluster>();
+    assert_send_sync::<ClusterConfig>();
+    assert_send::<ForegroundDriver>();
+};

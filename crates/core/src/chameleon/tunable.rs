@@ -23,7 +23,10 @@ use crate::select::SelectError;
 /// The result is an in-tree rooted at the destination whose shape exactly
 /// matches the dispatched task counts — the "tunability" of ChameleonEC.
 ///
-/// Complexity O(k²).
+/// Each pairing step is O(1) amortized (a running total of unpaired
+/// downloads plus a cached minimum source); the min re-scan runs once per
+/// drained source, so the loop is O(k²) worst case with no per-iteration
+/// re-summing (measured by Exp#5's `plan_compute_secs`).
 ///
 /// # Errors
 ///
@@ -52,30 +55,47 @@ pub fn establish_plan(
         .collect();
     // Upload target per source (filled in by the pairing).
     let mut send_to: Vec<Option<usize>> = vec![None; n]; // None = destination (resolved later)
-    let mut upload_unpaired: Vec<bool> = vec![true; n];
 
     if assignment.relayable {
         // E: sources with an unpaired upload and no unpaired downloads.
         let mut ready: VecDeque<usize> = (0..n).filter(|&i| downloads[i] == 0).collect();
 
-        while downloads.iter().sum::<usize>() > 0 {
+        // Total unpaired downloads, maintained incrementally. The
+        // min-downloads source is cached: once selected, decrementing it
+        // keeps it strictly below every other source's count, so it stays
+        // the minimum until fully drained and only then is re-scanned.
+        let mut remaining: usize = downloads.iter().sum();
+        let mut current: Option<usize> = None;
+        while remaining > 0 {
             // The source with the fewest unpaired downloads (> 0).
-            let y = (0..n)
-                .filter(|&i| downloads[i] > 0)
-                .min_by_key(|&i| (downloads[i], assignment.sources[i].node))
-                .expect("some downloads remain");
+            let y = match current {
+                Some(y) => y,
+                None => {
+                    let y = (0..n)
+                        .filter(|&i| downloads[i] > 0)
+                        .min_by_key(|&i| (downloads[i], assignment.sources[i].node))
+                        .expect("some downloads remain");
+                    current = Some(y);
+                    y
+                }
+            };
             let Some(x) = ready.pop_front() else {
                 // Defensive fallback (unreachable by the counting argument
                 // in the paper): push the download to the destination.
                 debug_assert!(false, "Algorithm 1 ran out of ready uploaders");
                 downloads[y] -= 1;
+                remaining -= 1;
+                if downloads[y] == 0 {
+                    current = None;
+                }
                 continue;
             };
             send_to[x] = Some(y);
-            upload_unpaired[x] = false;
             downloads[y] -= 1;
+            remaining -= 1;
             if downloads[y] == 0 {
                 ready.push_back(y);
+                current = None;
             }
         }
         // Remaining unpaired uploads all go to the destination.

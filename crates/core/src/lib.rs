@@ -61,7 +61,11 @@ use chameleon_simnet::{Event, Simulator};
 ///
 /// Drivers are fed simulator events by the experiment loop (alongside the
 /// foreground driver) so repair and foreground traffic contend naturally.
-pub trait RepairDriver {
+///
+/// Drivers are `Send` so whole experiment runs (driver + simulator) can be
+/// farmed out to worker threads by the parallel experiment grid in
+/// `chameleon-bench`.
+pub trait RepairDriver: Send {
     /// Algorithm name for reports, e.g. `ChameleonEC`.
     fn name(&self) -> String;
 
@@ -78,3 +82,15 @@ pub trait RepairDriver {
     /// The outcome so far (final once [`RepairDriver::is_done`]).
     fn outcome(&self, sim: &Simulator) -> RepairOutcome;
 }
+
+// Send-bound audit: the parallel experiment grid moves contexts across
+// worker threads and builds drivers on them; keep these bounds locked in
+// at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<RepairContext>();
+    assert_send::<baseline::StaticRepairDriver>();
+    assert_send::<chameleon::ChameleonDriver>();
+    assert_send::<Box<dyn RepairDriver>>();
+};

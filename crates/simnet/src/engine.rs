@@ -189,6 +189,15 @@ pub struct Simulator {
     scr_changed: Vec<Reverse<(SimTime, u64, u64)>>,
 }
 
+// Send-bound audit: whole simulations are executed on worker threads by the
+// parallel experiment grid in `chameleon-bench`; the simulator must stay
+// free of thread-bound state (Rc, RefCell, raw pointers).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator>();
+    assert_send_sync::<Monitor>();
+};
+
 impl Simulator {
     /// Creates a simulator at time zero.
     ///
@@ -291,6 +300,14 @@ impl Simulator {
     /// The windowed bandwidth monitor.
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
+    }
+
+    /// Consumes the simulator, keeping only its bandwidth monitor — the
+    /// post-run state experiments analyse. Dropping the flow slab, heaps,
+    /// and solver scratch here lets a finished run shed its footprint while
+    /// other runs of a parallel experiment grid are still in flight.
+    pub fn into_monitor(self) -> Monitor {
+        self.monitor
     }
 
     fn cell(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> usize {
