@@ -25,6 +25,7 @@ pub mod exp11;
 pub mod exp12;
 pub mod exp13;
 pub mod exp14;
+pub mod exp15;
 pub mod fig02;
 pub mod fig04;
 pub mod fig05;
@@ -46,7 +47,7 @@ pub struct Experiment {
 }
 
 /// Every experiment and figure study, in evaluation order.
-pub const ALL: [Experiment; 18] = [
+pub const ALL: [Experiment; 19] = [
     Experiment {
         name: "fig02_reliability",
         title: "Fig. 2: data-loss probability vs repair throughput",
@@ -136,6 +137,11 @@ pub const ALL: [Experiment; 18] = [
         name: "exp14_ablation",
         title: "Ablation: ChameleonEC design-knob sensitivity",
         run: exp14::run,
+    },
+    Experiment {
+        name: "exp15_fault_tolerance",
+        title: "Exp#15: repair under mid-campaign node crashes",
+        run: exp15::run,
     },
 ];
 

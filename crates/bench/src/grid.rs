@@ -37,12 +37,12 @@ use chameleon_cluster::{ChunkId, Cluster, ClusterConfig};
 use chameleon_codes::ErasureCode;
 use chameleon_core::chameleon::{ChameleonConfig, ChameleonDriver};
 use chameleon_core::{RepairContext, RepairDriver};
-use chameleon_simnet::Simulator;
+use chameleon_simnet::{FaultPlan, Simulator};
 
 use std::sync::Arc;
 
 use crate::algo::AlgoKind;
-use crate::runner::{run_repair, FgSpec, RunOutput, SimSummary};
+use crate::runner::{run_repair_faulted, FgSpec, RunOutput, SimSummary};
 
 /// How a [`RunSpec`] builds its repair driver.
 #[derive(Debug, Clone)]
@@ -110,6 +110,8 @@ pub struct RunSpec {
     pub seed: u64,
     /// Repair-campaign shape.
     pub mode: RunMode,
+    /// Scheduled faults injected while the repair runs (None = fault-free).
+    pub faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for RunSpec {
@@ -143,6 +145,7 @@ impl RunSpec {
             fg,
             seed: 7,
             mode: RunMode::Repair,
+            faults: None,
         }
     }
 
@@ -158,6 +161,12 @@ impl RunSpec {
         self
     }
 
+    /// Schedules a fault plan to fire during the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Switches to degraded-read mode for the given chunk.
     pub fn degraded_read(mut self, chunk: ChunkId) -> Self {
         self.mode = RunMode::DegradedRead(chunk);
@@ -168,12 +177,13 @@ impl RunSpec {
     /// ambient state is read, so any thread may run it.
     pub fn execute(&self) -> RunOutput {
         match self.mode {
-            RunMode::Repair => run_repair(
+            RunMode::Repair => run_repair_faulted(
                 self.code.clone(),
                 self.cfg.clone(),
                 &self.victims,
                 |ctx| self.driver.build(ctx, self.seed),
                 self.fg.clone(),
+                self.faults.as_ref(),
             ),
             RunMode::DegradedRead(chunk) => self.execute_degraded_read(chunk),
         }

@@ -3,7 +3,7 @@
 use chameleon_cluster::{Cluster, ForegroundDriver, ForegroundReport};
 use chameleon_codes::ErasureCode;
 use chameleon_core::{RepairContext, RepairDriver, RepairOutcome};
-use chameleon_simnet::{Monitor, Simulator};
+use chameleon_simnet::{FaultPlan, Monitor, Simulator};
 use chameleon_traces::{TraceKind, Workload};
 
 use std::sync::Arc;
@@ -135,8 +135,27 @@ pub fn run_repair(
     code: Arc<dyn ErasureCode>,
     cfg: chameleon_cluster::ClusterConfig,
     victims: &[usize],
+    make_driver: impl FnMut(RepairContext) -> Box<dyn RepairDriver>,
+    fg: Option<FgSpec>,
+) -> RunOutput {
+    run_repair_faulted(code, cfg, victims, make_driver, fg, None)
+}
+
+/// [`run_repair`] under a scheduled [`FaultPlan`]: fault timers fire inside
+/// the event loop, the simulator applies the crash/slowdown, and the
+/// resulting [`FaultEvent`](chameleon_simnet::FaultEvent) is forwarded to
+/// the repair driver's `on_fault` so it can re-plan around the loss.
+///
+/// # Panics
+///
+/// Panics if the repair or foreground never finishes (simulation bug).
+pub fn run_repair_faulted(
+    code: Arc<dyn ErasureCode>,
+    cfg: chameleon_cluster::ClusterConfig,
+    victims: &[usize],
     mut make_driver: impl FnMut(RepairContext) -> Box<dyn RepairDriver>,
     fg: Option<FgSpec>,
+    faults: Option<&FaultPlan>,
 ) -> RunOutput {
     let mut cluster = Cluster::new(cfg).expect("valid cluster config");
     for &v in victims {
@@ -145,6 +164,7 @@ pub fn run_repair(
     let lost = cluster.lost_chunks(victims);
     let ctx = RepairContext::new(cluster, code);
     let mut sim = ctx.cluster.build_simulator();
+    let mut injector = faults.map(|plan| plan.inject(&mut sim));
 
     let mut fg_driver = fg.map(|spec| {
         let mut d = ForegroundDriver::new(spec.workloads(), spec.requests_per_client);
@@ -156,6 +176,12 @@ pub fn run_repair(
     driver.start(&mut sim, lost);
 
     while let Some(ev) = sim.next_event() {
+        if let Some(inj) = injector.as_mut() {
+            if let Some(fault) = inj.on_event(&mut sim, &ev) {
+                driver.on_fault(&mut sim, &fault);
+                continue;
+            }
+        }
         if driver.on_event(&mut sim, &ev) {
             continue;
         }

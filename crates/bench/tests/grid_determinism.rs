@@ -3,10 +3,11 @@
 //!
 //! Exp#2 exercises the trickiest shape (mixed clean/repair cells whose
 //! formatting depends on the *clean* cell's result), Exp#8 exercises
-//! multi-victim repairs. Both run at a tiny scale so the whole suite stays
-//! in seconds.
+//! multi-victim repairs, and Exp#15 exercises the two-stage fault sweep
+//! (the control grid fixes the crash window for the faulted grid). All
+//! run at a tiny scale so the whole suite stays in seconds.
 
-use chameleon_bench::experiments::{exp02, exp08};
+use chameleon_bench::experiments::{exp02, exp08, exp15};
 use chameleon_bench::table::csv_string;
 use chameleon_bench::Scale;
 
@@ -51,6 +52,36 @@ fn exp08_rows_are_identical_across_job_counts() {
         assert_eq!(
             sequential, parallel,
             "exp08 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn exp15_rows_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = [
+        "crashes",
+        "algorithm",
+        "repair_mbps",
+        "chunks",
+        "replans",
+        "retries",
+        "aborted_flows",
+        "wasted_mb",
+        "given_up",
+        "loss_window_secs",
+        "p99_ms",
+    ];
+    let sequential = csv_string(&headers, &exp15::csv_rows(&scale, 1));
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    for jobs in [4, 8] {
+        let parallel = csv_string(&headers, &exp15::csv_rows(&scale, jobs));
+        assert_eq!(
+            sequential, parallel,
+            "exp15 CSV diverged between --jobs 1 and --jobs {jobs}"
         );
     }
 }

@@ -22,6 +22,9 @@ COMMANDS:
                     --disk-mbps  disk bandwidth in MB/s            (default 500)
                     --chunk-mb   chunk size in MB                  (default 64)
                     --seed       RNG seed                          (default 7)
+                    --faults     comma list of scheduled faults:
+                                 crash:NODE@T | recover:NODE@T |
+                                 slow:NODE@TxF+D | disk:NODE@TxF+D (default none)
 
     sweep         Run an algorithm x seed grid in parallel worker threads
                     --algos      comma list (as --algo above)   (default cr,ppr,ecpipe,chameleon)
@@ -31,6 +34,8 @@ COMMANDS:
                     --chunks     chunks lost on the failed node (default 20)
                     --jobs       worker threads (0 = --jobs/CHAMELEON_JOBS/
                                  available parallelism)         (default 0)
+                    --faults     scheduled faults (as repair), applied
+                                 to every cell                  (default none)
 
     plan          Show the repair plan ChameleonEC builds for one chunk
                     --code, --gbps, --seed as above

@@ -4,7 +4,7 @@ use chameleon_cluster::{Cluster, ClusterConfig, ForegroundDriver, PlacementStrat
 use chameleon_core::baseline::{PlanShape, StaticRepairDriver};
 use chameleon_core::chameleon::{ChameleonConfig, ChameleonDriver};
 use chameleon_core::{RepairContext, RepairDriver};
-use chameleon_simnet::NodeCaps;
+use chameleon_simnet::{FaultPlan, NodeCaps};
 use chameleon_traces::{Workload, YcsbA};
 
 use crate::args::{parse_code, Flags};
@@ -23,6 +23,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "disk-mbps",
         "chunk-mb",
         "seed",
+        "faults",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
     let algo = flags.str_or("algo", "chameleon");
@@ -34,6 +35,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let disk_mbps: f64 = flags.num_or("disk-mbps", 500.0)?;
     let chunk_mb: u64 = flags.num_or("chunk-mb", 64)?;
     let seed: u64 = flags.num_or("seed", 7)?;
+    let faults = match flags.str_or("faults", "") {
+        s if s.is_empty() => None,
+        s => Some(FaultPlan::parse_list(&s)?),
+    };
 
     if failures == 0 || failures > code.fault_tolerance() {
         return Err(format!(
@@ -72,6 +77,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let ctx = RepairContext::new(cluster, code);
     let mut sim = ctx.cluster.build_simulator();
+    let mut injector = faults.as_ref().map(|plan| plan.inject(&mut sim));
 
     let mut fg = if clients > 0 {
         let workloads: Vec<Box<dyn Workload>> = (0..clients)
@@ -87,6 +93,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut driver = make_driver(&algo, ctx.clone(), seed)?;
     driver.start(&mut sim, lost);
     while let Some(ev) = sim.next_event() {
+        if let Some(inj) = injector.as_mut() {
+            if let Some(fault) = inj.on_event(&mut sim, &ev) {
+                driver.on_fault(&mut sim, &fault);
+                continue;
+            }
+        }
         if driver.on_event(&mut sim, &ev) {
             continue;
         }
@@ -116,6 +128,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
             c.relay_merge_nanos as f64 / 1e6,
             c.reassemble_nanos as f64 / 1e6,
         );
+    }
+    if let Some(inj) = &injector {
+        let rec = &outcome.recovery;
+        println!("\nfaults ({} applied):", inj.applied().len());
+        println!("  re-plans        : {}", rec.replans);
+        println!("  retries         : {}", rec.retries);
+        println!("  aborted flows   : {}", rec.aborted_flows);
+        println!(
+            "  wasted traffic  : {:.1} MB",
+            rec.wasted_repair_bytes / 1e6
+        );
+        println!("  given up        : {}", rec.given_up);
     }
     if let Some(fgd) = fg {
         let report = fgd.report(&sim);

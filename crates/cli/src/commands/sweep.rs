@@ -10,6 +10,7 @@ use chameleon_bench::grid::{self, RunSpec};
 use chameleon_bench::runner::FgSpec;
 use chameleon_bench::table::print_table;
 use chameleon_bench::{AlgoKind, Scale};
+use chameleon_simnet::FaultPlan;
 
 use crate::args::{parse_code, Flags};
 
@@ -17,7 +18,7 @@ use crate::args::{parse_code, Flags};
 pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.ensure_known(&[
-        "code", "algos", "seeds", "clients", "requests", "chunks", "jobs",
+        "code", "algos", "seeds", "clients", "requests", "chunks", "jobs", "faults",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
     let algos = parse_algos(&flags.str_or("algos", "cr,ppr,ecpipe,chameleon"))?;
@@ -32,6 +33,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if seeds == 0 {
         return Err("--seeds must be at least 1".into());
     }
+    let faults = match flags.str_or("faults", "") {
+        s if s.is_empty() => None,
+        s => Some(FaultPlan::parse_list(&s)?),
+    };
 
     let mut scale = Scale::small();
     scale.chunks_per_node = chunks;
@@ -44,21 +49,23 @@ pub fn run(args: &[String]) -> Result<(), String> {
     for &algo in &algos {
         for seed in 0..seeds as u64 {
             cells.push((algo, seed));
-            specs.push(
-                RunSpec::new(
-                    format!("{}/seed{}", algo.label(), seed),
-                    code.clone(),
-                    cfg.clone(),
-                    algo,
-                    Some(FgSpec {
-                        kinds: vec![chameleon_traces::TraceKind::YcsbA],
-                        clients,
-                        requests_per_client: requests,
-                        seed: 0xFACE + seed,
-                    }),
-                )
-                .with_seed(7 + seed),
-            );
+            let mut spec = RunSpec::new(
+                format!("{}/seed{}", algo.label(), seed),
+                code.clone(),
+                cfg.clone(),
+                algo,
+                Some(FgSpec {
+                    kinds: vec![chameleon_traces::TraceKind::YcsbA],
+                    clients,
+                    requests_per_client: requests,
+                    seed: 0xFACE + seed,
+                }),
+            )
+            .with_seed(7 + seed);
+            if let Some(plan) = &faults {
+                spec = spec.with_faults(plan.clone());
+            }
+            specs.push(spec);
         }
     }
     println!(
@@ -77,11 +84,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         let spread = mbps.iter().cloned().fold(f64::MIN, f64::max)
             - mbps.iter().cloned().fold(f64::MAX, f64::min);
+        let replans: usize = group_outs.iter().map(|o| o.outcome.recovery.replans).sum();
         rows.push(vec![
             algo.label(),
             format!("{:.1}", mean(&mbps)),
             format!("{spread:.1}"),
             format!("{:.2}", mean(&p99)),
+            replans.to_string(),
         ]);
     }
     print_table(
@@ -91,6 +100,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "mean repair MB/s",
             "spread MB/s",
             "mean P99 (ms)",
+            "replans",
         ],
         &rows,
     );

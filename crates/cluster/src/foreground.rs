@@ -19,6 +19,10 @@ pub struct ForegroundReport {
     pub p99_latency: f64,
     /// Total bytes moved by foreground requests.
     pub total_bytes: f64,
+    /// Requests killed by a node failure (the target crashed mid-request).
+    /// Aborted requests contribute no latency sample; the closed loop
+    /// simply issues the client's next request.
+    pub aborted: usize,
     /// Wall-clock (simulated) time from start until the last client
     /// finished; `None` while still running.
     pub execution_time: Option<f64>,
@@ -59,6 +63,7 @@ pub struct ForegroundDriver {
     request_overhead: f64,
     latencies: Vec<f64>,
     total_bytes: f64,
+    aborted: usize,
     started_at: Option<f64>,
     finished_at: Option<f64>,
     stopped: bool,
@@ -121,6 +126,7 @@ impl ForegroundDriver {
             request_overhead,
             latencies: Vec::new(),
             total_bytes: 0.0,
+            aborted: 0,
             started_at: None,
             finished_at: None,
             stopped: false,
@@ -151,13 +157,19 @@ impl ForegroundDriver {
     /// this driver (a foreground request completion or think-time timer).
     pub fn on_event(&mut self, cluster: &Cluster, sim: &mut Simulator, event: &Event) -> bool {
         match event {
-            Event::FlowCompleted { id, .. } => {
+            Event::FlowCompleted { id, outcome, .. } => {
                 let Some((client, started)) = self.flow_map.remove(id) else {
                     return false;
                 };
                 let now = sim.now().as_secs();
-                // Recorded latency includes the fixed request overhead.
-                self.latencies.push(now - started + self.request_overhead);
+                if outcome.is_delivered() {
+                    // Recorded latency includes the fixed request overhead.
+                    self.latencies.push(now - started + self.request_overhead);
+                } else {
+                    // The target node crashed mid-request. The request's
+                    // budget is spent; the closed loop moves on.
+                    self.aborted += 1;
+                }
                 self.clients[client].in_flight = None;
                 let more = self.clients[client].remaining > 0 && !self.stopped;
                 if more && self.request_overhead > 0.0 {
@@ -218,6 +230,7 @@ impl ForegroundDriver {
             mean_latency: stats::mean(&self.latencies).unwrap_or(0.0),
             p99_latency: stats::percentile(&self.latencies, 0.99).unwrap_or(0.0),
             total_bytes: self.total_bytes,
+            aborted: self.aborted,
             execution_time: match (self.started_at, self.finished_at) {
                 (Some(s), Some(f)) => Some(f - s),
                 _ => None,

@@ -4,14 +4,32 @@
 use std::collections::{HashMap, VecDeque};
 
 use chameleon_cluster::ChunkId;
-use chameleon_simnet::{Event, NodeId, Simulator};
+use chameleon_simnet::{Event, FaultEvent, NodeId, Simulator, TimerId};
 
 use crate::coding::{CodingStats, PlanCoder};
 use crate::context::RepairContext;
+use crate::error::RepairError;
 use crate::exec::{ExecStatus, PlanExecutor};
 use crate::metrics::RepairOutcome;
+use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::select::SourceSelector;
 use crate::{cr, ecpipe, ppr, RepairDriver};
+
+/// Timer key for retry (backoff) timers.
+const RETRY_TIMER_KEY: u64 = 0x9E77;
+/// Timer key for the periodic stall sweep.
+const STALL_TIMER_KEY: u64 = 0x57A1;
+
+/// One in-flight chunk repair plus the activity snapshot the stall sweep
+/// compares against.
+struct RunningAttempt {
+    exec: PlanExecutor,
+    last_activity: f64,
+}
+
+fn activity_of(exec: &PlanExecutor) -> f64 {
+    exec.sent_bytes() + exec.progress()
+}
 
 /// The transmission topology a baseline uses for every chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +66,7 @@ pub struct StaticRepairDriver {
     boosted: bool,
     concurrency: usize,
     pending: VecDeque<ChunkId>,
-    running: Vec<PlanExecutor>,
+    running: Vec<RunningAttempt>,
     /// stripe → destinations promised to in-flight sibling chunks.
     stripe_destinations: HashMap<usize, Vec<NodeId>>,
     per_chunk_secs: Vec<f64>,
@@ -59,6 +77,14 @@ pub struct StaticRepairDriver {
     skipped: usize,
     started_at: Option<f64>,
     finished_at: Option<f64>,
+    policy: RecoveryPolicy,
+    recovery: RecoveryStats,
+    /// Dispatch attempts made so far per chunk (first dispatch counts).
+    attempts: HashMap<ChunkId, u32>,
+    /// Backoff timers of chunks waiting to be re-dispatched.
+    retry_timers: HashMap<TimerId, ChunkId>,
+    stall_timer: Option<TimerId>,
+    errors: Vec<RepairError>,
 }
 
 impl std::fmt::Debug for StaticRepairDriver {
@@ -111,6 +137,12 @@ impl StaticRepairDriver {
             skipped: 0,
             started_at: None,
             finished_at: None,
+            policy: RecoveryPolicy::default(),
+            recovery: RecoveryStats::default(),
+            attempts: HashMap::new(),
+            retry_timers: HashMap::new(),
+            stall_timer: None,
+            errors: Vec::new(),
         }
     }
 
@@ -125,9 +157,26 @@ impl StaticRepairDriver {
         self
     }
 
-    /// Chunks that could not be repaired (insufficient survivors).
+    /// Overrides the retry/backoff policy used under injected faults.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Chunks that could not be repaired (insufficient survivors, or
+    /// retry budget exhausted).
     pub fn skipped(&self) -> usize {
         self.skipped
+    }
+
+    /// Recovery activity so far (replans, retries, wasted bytes).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Every recoverable failure the driver recorded along the way.
+    pub fn errors(&self) -> &[RepairError] {
+        &self.errors
     }
 
     /// The plans of every completed chunk repair (as actually executed),
@@ -168,10 +217,77 @@ impl StaticRepairDriver {
                 .push(selection.destination);
             let mut exec = PlanExecutor::new(plan, self.ctx.chunk_size(), self.ctx.slice_size());
             exec.start(sim);
-            self.running.push(exec);
+            let n = self.attempts.entry(chunk).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                self.recovery.retries += 1;
+            }
+            self.running.push(RunningAttempt {
+                last_activity: activity_of(&exec),
+                exec,
+            });
         }
-        if self.running.is_empty() && self.pending.is_empty() && self.finished_at.is_none() {
+        if self.running.is_empty()
+            && self.pending.is_empty()
+            && self.retry_timers.is_empty()
+            && self.finished_at.is_none()
+        {
             self.finished_at = Some(sim.now().as_secs());
+            if let Some(t) = self.stall_timer.take() {
+                sim.cancel_timer(t);
+            }
+        }
+    }
+
+    /// Books a dead attempt and either schedules a backoff retry or gives
+    /// the chunk up. The executor must already be failed/aborted.
+    fn handle_failed_attempt(&mut self, sim: &mut Simulator, exec: &PlanExecutor) {
+        let chunk = exec.plan().chunk();
+        self.recovery
+            .book_failed_attempt(exec.aborted_flows(), exec.sent_bytes());
+        self.errors
+            .push(RepairError::HelperLost { chunk, node: None });
+        if let Some(dests) = self.stripe_destinations.get_mut(&chunk.stripe) {
+            if let Some(pos) = dests.iter().position(|&d| d == exec.plan().destination()) {
+                dests.swap_remove(pos);
+            }
+        }
+        let attempts = self.attempts.get(&chunk).copied().unwrap_or(1);
+        if attempts >= self.policy.max_attempts {
+            self.recovery.given_up += 1;
+            self.skipped += 1;
+            self.errors
+                .push(RepairError::RetriesExhausted { chunk, attempts });
+        } else {
+            let t = sim.schedule_in(self.policy.backoff_secs(chunk, attempts), RETRY_TIMER_KEY);
+            self.retry_timers.insert(t, chunk);
+        }
+        self.fill_slots(sim);
+    }
+
+    /// Aborts every attempt that made no progress since the last sweep —
+    /// how the driver observes helper loss that produces no abort
+    /// notification (e.g. a helper slowed to a crawl).
+    fn stall_sweep(&mut self, sim: &mut Simulator) {
+        let mut stalled: Vec<usize> = Vec::new();
+        for (i, a) in self.running.iter_mut().enumerate() {
+            let act = activity_of(&a.exec);
+            if act > a.last_activity {
+                a.last_activity = act;
+            } else {
+                stalled.push(i);
+            }
+        }
+        // Remove everything stalled before handling any of them:
+        // `handle_failed_attempt` refills slots, which would invalidate
+        // the collected indices.
+        let mut failed: Vec<RunningAttempt> = Vec::new();
+        for &i in stalled.iter().rev() {
+            failed.push(self.running.swap_remove(i));
+        }
+        for mut a in failed {
+            a.exec.abort(sim);
+            self.handle_failed_attempt(sim, &a.exec);
         }
     }
 }
@@ -186,23 +302,61 @@ impl RepairDriver for StaticRepairDriver {
     }
 
     fn start(&mut self, sim: &mut Simulator, chunks: Vec<ChunkId>) {
+        if !chunks.is_empty() {
+            // A crash can add work after the campaign finished; reopen it.
+            self.finished_at = None;
+        }
         self.chunks_total += chunks.len();
         self.pending.extend(chunks);
         if self.started_at.is_none() {
             self.started_at = Some(sim.now().as_secs());
         }
         self.fill_slots(sim);
+        if !self.is_done() && self.stall_timer.is_none() {
+            self.stall_timer =
+                Some(sim.schedule_in(self.policy.stall_timeout_secs, STALL_TIMER_KEY));
+        }
     }
 
     fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> bool {
+        if let Event::Timer { id, .. } = event {
+            if let Some(chunk) = self.retry_timers.remove(id) {
+                self.pending.push_front(chunk);
+                self.fill_slots(sim);
+                return true;
+            }
+            if Some(*id) == self.stall_timer {
+                self.stall_timer = None;
+                self.stall_sweep(sim);
+                if !self.is_done() {
+                    self.stall_timer =
+                        Some(sim.schedule_in(self.policy.stall_timeout_secs, STALL_TIMER_KEY));
+                }
+                return true;
+            }
+            return false;
+        }
         for i in 0..self.running.len() {
-            match self.running[i].on_event(sim, event) {
+            match self.running[i].exec.on_event(sim, event) {
                 ExecStatus::NotMine => continue,
-                ExecStatus::InProgress => return true,
+                ExecStatus::InProgress => {
+                    self.running[i].last_activity = activity_of(&self.running[i].exec);
+                    return true;
+                }
                 ExecStatus::Done => {
-                    let mut exec = self.running.swap_remove(i);
-                    let secs =
-                        exec.finished_at().expect("done") - exec.started_at().expect("started");
+                    let mut a = self.running.swap_remove(i);
+                    let exec = &mut a.exec;
+                    let secs = match (exec.finished_at(), exec.started_at()) {
+                        (Some(f), Some(s)) => f - s,
+                        _ => {
+                            // Internally inconsistent attempt: record it
+                            // instead of panicking and drop the attempt.
+                            self.errors
+                                .push(RepairError::ExecutorState("finish time of a done attempt"));
+                            self.fill_slots(sim);
+                            return true;
+                        }
+                    };
                     self.per_chunk_secs.push(secs);
                     self.coding.merge(&exec.run_coding(&mut self.coder));
                     self.completed_plans.push(exec.plan().clone());
@@ -217,9 +371,39 @@ impl RepairDriver for StaticRepairDriver {
                     self.fill_slots(sim);
                     return true;
                 }
+                ExecStatus::Failed => {
+                    let a = self.running.swap_remove(i);
+                    self.handle_failed_attempt(sim, &a.exec);
+                    return true;
+                }
             }
         }
         false
+    }
+
+    fn on_fault(&mut self, sim: &mut Simulator, fault: &FaultEvent) {
+        match *fault {
+            FaultEvent::Crash { node }
+                if node < self.ctx.cluster.storage_nodes()
+                    && self.ctx.cluster.is_alive(node)
+                    && self.ctx.cluster.fail_node(node).is_ok() =>
+            {
+                // Everything the crashed node held is newly lost;
+                // queue it behind the current campaign. In-flight
+                // attempts using the node fail over via their abort
+                // notifications.
+                let lost = self.ctx.cluster.placement().chunks_on(node);
+                if !lost.is_empty() {
+                    self.start(sim, lost);
+                }
+            }
+            FaultEvent::Recover { node } if node < self.ctx.cluster.storage_nodes() => {
+                self.ctx.cluster.heal_node(node);
+            }
+            // Slowdowns need no bookkeeping: rates re-solve inside the
+            // simulator and extreme cases trip the stall sweep.
+            _ => {}
+        }
     }
 
     fn is_done(&self) -> bool {
@@ -239,6 +423,7 @@ impl RepairDriver for StaticRepairDriver {
             },
             per_chunk_secs: self.per_chunk_secs.clone(),
             coding: self.coding,
+            recovery: self.recovery,
         }
     }
 }
@@ -307,6 +492,70 @@ mod tests {
         driver.start(&mut sim, vec![]);
         assert!(driver.is_done());
         assert_eq!(driver.outcome(&sim).duration, Some(0.0));
+    }
+
+    #[test]
+    fn helper_crash_mid_repair_replans_and_completes() {
+        use chameleon_simnet::{FaultPlan, FaultSpec};
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        let initially_lost = lost.len();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let plan = FaultPlan::new(vec![FaultSpec::Crash {
+            node: 1,
+            at_secs: 0.02,
+        }]);
+        let mut injector = plan.inject(&mut sim);
+        let mut driver = StaticRepairDriver::new(ctx, PlanShape::Star, 1).with_concurrency(4);
+        driver.start(&mut sim, lost);
+        while let Some(ev) = sim.next_event() {
+            if let Some(fault) = injector.on_event(&mut sim, &ev) {
+                driver.on_fault(&mut sim, &fault);
+                continue;
+            }
+            driver.on_event(&mut sim, &ev);
+        }
+        assert!(driver.is_done(), "driver stuck after mid-repair crash");
+        let outcome = driver.outcome(&sim);
+        // The crash killed at least one in-flight attempt, which was
+        // re-planned against the survivors and retried.
+        assert!(outcome.recovery.replans >= 1, "{:?}", outcome.recovery);
+        assert!(outcome.recovery.retries >= 1);
+        assert!(outcome.recovery.aborted_flows >= 1);
+        assert!(!driver.errors().is_empty());
+        // Node 1's chunks were enqueued as newly lost work.
+        assert!(outcome.chunks_total > initially_lost);
+        assert_eq!(
+            outcome.chunks_repaired + driver.skipped(),
+            outcome.chunks_total
+        );
+        assert!(outcome.chunks_repaired > 0);
+    }
+
+    #[test]
+    fn crash_of_an_idle_node_only_enqueues_its_chunks() {
+        use chameleon_simnet::FaultEvent;
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let mut driver = StaticRepairDriver::new(ctx, PlanShape::Chain, 1);
+        driver.start(&mut sim, lost.clone());
+        let before = driver.outcome(&sim).chunks_total;
+        // A direct fault notification (no flows touched) grows the work
+        // queue; a repeat for the same node is idempotent.
+        driver.on_fault(&mut sim, &FaultEvent::Crash { node: 5 });
+        let after = driver.outcome(&sim).chunks_total;
+        assert!(after > before);
+        driver.on_fault(&mut sim, &FaultEvent::Crash { node: 5 });
+        assert_eq!(driver.outcome(&sim).chunks_total, after);
+        while let Some(ev) = sim.next_event() {
+            driver.on_event(&mut sim, &ev);
+        }
+        assert!(driver.is_done());
     }
 
     #[test]

@@ -4,16 +4,23 @@
 use std::collections::{HashMap, VecDeque};
 
 use chameleon_cluster::ChunkId;
-use chameleon_simnet::{Event, NodeId, Simulator, TimerId};
+use chameleon_simnet::{Event, FaultEvent, NodeId, Simulator, TimerId};
 
 use crate::chameleon::dispatch::{dispatch_chunk_for, PhaseState, TaskAssignment};
 use crate::chameleon::tunable::establish_plan;
 use crate::coding::{CodingStats, PlanCoder};
 use crate::context::{RepairContext, Resources};
+use crate::error::RepairError;
 use crate::exec::{ExecStatus, PlanExecutor};
 use crate::metrics::RepairOutcome;
+use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::select::SelectError;
 use crate::RepairDriver;
+
+/// Timer key for retry (backoff) timers.
+const RETRY_TIMER_KEY: u64 = 0x9E77;
+/// Timer key for the periodic stall sweep.
+const STALL_TIMER_KEY: u64 = 0x57A1;
 
 /// Ordering policy for multi-node repair (§III-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,6 +119,9 @@ struct ActiveChunk {
     /// hysteresis (a re-tuned or re-ordered chunk gets time to recover
     /// before being flagged again).
     last_action_at: Option<f64>,
+    /// Activity snapshot (`sent_bytes + progress`) the stall sweep
+    /// compares against.
+    last_activity: f64,
 }
 
 /// The ChameleonEC repair driver.
@@ -138,6 +148,14 @@ pub struct ChameleonDriver {
     started_at: Option<f64>,
     finished_at: Option<f64>,
     stats: ChameleonStats,
+    policy: RecoveryPolicy,
+    recovery: RecoveryStats,
+    /// Dispatch attempts made so far per chunk (first dispatch counts).
+    attempts: HashMap<ChunkId, u32>,
+    /// Backoff timers of chunks waiting to be re-dispatched.
+    retry_timers: HashMap<TimerId, ChunkId>,
+    stall_timer: Option<TimerId>,
+    errors: Vec<RepairError>,
 }
 
 impl std::fmt::Debug for ChameleonDriver {
@@ -174,7 +192,29 @@ impl ChameleonDriver {
             started_at: None,
             finished_at: None,
             stats: ChameleonStats::default(),
+            policy: RecoveryPolicy::default(),
+            recovery: RecoveryStats::default(),
+            attempts: HashMap::new(),
+            retry_timers: HashMap::new(),
+            stall_timer: None,
+            errors: Vec::new(),
         }
+    }
+
+    /// Overrides the retry/backoff policy used under injected faults.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Recovery activity so far (replans, retries, wasted bytes).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Every recoverable failure the driver recorded along the way.
+    pub fn errors(&self) -> &[RepairError] {
+        &self.errors
     }
 
     /// Scheduler activity counters.
@@ -312,6 +352,12 @@ impl ChameleonDriver {
                     let mut exec =
                         PlanExecutor::new(plan, self.ctx.chunk_size(), self.ctx.slice_size());
                     exec.start(sim);
+                    let n = self.attempts.entry(chunk).or_insert(0);
+                    *n += 1;
+                    if *n > 1 {
+                        self.recovery.retries += 1;
+                    }
+                    let last_activity = exec.sent_bytes() + exec.progress();
                     self.active.push(ActiveChunk {
                         exec,
                         estimated_secs: assignment.estimated_secs,
@@ -319,6 +365,7 @@ impl ChameleonDriver {
                         dispatched_at: sim.now().as_secs(),
                         retunes_applied: 0,
                         last_action_at: None,
+                        last_activity,
                     });
                 }
             }
@@ -331,7 +378,11 @@ impl ChameleonDriver {
     }
 
     fn maybe_finish(&mut self, sim: &mut Simulator) {
-        if self.finished_at.is_none() && self.active.is_empty() && self.pending.is_empty() {
+        if self.finished_at.is_none()
+            && self.active.is_empty()
+            && self.pending.is_empty()
+            && self.retry_timers.is_empty()
+        {
             self.finished_at = Some(sim.now().as_secs());
             if let Some(t) = self.phase_timer.take() {
                 sim.cancel_timer(t);
@@ -339,6 +390,77 @@ impl ChameleonDriver {
             if let Some(t) = self.check_timer.take() {
                 sim.cancel_timer(t);
             }
+            if let Some(t) = self.stall_timer.take() {
+                sim.cancel_timer(t);
+            }
+        }
+    }
+
+    /// Books a dead attempt (flow aborted by a crash, or stalled out) and
+    /// either schedules a backoff retry or gives the chunk up. Re-planning
+    /// happens at re-dispatch, against the cluster's *current* alive set —
+    /// when the lost node held stripe data this escalates to a cascaded
+    /// two-erasure repair automatically.
+    fn handle_failed_attempt(&mut self, sim: &mut Simulator, mut a: ActiveChunk) {
+        a.exec.abort(sim);
+        if let Some(state) = self.phase_state.as_mut() {
+            a.assignment.release(state);
+        }
+        let chunk = a.exec.plan().chunk();
+        self.recovery
+            .book_failed_attempt(a.exec.aborted_flows(), a.exec.sent_bytes());
+        self.errors
+            .push(RepairError::HelperLost { chunk, node: None });
+        if let Some(dests) = self.stripe_destinations.get_mut(&chunk.stripe) {
+            if let Some(pos) = dests.iter().position(|&d| d == a.exec.plan().destination()) {
+                dests.swap_remove(pos);
+            }
+        }
+        let attempts = self.attempts.get(&chunk).copied().unwrap_or(1);
+        if attempts >= self.policy.max_attempts {
+            self.recovery.given_up += 1;
+            self.skipped += 1;
+            self.errors
+                .push(RepairError::RetriesExhausted { chunk, attempts });
+        } else {
+            let t = sim.schedule_in(self.policy.backoff_secs(chunk, attempts), RETRY_TIMER_KEY);
+            self.retry_timers.insert(t, chunk);
+        }
+        // The failed attempt released capacity; wake postponed siblings.
+        for other in &mut self.active {
+            other.exec.resume(sim);
+        }
+        if !self.pending.is_empty() {
+            if self.active.is_empty() {
+                self.start_phase(sim);
+                return;
+            }
+            self.admit(sim);
+        }
+        self.maybe_finish(sim);
+    }
+
+    /// Aborts every unpaused attempt that made no progress since the last
+    /// sweep (paused chunks are postponed on purpose and only have their
+    /// snapshot refreshed).
+    fn stall_sweep(&mut self, sim: &mut Simulator) {
+        let mut stalled: Vec<usize> = Vec::new();
+        for (i, a) in self.active.iter_mut().enumerate() {
+            let act = a.exec.sent_bytes() + a.exec.progress();
+            if a.exec.is_paused() || act > a.last_activity {
+                a.last_activity = act;
+            } else {
+                stalled.push(i);
+            }
+        }
+        // Remove all stalled attempts before handling any: the handler
+        // admits new chunks, which would invalidate the indices.
+        let mut failed: Vec<ActiveChunk> = Vec::new();
+        for &i in stalled.iter().rev() {
+            failed.push(self.active.swap_remove(i));
+        }
+        for a in failed {
+            self.handle_failed_attempt(sim, a);
         }
     }
 
@@ -407,7 +529,17 @@ impl ChameleonDriver {
 
     fn finish_chunk(&mut self, sim: &mut Simulator, idx: usize) {
         let mut a = self.active.swap_remove(idx);
-        let secs = a.exec.finished_at().expect("done") - a.exec.started_at().expect("started");
+        let secs = match (a.exec.finished_at(), a.exec.started_at()) {
+            (Some(f), Some(s)) => f - s,
+            _ => {
+                // Internally inconsistent attempt: record it instead of
+                // panicking and treat it as failed.
+                self.errors
+                    .push(RepairError::ExecutorState("finish time of a done attempt"));
+                self.handle_failed_attempt(sim, a);
+                return;
+            }
+        };
         self.per_chunk_secs.push(secs);
         self.coding.merge(&a.exec.run_coding(&mut self.coder));
         self.completed_plans.push(a.exec.plan().clone());
@@ -451,6 +583,10 @@ impl RepairDriver for ChameleonDriver {
     }
 
     fn start(&mut self, sim: &mut Simulator, chunks: Vec<ChunkId>) {
+        if !chunks.is_empty() {
+            // A crash can add work after the campaign finished; reopen it.
+            self.finished_at = None;
+        }
         self.chunks_total += chunks.len();
         let ordered = self.order_chunks(chunks);
         self.pending.extend(ordered);
@@ -458,6 +594,10 @@ impl RepairDriver for ChameleonDriver {
             self.started_at = Some(sim.now().as_secs());
         }
         self.start_phase(sim);
+        if !self.is_done() && self.stall_timer.is_none() {
+            self.stall_timer =
+                Some(sim.schedule_in(self.policy.stall_timeout_secs, STALL_TIMER_KEY));
+        }
     }
 
     fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> bool {
@@ -477,6 +617,22 @@ impl RepairDriver for ChameleonDriver {
                             Some(sim.schedule_in(self.config.check_interval_secs, 0));
                     }
                     true
+                } else if let Some(chunk) = self.retry_timers.remove(id) {
+                    self.pending.push_front(chunk);
+                    if self.active.is_empty() {
+                        self.start_phase(sim);
+                    } else {
+                        self.admit(sim);
+                    }
+                    true
+                } else if Some(*id) == self.stall_timer {
+                    self.stall_timer = None;
+                    self.stall_sweep(sim);
+                    if !self.is_done() {
+                        self.stall_timer =
+                            Some(sim.schedule_in(self.policy.stall_timeout_secs, STALL_TIMER_KEY));
+                    }
+                    true
                 } else {
                     false
                 }
@@ -485,15 +641,50 @@ impl RepairDriver for ChameleonDriver {
                 for i in 0..self.active.len() {
                     match self.active[i].exec.on_event(sim, event) {
                         ExecStatus::NotMine => continue,
-                        ExecStatus::InProgress => return true,
+                        ExecStatus::InProgress => {
+                            self.active[i].last_activity =
+                                self.active[i].exec.sent_bytes() + self.active[i].exec.progress();
+                            return true;
+                        }
                         ExecStatus::Done => {
                             self.finish_chunk(sim, i);
+                            return true;
+                        }
+                        ExecStatus::Failed => {
+                            let a = self.active.swap_remove(i);
+                            self.handle_failed_attempt(sim, a);
                             return true;
                         }
                     }
                 }
                 false
             }
+        }
+    }
+
+    fn on_fault(&mut self, sim: &mut Simulator, fault: &FaultEvent) {
+        match *fault {
+            FaultEvent::Crash { node }
+                if node < self.ctx.cluster.storage_nodes()
+                    && self.ctx.cluster.is_alive(node)
+                    && self.ctx.cluster.fail_node(node).is_ok() =>
+            {
+                // Everything the crashed node held is newly lost;
+                // queue it behind the current campaign. In-flight
+                // attempts using the node fail over via their abort
+                // notifications.
+                let lost = self.ctx.cluster.placement().chunks_on(node);
+                if !lost.is_empty() {
+                    self.start(sim, lost);
+                }
+            }
+            FaultEvent::Recover { node } if node < self.ctx.cluster.storage_nodes() => {
+                self.ctx.cluster.heal_node(node);
+            }
+            // Slowdowns need no bookkeeping: the per-phase bandwidth
+            // measurement and the straggler checks absorb them, and
+            // extreme cases trip the stall sweep.
+            _ => {}
         }
     }
 
@@ -514,6 +705,7 @@ impl RepairDriver for ChameleonDriver {
             },
             per_chunk_secs: self.per_chunk_secs.clone(),
             coding: self.coding,
+            recovery: self.recovery,
         }
     }
 }
@@ -690,6 +882,43 @@ mod tests {
             "{}",
             plan.max_depth()
         );
+    }
+
+    #[test]
+    fn helper_crash_mid_repair_replans_and_completes() {
+        use chameleon_simnet::{FaultPlan, FaultSpec};
+        let mut cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        cluster.fail_node(0).unwrap();
+        let lost = cluster.lost_chunks(&[0]);
+        let initially_lost = lost.len();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let plan = FaultPlan::new(vec![FaultSpec::Crash {
+            node: 1,
+            at_secs: 0.02,
+        }]);
+        let mut injector = plan.inject(&mut sim);
+        let mut driver = ChameleonDriver::new(ctx, ChameleonConfig::default());
+        driver.start(&mut sim, lost);
+        while let Some(ev) = sim.next_event() {
+            if let Some(fault) = injector.on_event(&mut sim, &ev) {
+                driver.on_fault(&mut sim, &fault);
+                continue;
+            }
+            driver.on_event(&mut sim, &ev);
+        }
+        assert!(driver.is_done(), "driver stuck after mid-repair crash");
+        let outcome = driver.outcome(&sim);
+        assert!(outcome.recovery.replans >= 1, "{:?}", outcome.recovery);
+        assert!(outcome.recovery.retries >= 1);
+        assert!(!driver.errors().is_empty());
+        // Node 1's chunks were enqueued as newly lost work.
+        assert!(outcome.chunks_total > initially_lost);
+        assert_eq!(
+            outcome.chunks_repaired + driver.skipped(),
+            outcome.chunks_total
+        );
+        assert!(outcome.chunks_repaired > 0);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The typed error of the repair hot path.
+//!
+//! Injected faults must surface as *recorded failures* the drivers can
+//! react to (re-plan, retry, or give a chunk up), never as process aborts.
+//! [`RepairError`] is the single error type those paths propagate.
+
+use chameleon_cluster::ChunkId;
+use chameleon_simnet::NodeId;
+
+use crate::plan::PlanError;
+use crate::select::SelectError;
+
+/// Why a repair step failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairError {
+    /// Source selection failed (not enough survivors, or nowhere to put
+    /// the repaired chunk).
+    Select(SelectError),
+    /// A constructed plan violated an invariant.
+    Plan(PlanError),
+    /// A helper or the destination was lost mid-attempt.
+    HelperLost {
+        /// The chunk whose attempt died.
+        chunk: ChunkId,
+        /// The node that failed, when known.
+        node: Option<NodeId>,
+    },
+    /// A chunk exhausted its retry budget and was given up.
+    RetriesExhausted {
+        /// The abandoned chunk.
+        chunk: ChunkId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// An executor was asked for state it does not have (e.g. the finish
+    /// time of an attempt that never finished) — a recoverable internal
+    /// inconsistency.
+    ExecutorState(&'static str),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::Select(e) => write!(f, "source selection failed: {e}"),
+            RepairError::Plan(e) => write!(f, "invalid repair plan: {e}"),
+            RepairError::HelperLost { chunk, node } => match node {
+                Some(n) => write!(
+                    f,
+                    "repair of stripe {} chunk {} lost node {n} mid-attempt",
+                    chunk.stripe, chunk.index
+                ),
+                None => write!(
+                    f,
+                    "repair of stripe {} chunk {} lost a participant mid-attempt",
+                    chunk.stripe, chunk.index
+                ),
+            },
+            RepairError::RetriesExhausted { chunk, attempts } => write!(
+                f,
+                "gave up on stripe {} chunk {} after {attempts} attempts",
+                chunk.stripe, chunk.index
+            ),
+            RepairError::ExecutorState(what) => write!(f, "executor state missing: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepairError::Select(e) => Some(e),
+            RepairError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SelectError> for RepairError {
+    fn from(e: SelectError) -> Self {
+        RepairError::Select(e)
+    }
+}
+
+impl From<PlanError> for RepairError {
+    fn from(e: PlanError) -> Self {
+        RepairError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let chunk = ChunkId {
+            stripe: 3,
+            index: 1,
+        };
+        let e = RepairError::HelperLost {
+            chunk,
+            node: Some(7),
+        };
+        assert!(e.to_string().contains("stripe 3"));
+        assert!(e.to_string().contains("node 7"));
+        let e = RepairError::RetriesExhausted { chunk, attempts: 4 };
+        assert!(e.to_string().contains("4 attempts"));
+        let e: RepairError = SelectError::Unrepairable.into();
+        assert!(matches!(e, RepairError::Select(SelectError::Unrepairable)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: RepairError = PlanError::Empty.into();
+        assert!(matches!(e, RepairError::Plan(PlanError::Empty)));
+    }
+}

@@ -31,6 +31,10 @@ pub enum ExecStatus {
     InProgress,
     /// Consumed; the repair just finished.
     Done,
+    /// Consumed; a flow of this attempt was aborted (a participating node
+    /// failed). The executor cancelled its remaining flows and is dead —
+    /// the driver must re-plan the chunk against the surviving nodes.
+    Failed,
 }
 
 /// A directed edge carrying slices `[start, end)` from one node to another.
@@ -107,6 +111,16 @@ pub struct PlanExecutor {
     started_at: Option<f64>,
     finished_at: Option<f64>,
     coding: Option<CodingStats>,
+    /// Set when a flow of this attempt aborted (node failure) or the
+    /// driver called [`PlanExecutor::abort`]; a failed executor never
+    /// starts new flows.
+    failed: bool,
+    /// Network bytes of completed slice sends — the work thrown away if
+    /// the attempt fails.
+    sent_bytes: f64,
+    /// Flows of this attempt killed by node failures or cancelled on
+    /// abort.
+    aborted_flows: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +190,9 @@ impl PlanExecutor {
             started_at: None,
             finished_at: None,
             coding: None,
+            failed: false,
+            sent_bytes: 0.0,
+            aborted_flows: 0,
         }
     }
 
@@ -198,13 +215,22 @@ impl PlanExecutor {
     }
 
     /// Feeds a simulator event to the executor.
+    ///
+    /// An aborted flow (a participating node failed mid-transfer) fails
+    /// the whole attempt: the executor cancels its remaining flows and
+    /// returns [`ExecStatus::Failed`] — the driver re-plans from there.
     pub fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> ExecStatus {
-        let Event::FlowCompleted { id, .. } = event else {
+        let Event::FlowCompleted { id, outcome, .. } = event else {
             return ExecStatus::NotMine;
         };
         let Some(step) = self.flow_map.remove(id) else {
             return ExecStatus::NotMine;
         };
+        if !outcome.is_delivered() {
+            self.aborted_flows += 1;
+            self.abort(sim);
+            return ExecStatus::Failed;
+        }
         match step {
             Step::Read { source } => {
                 let s = &mut self.sources[source];
@@ -219,6 +245,8 @@ impl PlanExecutor {
                 self.sources[source].sending = None;
                 self.sources[source].sent = slice + 1;
                 self.edges[edge].delivered = slice + 1;
+                self.sent_bytes +=
+                    (self.slice_len(slice) as f64 * self.edges[edge].bytes_factor).ceil();
             }
             Step::Write => {
                 self.writing = None;
@@ -236,6 +264,48 @@ impl PlanExecutor {
     /// Whether the repaired chunk has been fully written.
     pub fn is_done(&self) -> bool {
         self.finished_at.is_some()
+    }
+
+    /// Whether this attempt failed (a participating node crashed, or the
+    /// driver aborted it). A failed executor is inert.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Kills this attempt: cancels every in-flight flow (in flow-id order,
+    /// for determinism) and marks the executor failed. Safe to call
+    /// repeatedly. Used both internally on an aborted flow and by drivers
+    /// whose per-attempt stall watchdog expired.
+    pub fn abort(&mut self, sim: &mut Simulator) {
+        if self.failed || self.is_done() {
+            return;
+        }
+        self.failed = true;
+        let mut ids: Vec<FlowId> = self.flow_map.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if sim.cancel_flow(id).is_some() {
+                self.aborted_flows += 1;
+            }
+        }
+        self.flow_map.clear();
+        for s in &mut self.sources {
+            s.reading = None;
+            s.sending = None;
+        }
+        self.writing = None;
+    }
+
+    /// Network bytes of completed slice sends so far — the repair traffic
+    /// wasted if this attempt is thrown away.
+    pub fn sent_bytes(&self) -> f64 {
+        self.sent_bytes
+    }
+
+    /// Number of this attempt's flows killed by node failures or
+    /// cancelled by [`PlanExecutor::abort`].
+    pub fn aborted_flows(&self) -> usize {
+        self.aborted_flows
     }
 
     /// Simulated time the repair started, if started.
@@ -323,11 +393,12 @@ impl PlanExecutor {
         else {
             return false;
         };
-        // Cut over after any slice currently in flight on this edge.
-        let sender = self
-            .plan
-            .participant_on(from)
-            .expect("edge sender is a participant");
+        // Cut over after any slice currently in flight on this edge. A
+        // sender missing from the plan means the executor's state has
+        // diverged (e.g. a failed attempt): refuse rather than panic.
+        let Some(sender) = self.plan.participant_on(from) else {
+            return false;
+        };
         let in_flight =
             matches!(self.sources[sender].sending, Some((_, s)) if self.edges[eidx].covers(s));
         let cutover =
@@ -379,7 +450,7 @@ impl PlanExecutor {
 
     /// Starts every action that is currently unblocked.
     fn pump(&mut self, sim: &mut Simulator) {
-        if self.paused || self.is_done() {
+        if self.paused || self.is_done() || self.failed {
             return;
         }
         // Disk reads: one outstanding per source, sequential.
@@ -681,6 +752,56 @@ mod tests {
         assert_eq!(edges.len(), 3);
         assert!(edges.iter().all(|e| e.delivered == 0 && e.end == 4));
         let _ = s.next_event(); // silence unused warnings
+    }
+
+    #[test]
+    fn helper_crash_fails_the_attempt_and_cancels_flows() {
+        let plan = RepairPlan::new(chunk(), 4, (0..4).map(|i| part(i, 4)).collect()).unwrap();
+        let mut s = sim(5);
+        let mut exec = PlanExecutor::new(plan, 8 * MB, MB);
+        exec.start(&mut s);
+        // Let slices move until at least one send completed, then crash
+        // helper 1 mid-transfer.
+        while exec.sent_bytes() == 0.0 {
+            let ev = s.next_event().unwrap();
+            exec.on_event(&mut s, &ev);
+        }
+        s.fail_node(1);
+        let mut failed = false;
+        while let Some(ev) = s.next_event() {
+            match exec.on_event(&mut s, &ev) {
+                ExecStatus::Failed => {
+                    failed = true;
+                    break;
+                }
+                ExecStatus::Done => panic!("attempt with a dead helper must not complete"),
+                _ => {}
+            }
+        }
+        assert!(failed);
+        assert!(exec.is_failed());
+        assert!(exec.aborted_flows() >= 1);
+        assert!(exec.sent_bytes() > 0.0, "completed sends are accounted");
+        // The executor cancelled everything it had in flight; the sim
+        // drains without the attempt ever completing.
+        while s.next_event().is_some() {}
+        assert_eq!(s.active_flows(), 0);
+        assert!(!exec.is_done());
+    }
+
+    #[test]
+    fn driver_abort_is_idempotent_and_inert() {
+        let plan = RepairPlan::new(chunk(), 2, vec![part(0, 2), part(1, 2)]).unwrap();
+        let mut s = sim(3);
+        let mut exec = PlanExecutor::new(plan, 4 * MB, MB);
+        exec.start(&mut s);
+        exec.abort(&mut s);
+        exec.abort(&mut s);
+        assert!(exec.is_failed());
+        assert_eq!(s.active_flows(), 0);
+        // A failed executor never starts new work.
+        exec.resume(&mut s);
+        assert_eq!(s.active_flows(), 0);
     }
 
     #[test]

@@ -40,22 +40,26 @@ pub mod coding;
 mod context;
 pub mod cr;
 pub mod ecpipe;
+mod error;
 mod exec;
 mod metrics;
 mod plan;
 pub mod ppr;
+pub mod recovery;
 pub mod repairboost;
 mod select;
 
 pub use coding::{CodingStats, PlanCoder};
 pub use context::{RepairContext, Resources};
+pub use error::RepairError;
 pub use exec::{ExecStatus, PlanExecutor};
 pub use metrics::{LinkLoadStats, RepairOutcome};
 pub use plan::{Participant, PlanError, RepairPlan};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use select::{SelectError, Selection, SourcePick, SourceSelector};
 
 use chameleon_cluster::ChunkId;
-use chameleon_simnet::{Event, Simulator};
+use chameleon_simnet::{Event, FaultEvent, Simulator};
 
 /// A driver that repairs a set of lost chunks to completion.
 ///
@@ -75,6 +79,16 @@ pub trait RepairDriver: Send {
     /// Handles a simulator event; returns `true` if it belonged to this
     /// driver.
     fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> bool;
+
+    /// Notifies the driver of an injected fault the run loop applied
+    /// (crash, recovery, slowdown). Crash-aware drivers update their
+    /// failure view, enqueue chunks the crashed node held, and let their
+    /// in-flight attempts fail over; the default ignores faults (abort
+    /// notifications still reach [`RepairDriver::on_event`], so even a
+    /// fault-oblivious driver sees its flows die rather than hang).
+    fn on_fault(&mut self, sim: &mut Simulator, fault: &FaultEvent) {
+        let _ = (sim, fault);
+    }
 
     /// Whether every chunk has been repaired.
     fn is_done(&self) -> bool;

@@ -3,6 +3,7 @@
 use chameleon_simnet::{Monitor, ResourceKind, Traffic};
 
 use crate::coding::CodingStats;
+use crate::recovery::RecoveryStats;
 
 /// Summary of a repair campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,10 @@ pub struct RepairOutcome {
     /// Wall-clock cost of the real GF(2^8) coding stages executed for the
     /// repaired chunks (source scale / relay merge / reassemble).
     pub coding: CodingStats,
+    /// Recovery activity under injected faults: replans, retries, aborted
+    /// flows, wasted repair bytes, and chunks given up. All zero in a
+    /// fault-free run.
+    pub recovery: RecoveryStats,
 }
 
 impl RepairOutcome {
@@ -137,6 +142,7 @@ mod tests {
             duration: Some(4.0),
             per_chunk_secs: vec![2.0, 4.0],
             coding: CodingStats::default(),
+            recovery: RecoveryStats::default(),
         };
         assert_eq!(outcome.throughput(), 50.0);
         assert_eq!(outcome.mean_chunk_secs(), 3.0);
@@ -152,6 +158,7 @@ mod tests {
             duration: None,
             per_chunk_secs: vec![2.0],
             coding: CodingStats::default(),
+            recovery: RecoveryStats::default(),
         };
         assert_eq!(outcome.throughput(), 0.0);
     }

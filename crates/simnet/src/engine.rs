@@ -28,9 +28,9 @@
 //! test suite and as the baseline for the simulator-throughput benchmark.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
-use crate::flow::{Flow, FlowId, FlowSpec, TimerId, MAX_CONSTRAINTS};
+use crate::flow::{Flow, FlowId, FlowOutcome, FlowSpec, TimerId, MAX_CONSTRAINTS};
 use crate::maxmin::{reference, MaxMinSolver};
 use crate::monitor::Monitor;
 use crate::node::{NodeCaps, NodeId, ResourceKind, Traffic};
@@ -92,12 +92,15 @@ impl SimConfig {
 /// An observable simulation event, returned by [`Simulator::next_event`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
-    /// A flow delivered its final byte.
+    /// A flow ended — it either delivered its final byte or was aborted by
+    /// a node failure (see the `outcome` field).
     FlowCompleted {
         /// The finished flow.
         id: FlowId,
         /// Its traffic class.
         tag: Traffic,
+        /// Whether the flow delivered all of its bytes or was aborted.
+        outcome: FlowOutcome,
     },
     /// A timer fired.
     Timer {
@@ -127,6 +130,16 @@ pub enum Event {
 pub struct Simulator {
     now: SimTime,
     node_caps: Vec<NodeCaps>,
+    /// The capacities the simulator was configured with, before any
+    /// [`Simulator::scale_node_caps`] fault scaling.
+    base_caps: Vec<NodeCaps>,
+    /// Nodes currently failed ([`Simulator::fail_node`]): new flows that
+    /// touch them abort on admission, existing ones were killed.
+    failed_nodes: Vec<bool>,
+    /// Abort notifications queued by `fail_node`, delivered (in flow-id
+    /// order) by `next_event` ahead of any heap event, without advancing
+    /// time.
+    pending_aborts: VecDeque<(u64, Traffic)>,
     /// Flattened capacities: `caps[node * 4 + kind]`.
     caps: Vec<f64>,
     /// The flow slab: `None` slots are free (listed in `free_slots`).
@@ -216,6 +229,9 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             caps,
+            base_caps: config.nodes.clone(),
+            failed_nodes: vec![false; config.nodes.len()],
+            pending_aborts: VecDeque::new(),
             node_caps: config.nodes,
             flows: Vec::new(),
             slot_ids: Vec::new(),
@@ -325,6 +341,20 @@ impl Simulator {
     pub fn start_flow(&mut self, mut spec: FlowSpec) -> FlowId {
         for &(node, _) in spec.constraints() {
             assert!(node < self.node_caps.len(), "node {node} out of range");
+        }
+        // A flow against a failed node is admitted and immediately
+        // aborted: the caller gets a normal id and learns of the failure
+        // through the same `FlowOutcome::Aborted` notification as a
+        // mid-transfer kill, so drivers have one recovery path.
+        if spec
+            .constraints()
+            .iter()
+            .any(|&(node, _)| self.failed_nodes[node])
+        {
+            let id = FlowId(self.next_flow_id);
+            self.next_flow_id += 1;
+            self.pending_aborts.push_back((id.0, spec.tag()));
+            return id;
         }
         // Dedupe repeated (node, kind) pairs: a duplicate would
         // double-count the flow's load in the solver and double-record its
@@ -473,6 +503,85 @@ impl Simulator {
         Some(left)
     }
 
+    /// Fails a node: every active flow traversing any of its resources is
+    /// killed atomically (capacity is released and rates re-solve for the
+    /// survivors), and each killed flow surfaces as a
+    /// [`Event::FlowCompleted`] with [`FlowOutcome::Aborted`] — in flow-id
+    /// order, before any further heap event, without advancing time. Until
+    /// [`Simulator::recover_node`], new flows touching the node abort on
+    /// admission.
+    ///
+    /// Failing an already-failed node is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn fail_node(&mut self, node: NodeId) {
+        assert!(node < self.node_caps.len(), "node {node} out of range");
+        if self.failed_nodes[node] {
+            return;
+        }
+        self.failed_nodes[node] = true;
+        // Collect victims in flow-id order so abort delivery (and thus
+        // every downstream driver decision) is deterministic regardless of
+        // slab layout.
+        let mut victims: Vec<u64> = Vec::new();
+        for (slot, f) in self.flows.iter().enumerate() {
+            let Some(f) = f else { continue };
+            if f.cells().iter().any(|&c| c as usize / KINDS == node) {
+                victims.push(self.slot_ids[slot]);
+            }
+        }
+        victims.sort_unstable();
+        for id in victims {
+            let flow = self.remove_flow(id).expect("victim flow exists");
+            let wasted = self.live_remaining(&flow);
+            self.retire_flow_accounting(&flow);
+            self.monitor
+                .record_abort(node, flow.spec.tag, wasted, self.now.as_secs());
+            self.pending_aborts.push_back((id, flow.spec.tag));
+            self.rates_stale = true;
+        }
+    }
+
+    /// Clears a node's failed state; new flows may traverse it again.
+    /// Flows killed by the failure stay dead — restarting them is the
+    /// driver's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn recover_node(&mut self, node: NodeId) {
+        assert!(node < self.node_caps.len(), "node {node} out of range");
+        self.failed_nodes[node] = false;
+    }
+
+    /// Whether a node is currently failed.
+    pub fn is_node_failed(&self, node: NodeId) -> bool {
+        self.failed_nodes[node]
+    }
+
+    /// Re-rates a node's capacities to `base × factor` (network and disk
+    /// factors applied to the capacities the simulator was built with, so
+    /// repeated calls don't compound): the fault primitive behind
+    /// transient slowdowns and disk degradation. All flows through the
+    /// node are atomically re-rate-limited at the next solve; none are
+    /// killed. Factors of `1.0` restore the configured capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or either factor is not positive
+    /// and finite.
+    pub fn scale_node_caps(&mut self, node: NodeId, net_factor: f64, disk_factor: f64) {
+        assert!(node < self.node_caps.len(), "node {node} out of range");
+        let scaled = self.base_caps[node].scaled(net_factor, disk_factor);
+        self.node_caps[node] = scaled;
+        for kind in ResourceKind::ALL {
+            self.caps[node * KINDS + kind.index()] = scaled.capacity(kind);
+        }
+        self.rates_stale = true;
+    }
+
     /// Re-solves max–min fair rates now if the flow set changed since the
     /// last solve. The `&self` read paths ([`Simulator::flow_rate`],
     /// [`Simulator::class_rate`], [`Simulator::residual_capacity`])
@@ -597,6 +706,17 @@ impl Simulator {
     /// timer is pending — a configuration bug that would hang a real
     /// system.
     pub fn next_event(&mut self) -> Option<Event> {
+        // Queued abort notifications outrank everything: they happened at
+        // the current time (when `fail_node` struck), so they are
+        // delivered before any heap event and without advancing the clock.
+        if let Some((id, tag)) = self.pending_aborts.pop_front() {
+            return Some(Event::FlowCompleted {
+                id: FlowId(id),
+                tag,
+                outcome: FlowOutcome::Aborted,
+            });
+        }
+
         // Discard cancelled timers at the head.
         while let Some(Reverse((_, id, _))) = self.timers.peek() {
             if self.cancelled_timers.remove(id) {
@@ -684,6 +804,7 @@ impl Simulator {
             Some(Event::FlowCompleted {
                 id: FlowId(id),
                 tag: flow.spec.tag,
+                outcome: FlowOutcome::Delivered,
             })
         } else {
             let Reverse((_, id, key)) = self.timers.pop().expect("timer event chosen");
@@ -900,7 +1021,8 @@ mod tests {
             ev,
             Event::FlowCompleted {
                 id: f,
-                tag: Traffic::Repair
+                tag: Traffic::Repair,
+                outcome: FlowOutcome::Delivered,
             }
         );
         assert!((sim.now().as_secs() - 2.0).abs() < 1e-9);
@@ -1090,6 +1212,129 @@ mod tests {
             }
         }
         assert_eq!(done, vec![c, b]);
+    }
+
+    #[test]
+    fn cancel_flow_releases_capacity_and_leaves_no_stale_heap_entry() {
+        // Regression (indexed engine): cancelling a mid-transfer flow must
+        // (a) release its share of node capacity immediately, (b) re-solve
+        // rates for flows it shared resources with, and (c) leave no live
+        // completion-heap entry that could later surface a phantom event.
+        let mut sim = two_node_sim();
+        let a = sim.start_flow(FlowSpec::network(0, 1, 400, Traffic::Repair));
+        let b = sim.start_flow(FlowSpec::network(0, 1, 400, Traffic::Repair));
+        sim.schedule_in(1.0, 0);
+        let _ = sim.next_event(); // timer at t=1; both flows at 50 B/s
+        assert!((sim.now().as_secs() - 1.0).abs() < 1e-9);
+        let left = sim.cancel_flow(a).unwrap();
+        assert!((left - 350.0).abs() < 1e-9, "a moved 50 bytes: {left}");
+        // (a)+(b): the survivor's rate doubles as soon as rates refresh.
+        sim.refresh();
+        assert_eq!(sim.flow_rate(b), Some(100.0));
+        assert_eq!(
+            sim.class_rate(0, ResourceKind::Uplink, Traffic::Repair),
+            100.0
+        );
+        assert_eq!(
+            sim.class_flow_count(0, ResourceKind::Uplink, Traffic::Repair),
+            1
+        );
+        // (c): the only remaining event is b's completion — 350 bytes at
+        // 100 B/s from t=1 — and a's stale heap entry never surfaces.
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::FlowCompleted { id, .. } if id == b));
+        assert!((sim.now().as_secs() - 4.5).abs() < 1e-9);
+        assert_eq!(sim.next_event(), None);
+        assert!(sim.completions.is_empty() || sim.reference_mode);
+    }
+
+    #[test]
+    fn fail_node_aborts_flows_and_releases_capacity() {
+        let mut sim = Simulator::new(SimConfig::uniform(3, NodeCaps::symmetric(100.0, 50.0)));
+        let doomed = sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Repair));
+        let doomed2 = sim.start_flow(FlowSpec::network(2, 1, 1000, Traffic::Repair));
+        let survivor = sim.start_flow(FlowSpec::network(2, 0, 100, Traffic::Repair));
+        sim.schedule_in(1.0, 0);
+        let _ = sim.next_event();
+        sim.fail_node(1);
+        assert!(sim.is_node_failed(1));
+        // Aborts are delivered in flow-id order, at the current time.
+        let ev = sim.next_event().unwrap();
+        assert_eq!(
+            ev,
+            Event::FlowCompleted {
+                id: doomed,
+                tag: Traffic::Repair,
+                outcome: FlowOutcome::Aborted,
+            }
+        );
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(
+            ev,
+            Event::FlowCompleted { id, outcome: FlowOutcome::Aborted, .. } if id == doomed2
+        ));
+        assert!((sim.now().as_secs() - 1.0).abs() < 1e-9);
+        // Capacity the doomed flows held is released for the survivor.
+        sim.refresh();
+        assert_eq!(sim.flow_rate(doomed), None);
+        assert_eq!(sim.flow_rate(survivor), Some(100.0));
+        // New flows touching the failed node abort on admission...
+        let refused = sim.start_flow(FlowSpec::network(0, 1, 10, Traffic::Repair));
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(
+            ev,
+            Event::FlowCompleted { id, outcome: FlowOutcome::Aborted, .. } if id == refused
+        ));
+        // ...until the node recovers.
+        sim.recover_node(1);
+        let ok = sim.start_flow(FlowSpec::network(0, 1, 10, Traffic::Repair));
+        let mut delivered = Vec::new();
+        while let Some(ev) = sim.next_event() {
+            if let Event::FlowCompleted {
+                id,
+                outcome: FlowOutcome::Delivered,
+                ..
+            } = ev
+            {
+                delivered.push(id);
+            }
+        }
+        assert!(delivered.contains(&ok));
+        // The monitor accounted the killed flows' unsent bytes.
+        assert!(sim.monitor().total_aborted_bytes() > 0.0);
+    }
+
+    #[test]
+    fn fail_node_is_idempotent_and_double_failure_aborts_once() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Repair));
+        sim.fail_node(1);
+        sim.fail_node(1);
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(
+            ev,
+            Event::FlowCompleted { id, outcome: FlowOutcome::Aborted, .. } if id == f
+        ));
+        assert_eq!(sim.next_event(), None);
+    }
+
+    #[test]
+    fn scale_node_caps_rerates_flows_from_base() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Repair));
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(100.0));
+        sim.scale_node_caps(0, 0.25, 1.0);
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(25.0));
+        // Scaling is relative to the configured base, not compounding.
+        sim.scale_node_caps(0, 0.5, 1.0);
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(50.0));
+        sim.scale_node_caps(0, 1.0, 1.0);
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(100.0));
+        assert_eq!(sim.capacity(0, ResourceKind::Uplink), 100.0);
     }
 
     #[test]

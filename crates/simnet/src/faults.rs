@@ -1,0 +1,796 @@
+//! Deterministic fault injection: seeded schedules of node crashes,
+//! recoveries, transient slowdowns, and disk degradation.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultSpec`]s — either written
+//! out explicitly, parsed from a CLI string ([`FaultPlan::parse_list`]), or
+//! generated from a seed ([`FaultPlan::seeded_crashes`],
+//! [`FaultPlan::seeded_slowdowns`]). [`FaultPlan::inject`] arms the plan on
+//! a simulator: every fault becomes a timer on the engine's timer wheel,
+//! and the returned [`FaultInjector`] is fed each event from the run loop
+//! *before* the repair/foreground drivers. When one of its timers fires it
+//! applies the fault atomically ([`Simulator::fail_node`],
+//! [`Simulator::recover_node`], [`Simulator::scale_node_caps`]) and
+//! reports a [`FaultEvent`] the loop can forward to subscribers (the
+//! repair drivers' failure hooks).
+//!
+//! Everything is virtual-time and seeded, so a fault schedule derived from
+//! an experiment's `RunSpec` replays byte-identically at any worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use chameleon_simnet::{
+//!     Event, FaultPlan, FaultSpec, FlowSpec, NodeCaps, SimConfig, Simulator, Traffic,
+//! };
+//!
+//! let mut sim = Simulator::new(SimConfig::uniform(3, NodeCaps::symmetric(100.0, 50.0)));
+//! let plan = FaultPlan::new(vec![FaultSpec::Crash { node: 1, at_secs: 1.0 }]);
+//! let mut injector = plan.inject(&mut sim);
+//! sim.start_flow(FlowSpec::network(0, 1, 1_000, Traffic::Repair));
+//! let mut crashes = 0;
+//! while let Some(ev) = sim.next_event() {
+//!     if let Some(fault) = injector.on_event(&mut sim, &ev) {
+//!         crashes += 1;
+//!         assert_eq!(fault.node(), 1);
+//!     }
+//! }
+//! assert_eq!(crashes, 1);
+//! assert!(sim.is_node_failed(1));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::engine::{Event, Simulator};
+use crate::flow::TimerId;
+use crate::node::NodeId;
+
+/// Dispatch key carried by every fault timer, so fault firings are
+/// recognizable in event logs (drivers match timers by id, not key, and
+/// ignore it).
+pub const FAULT_TIMER_KEY: u64 = 0xFA17;
+
+/// One scheduled fault.
+///
+/// Times are absolute simulation seconds; scale factors are relative to
+/// the node's *configured* capacities (they do not compound).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// The node crashes at `at_secs`: every flow it carries is killed
+    /// (surfacing as [`FlowOutcome::Aborted`](crate::FlowOutcome) events)
+    /// and new flows through it abort on admission until it recovers.
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+        /// Crash time, in seconds.
+        at_secs: f64,
+    },
+    /// The node recovers at `at_secs` (flows killed by the crash stay
+    /// dead; restarting work is the drivers' job).
+    Recover {
+        /// The recovering node.
+        node: NodeId,
+        /// Recovery time, in seconds.
+        at_secs: f64,
+    },
+    /// Transient network slowdown: the node's uplink/downlink capacities
+    /// are scaled by `factor` during `[at_secs, at_secs + duration_secs)`,
+    /// then restored — the generalization of Exp#11's ad-hoc "hog" flows.
+    Slowdown {
+        /// The straggling node.
+        node: NodeId,
+        /// Slowdown onset, in seconds.
+        at_secs: f64,
+        /// Network capacity multiplier in `(0, ∞)`; `0.25` models a 4×
+        /// slowdown.
+        factor: f64,
+        /// How long the slowdown lasts, in seconds.
+        duration_secs: f64,
+    },
+    /// Disk degradation: the node's disk read/write capacities are scaled
+    /// by `factor` for `duration_secs`, then restored.
+    DiskDegrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Degradation onset, in seconds.
+        at_secs: f64,
+        /// Disk capacity multiplier in `(0, ∞)`.
+        factor: f64,
+        /// How long the degradation lasts, in seconds.
+        duration_secs: f64,
+    },
+}
+
+impl FaultSpec {
+    /// The node the fault strikes.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FaultSpec::Crash { node, .. }
+            | FaultSpec::Recover { node, .. }
+            | FaultSpec::Slowdown { node, .. }
+            | FaultSpec::DiskDegrade { node, .. } => node,
+        }
+    }
+
+    /// When the fault strikes, in seconds.
+    pub fn at_secs(&self) -> f64 {
+        match *self {
+            FaultSpec::Crash { at_secs, .. }
+            | FaultSpec::Recover { at_secs, .. }
+            | FaultSpec::Slowdown { at_secs, .. }
+            | FaultSpec::DiskDegrade { at_secs, .. } => at_secs,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.at_secs().is_finite() && self.at_secs() >= 0.0,
+            "fault time must be finite and non-negative"
+        );
+        if let FaultSpec::Slowdown {
+            factor,
+            duration_secs,
+            ..
+        }
+        | FaultSpec::DiskDegrade {
+            factor,
+            duration_secs,
+            ..
+        } = *self
+        {
+            assert!(
+                factor.is_finite() && factor > 0.0,
+                "scale factor must be positive and finite"
+            );
+            assert!(
+                duration_secs.is_finite() && duration_secs > 0.0,
+                "fault duration must be positive and finite"
+            );
+        }
+    }
+
+    /// Parses one fault from its CLI form:
+    ///
+    /// - `crash:NODE@T` — crash node `NODE` at `T` seconds,
+    /// - `recover:NODE@T` — recover it at `T`,
+    /// - `slow:NODE@T` `xF+D` — scale network capacity by `F` for `D`
+    ///   seconds starting at `T` (e.g. `slow:5@2x0.25+10`),
+    /// - `disk:NODE@T` `xF+D` — same for disk capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let bad =
+            || format!("bad fault spec '{s}' (expected e.g. crash:3@1.5 or slow:5@2x0.25+10)");
+        let (kind, rest) = s.split_once(':').ok_or_else(bad)?;
+        let (node, timing) = rest.split_once('@').ok_or_else(bad)?;
+        let node: NodeId = node.parse().map_err(|_| bad())?;
+        let secs = |v: &str| v.parse::<f64>().map_err(|_| bad());
+        match kind {
+            "crash" => Ok(FaultSpec::Crash {
+                node,
+                at_secs: secs(timing)?,
+            }),
+            "recover" => Ok(FaultSpec::Recover {
+                node,
+                at_secs: secs(timing)?,
+            }),
+            "slow" | "disk" => {
+                let (at, mods) = timing.split_once('x').ok_or_else(bad)?;
+                let (factor, duration) = mods.split_once('+').ok_or_else(bad)?;
+                let (at_secs, factor, duration_secs) = (secs(at)?, secs(factor)?, secs(duration)?);
+                if !factor.is_finite()
+                    || factor <= 0.0
+                    || !duration_secs.is_finite()
+                    || duration_secs <= 0.0
+                {
+                    return Err(bad());
+                }
+                Ok(if kind == "slow" {
+                    FaultSpec::Slowdown {
+                        node,
+                        at_secs,
+                        factor,
+                        duration_secs,
+                    }
+                } else {
+                    FaultSpec::DiskDegrade {
+                        node,
+                        at_secs,
+                        factor,
+                        duration_secs,
+                    }
+                })
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// What a fired fault did, reported by [`FaultInjector::on_event`] so the
+/// run loop can notify subscribers (e.g. repair drivers re-planning around
+/// a crash).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A node crashed.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node recovered.
+    Recover {
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// A network slowdown began.
+    SlowdownStart {
+        /// The straggling node.
+        node: NodeId,
+        /// The applied network capacity factor.
+        factor: f64,
+    },
+    /// A network slowdown ended.
+    SlowdownEnd {
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// Disk degradation began.
+    DiskDegradeStart {
+        /// The degraded node.
+        node: NodeId,
+        /// The applied disk capacity factor.
+        factor: f64,
+    },
+    /// Disk degradation ended.
+    DiskDegradeEnd {
+        /// The recovered node.
+        node: NodeId,
+    },
+}
+
+impl FaultEvent {
+    /// The node the fault struck.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FaultEvent::Crash { node }
+            | FaultEvent::Recover { node }
+            | FaultEvent::SlowdownStart { node, .. }
+            | FaultEvent::SlowdownEnd { node }
+            | FaultEvent::DiskDegradeStart { node, .. }
+            | FaultEvent::DiskDegradeEnd { node } => node,
+        }
+    }
+}
+
+/// A deterministic schedule of faults, ordered by fire time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+/// The splitmix64 step — the workspace's standard seed-mixing primitive
+/// (same constants as the bench runner's `client_seed`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit draw to `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// Builds a plan from explicit specs, sorted by (time, node) so
+    /// injection order — and therefore every downstream event — is
+    /// independent of the caller's list order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec has a non-finite/negative time, a non-positive
+    /// scale factor, or a non-positive duration.
+    pub fn new(mut specs: Vec<FaultSpec>) -> Self {
+        for s in &specs {
+            s.validate();
+        }
+        specs.sort_by(|a, b| {
+            a.at_secs()
+                .total_cmp(&b.at_secs())
+                .then(a.node().cmp(&b.node()))
+        });
+        FaultPlan { specs }
+    }
+
+    /// The empty plan (injects nothing).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The scheduled faults, in fire order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Time of the first scheduled crash, if any — the start of the
+    /// data-loss window in fault experiments.
+    pub fn first_crash_secs(&self) -> Option<f64> {
+        self.specs
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Crash { at_secs, .. } => Some(*at_secs),
+                _ => None,
+            })
+            .min_by(f64::total_cmp)
+    }
+
+    /// Generates `count` crashes of distinct nodes drawn from
+    /// `candidates`, at seeded-uniform times in `[window.0, window.1)`;
+    /// each crashed node recovers `recover_after` seconds later when that
+    /// is `Some`. Fully determined by `(seed, candidates, count, window,
+    /// recover_after)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > candidates.len()` or the window is not an
+    /// ordered pair of finite, non-negative times.
+    pub fn seeded_crashes(
+        seed: u64,
+        candidates: &[NodeId],
+        count: usize,
+        window: (f64, f64),
+        recover_after: Option<f64>,
+    ) -> Self {
+        let picks = Self::seeded_picks(seed, candidates, count, window);
+        let mut specs = Vec::with_capacity(count * 2);
+        for (node, at_secs) in picks {
+            specs.push(FaultSpec::Crash { node, at_secs });
+            if let Some(after) = recover_after {
+                specs.push(FaultSpec::Recover {
+                    node,
+                    at_secs: at_secs + after,
+                });
+            }
+        }
+        FaultPlan::new(specs)
+    }
+
+    /// Generates `count` transient network slowdowns of distinct nodes
+    /// drawn from `candidates`, at seeded-uniform times in the window,
+    /// each scaling network capacity by `factor` for `duration_secs`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FaultPlan::seeded_crashes`], plus the factor/duration
+    /// validity rules of [`FaultPlan::new`].
+    pub fn seeded_slowdowns(
+        seed: u64,
+        candidates: &[NodeId],
+        count: usize,
+        window: (f64, f64),
+        factor: f64,
+        duration_secs: f64,
+    ) -> Self {
+        let picks = Self::seeded_picks(seed, candidates, count, window);
+        FaultPlan::new(
+            picks
+                .into_iter()
+                .map(|(node, at_secs)| FaultSpec::Slowdown {
+                    node,
+                    at_secs,
+                    factor,
+                    duration_secs,
+                })
+                .collect(),
+        )
+    }
+
+    /// Draws `count` distinct nodes (seeded Fisher–Yates over a copy of
+    /// `candidates`) and a seeded-uniform fire time in `window` for each.
+    fn seeded_picks(
+        seed: u64,
+        candidates: &[NodeId],
+        count: usize,
+        window: (f64, f64),
+    ) -> Vec<(NodeId, f64)> {
+        assert!(
+            count <= candidates.len(),
+            "cannot draw {count} distinct nodes from {} candidates",
+            candidates.len()
+        );
+        assert!(
+            window.0.is_finite() && window.1.is_finite() && 0.0 <= window.0 && window.0 <= window.1,
+            "bad fault window {window:?}"
+        );
+        let mut state = seed ^ 0xFA17_FA17_FA17_FA17;
+        let mut pool: Vec<NodeId> = candidates.to_vec();
+        let mut picks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let i = (splitmix64(&mut state) % pool.len() as u64) as usize;
+            let node = pool.swap_remove(i);
+            let at = window.0 + unit(splitmix64(&mut state)) * (window.1 - window.0);
+            picks.push((node, at));
+        }
+        picks
+    }
+
+    /// Parses a comma-separated list of [`FaultSpec::parse`] forms, e.g.
+    /// `crash:3@1.5,slow:5@2x0.25+10,recover:3@20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed entry's error message.
+    pub fn parse_list(s: &str) -> Result<Self, String> {
+        let specs = s
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| FaultSpec::parse(p.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan::new(specs))
+    }
+
+    /// Arms the plan on a simulator: every fault becomes a timer on the
+    /// engine's wheel (scale faults get a second timer restoring the
+    /// capacity). Feed the returned injector every event from the run
+    /// loop, before the drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec names a node out of range (via timer scheduling
+    /// being fine, the panic surfaces when the fault fires — prefer
+    /// validating node ids against the cluster before injecting).
+    pub fn inject(&self, sim: &mut Simulator) -> FaultInjector {
+        let mut by_timer = HashMap::new();
+        for spec in &self.specs {
+            match *spec {
+                FaultSpec::Crash { node, at_secs } => {
+                    let t = sim.schedule_in(at_secs, FAULT_TIMER_KEY);
+                    by_timer.insert(t, FaultAction::Crash(node));
+                }
+                FaultSpec::Recover { node, at_secs } => {
+                    let t = sim.schedule_in(at_secs, FAULT_TIMER_KEY);
+                    by_timer.insert(t, FaultAction::Recover(node));
+                }
+                FaultSpec::Slowdown {
+                    node,
+                    at_secs,
+                    factor,
+                    duration_secs,
+                } => {
+                    let t = sim.schedule_in(at_secs, FAULT_TIMER_KEY);
+                    by_timer.insert(t, FaultAction::NetScale { node, factor });
+                    let t = sim.schedule_in(at_secs + duration_secs, FAULT_TIMER_KEY);
+                    by_timer.insert(t, FaultAction::NetScale { node, factor: 1.0 });
+                }
+                FaultSpec::DiskDegrade {
+                    node,
+                    at_secs,
+                    factor,
+                    duration_secs,
+                } => {
+                    let t = sim.schedule_in(at_secs, FAULT_TIMER_KEY);
+                    by_timer.insert(t, FaultAction::DiskScale { node, factor });
+                    let t = sim.schedule_in(at_secs + duration_secs, FAULT_TIMER_KEY);
+                    by_timer.insert(t, FaultAction::DiskScale { node, factor: 1.0 });
+                }
+            }
+        }
+        FaultInjector {
+            by_timer,
+            net_scale: HashMap::new(),
+            disk_scale: HashMap::new(),
+            applied: Vec::new(),
+        }
+    }
+}
+
+/// What to do when a fault timer fires.
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Crash(NodeId),
+    Recover(NodeId),
+    NetScale { node: NodeId, factor: f64 },
+    DiskScale { node: NodeId, factor: f64 },
+}
+
+/// An armed [`FaultPlan`]: owns the timer → fault mapping and the current
+/// per-node scale factors (so overlapping network and disk faults on one
+/// node compose instead of clobbering each other).
+#[derive(Debug)]
+pub struct FaultInjector {
+    by_timer: HashMap<TimerId, FaultAction>,
+    /// Current network scale per node (absent = 1.0).
+    net_scale: HashMap<NodeId, f64>,
+    /// Current disk scale per node (absent = 1.0).
+    disk_scale: HashMap<NodeId, f64>,
+    /// Every fault applied so far, in fire order.
+    applied: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Handles one simulation event. If it is one of this injector's fault
+    /// timers, the fault is applied to the simulator and reported;
+    /// otherwise `None` (the event belongs to someone else). Call this
+    /// before handing the event to the drivers, and forward the returned
+    /// [`FaultEvent`] to any subscriber that re-plans around faults.
+    pub fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> Option<FaultEvent> {
+        let Event::Timer { id, .. } = event else {
+            return None;
+        };
+        let action = self.by_timer.remove(id)?;
+        let fault = match action {
+            FaultAction::Crash(node) => {
+                sim.fail_node(node);
+                FaultEvent::Crash { node }
+            }
+            FaultAction::Recover(node) => {
+                sim.recover_node(node);
+                FaultEvent::Recover { node }
+            }
+            FaultAction::NetScale { node, factor } => {
+                self.net_scale.insert(node, factor);
+                self.rescale(sim, node);
+                if factor == 1.0 {
+                    FaultEvent::SlowdownEnd { node }
+                } else {
+                    FaultEvent::SlowdownStart { node, factor }
+                }
+            }
+            FaultAction::DiskScale { node, factor } => {
+                self.disk_scale.insert(node, factor);
+                self.rescale(sim, node);
+                if factor == 1.0 {
+                    FaultEvent::DiskDegradeEnd { node }
+                } else {
+                    FaultEvent::DiskDegradeStart { node, factor }
+                }
+            }
+        };
+        self.applied.push(fault);
+        Some(fault)
+    }
+
+    fn rescale(&self, sim: &mut Simulator, node: NodeId) {
+        let net = self.net_scale.get(&node).copied().unwrap_or(1.0);
+        let disk = self.disk_scale.get(&node).copied().unwrap_or(1.0);
+        sim.scale_node_caps(node, net, disk);
+    }
+
+    /// Faults applied so far, in fire order.
+    pub fn applied(&self) -> &[FaultEvent] {
+        &self.applied
+    }
+
+    /// Number of armed faults that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.by_timer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimConfig;
+    use crate::flow::{FlowOutcome, FlowSpec};
+    use crate::node::{NodeCaps, ResourceKind, Traffic};
+
+    fn sim(nodes: usize) -> Simulator {
+        Simulator::new(SimConfig::uniform(nodes, NodeCaps::symmetric(100.0, 50.0)))
+    }
+
+    /// Drives the sim to completion, returning (fault events, abort count).
+    fn drain(sim: &mut Simulator, injector: &mut FaultInjector) -> (Vec<FaultEvent>, usize) {
+        let mut aborts = 0;
+        while let Some(ev) = sim.next_event() {
+            injector.on_event(sim, &ev);
+            if matches!(
+                ev,
+                Event::FlowCompleted {
+                    outcome: FlowOutcome::Aborted,
+                    ..
+                }
+            ) {
+                aborts += 1;
+            }
+        }
+        (injector.applied().to_vec(), aborts)
+    }
+
+    #[test]
+    fn crash_kills_flows_and_recover_restores_admission() {
+        let mut s = sim(3);
+        let plan = FaultPlan::new(vec![
+            FaultSpec::Crash {
+                node: 1,
+                at_secs: 1.0,
+            },
+            FaultSpec::Recover {
+                node: 1,
+                at_secs: 2.0,
+            },
+        ]);
+        let mut inj = plan.inject(&mut s);
+        s.start_flow(FlowSpec::network(0, 1, 100_000, Traffic::Repair));
+        let (faults, aborts) = drain(&mut s, &mut inj);
+        assert_eq!(
+            faults,
+            vec![
+                FaultEvent::Crash { node: 1 },
+                FaultEvent::Recover { node: 1 }
+            ]
+        );
+        assert_eq!(aborts, 1);
+        assert!(!s.is_node_failed(1));
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn slowdown_scales_and_restores_network_capacity() {
+        let mut s = sim(2);
+        let plan = FaultPlan::new(vec![FaultSpec::Slowdown {
+            node: 0,
+            at_secs: 1.0,
+            factor: 0.25,
+            duration_secs: 2.0,
+        }]);
+        let mut inj = plan.inject(&mut s);
+        let f = s.start_flow(FlowSpec::network(0, 1, 1_000, Traffic::Repair));
+        // t=1: slowdown starts. Flow moved 100 bytes at 100 B/s.
+        let ev = s.next_event().unwrap();
+        assert_eq!(
+            inj.on_event(&mut s, &ev),
+            Some(FaultEvent::SlowdownStart {
+                node: 0,
+                factor: 0.25
+            })
+        );
+        s.refresh();
+        assert_eq!(s.flow_rate(f), Some(25.0));
+        // t=3: slowdown ends (flow at 900 - 50 = 850 remaining).
+        let ev = s.next_event().unwrap();
+        assert_eq!(
+            inj.on_event(&mut s, &ev),
+            Some(FaultEvent::SlowdownEnd { node: 0 })
+        );
+        s.refresh();
+        assert_eq!(s.flow_rate(f), Some(100.0));
+        assert_eq!(s.capacity(0, ResourceKind::DiskRead), 50.0);
+        // Completion at t = 3 + 850/100 = 11.5.
+        let ev = s.next_event().unwrap();
+        assert!(matches!(
+            ev,
+            Event::FlowCompleted {
+                outcome: FlowOutcome::Delivered,
+                ..
+            }
+        ));
+        assert!((s.now().as_secs() - 11.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_net_and_disk_faults_compose() {
+        let mut s = sim(2);
+        let plan = FaultPlan::new(vec![
+            FaultSpec::Slowdown {
+                node: 0,
+                at_secs: 1.0,
+                factor: 0.5,
+                duration_secs: 10.0,
+            },
+            FaultSpec::DiskDegrade {
+                node: 0,
+                at_secs: 2.0,
+                factor: 0.1,
+                duration_secs: 1.0,
+            },
+        ]);
+        let mut inj = plan.inject(&mut s);
+        // Fire: slowdown start (t=1), degrade start (t=2), degrade end
+        // (t=3), slowdown end (t=11).
+        for _ in 0..2 {
+            let ev = s.next_event().unwrap();
+            inj.on_event(&mut s, &ev);
+        }
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 50.0);
+        assert_eq!(s.capacity(0, ResourceKind::DiskRead), 5.0);
+        let ev = s.next_event().unwrap();
+        assert_eq!(
+            inj.on_event(&mut s, &ev),
+            Some(FaultEvent::DiskDegradeEnd { node: 0 })
+        );
+        // Disk restored; the network slowdown is still in force.
+        assert_eq!(s.capacity(0, ResourceKind::DiskRead), 50.0);
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 50.0);
+        let ev = s.next_event().unwrap();
+        assert_eq!(
+            inj.on_event(&mut s, &ev),
+            Some(FaultEvent::SlowdownEnd { node: 0 })
+        );
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 100.0);
+    }
+
+    #[test]
+    fn seeded_crashes_are_deterministic_and_distinct() {
+        let candidates: Vec<NodeId> = (0..10).collect();
+        let a = FaultPlan::seeded_crashes(42, &candidates, 4, (1.0, 9.0), Some(5.0));
+        let b = FaultPlan::seeded_crashes(42, &candidates, 4, (1.0, 9.0), Some(5.0));
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 8); // 4 crashes + 4 recoveries
+        let crashed: Vec<NodeId> = a
+            .specs()
+            .iter()
+            .filter(|s| matches!(s, FaultSpec::Crash { .. }))
+            .map(|s| s.node())
+            .collect();
+        let mut uniq = crashed.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "crashed nodes must be distinct: {crashed:?}");
+        for s in a.specs() {
+            if let FaultSpec::Crash { at_secs, .. } = s {
+                assert!((1.0..9.0).contains(at_secs));
+            }
+        }
+        // A different seed produces a different plan.
+        let c = FaultPlan::seeded_crashes(43, &candidates, 4, (1.0, 9.0), Some(5.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parse_list_round_trips_all_kinds() {
+        let plan =
+            FaultPlan::parse_list("crash:3@1.5, slow:5@2x0.25+10,disk:7@1x0.5+5,recover:3@20")
+                .unwrap();
+        assert_eq!(
+            plan.specs(),
+            &[
+                FaultSpec::DiskDegrade {
+                    node: 7,
+                    at_secs: 1.0,
+                    factor: 0.5,
+                    duration_secs: 5.0
+                },
+                FaultSpec::Crash {
+                    node: 3,
+                    at_secs: 1.5
+                },
+                FaultSpec::Slowdown {
+                    node: 5,
+                    at_secs: 2.0,
+                    factor: 0.25,
+                    duration_secs: 10.0
+                },
+                FaultSpec::Recover {
+                    node: 3,
+                    at_secs: 20.0
+                },
+            ]
+        );
+        assert_eq!(plan.first_crash_secs(), Some(1.5));
+        assert!(FaultPlan::parse_list("crash:x@1").is_err());
+        assert!(FaultPlan::parse_list("melt:1@1").is_err());
+        assert!(FaultPlan::parse_list("slow:1@1").is_err());
+        assert!(FaultPlan::parse_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn injector_ignores_foreign_events() {
+        let mut s = sim(2);
+        let plan = FaultPlan::new(vec![FaultSpec::Crash {
+            node: 1,
+            at_secs: 5.0,
+        }]);
+        let mut inj = plan.inject(&mut s);
+        s.schedule_in(1.0, 7);
+        let ev = s.next_event().unwrap(); // the foreign timer
+        assert_eq!(inj.on_event(&mut s, &ev), None);
+        assert_eq!(inj.pending(), 1);
+    }
+}

@@ -16,6 +16,30 @@ impl core::fmt::Display for FlowId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub(crate) u64);
 
+/// How a flow ended.
+///
+/// Every admitted flow eventually surfaces exactly one
+/// [`Event::FlowCompleted`](crate::Event::FlowCompleted); the outcome says
+/// whether it delivered its final byte or was killed by a node failure
+/// ([`Simulator::fail_node`](crate::Simulator::fail_node)). Drivers that
+/// ignore the distinction silently treat partial transfers as complete, so
+/// repair logic must branch on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowOutcome {
+    /// The flow transferred all of its bytes.
+    Delivered,
+    /// The flow was killed mid-transfer (a node it traversed failed, or it
+    /// was started against an already-failed node).
+    Aborted,
+}
+
+impl FlowOutcome {
+    /// `true` for [`FlowOutcome::Delivered`].
+    pub fn is_delivered(self) -> bool {
+        matches!(self, FlowOutcome::Delivered)
+    }
+}
+
 impl core::fmt::Display for TimerId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "timer#{}", self.0)

@@ -18,6 +18,10 @@
 //!   estimation.
 //! - A **windowed bandwidth monitor** ([`Monitor`]) recording per-node,
 //!   per-direction, per-class usage in fixed windows (15 s in §II-D).
+//! - **Deterministic fault injection** ([`faults`]): seeded schedules of
+//!   node crashes/recoveries, transient slowdowns, and disk degradation,
+//!   driven off the engine's timer wheel. Killed flows surface as
+//!   [`FlowOutcome::Aborted`] completions instead of silently vanishing.
 //!
 //! The simulator uses a *pull* event loop: drivers call
 //! [`Simulator::next_event`] and react to [`Event`]s, starting new flows and
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod faults;
 mod flow;
 pub mod maxmin;
 mod monitor;
@@ -52,7 +57,8 @@ mod node;
 mod time;
 
 pub use engine::{Event, SimConfig, Simulator};
-pub use flow::{FlowId, FlowSpec, TimerId};
+pub use faults::{FaultEvent, FaultInjector, FaultPlan, FaultSpec};
+pub use flow::{FlowId, FlowOutcome, FlowSpec, TimerId};
 pub use maxmin::{allocate_rates, MaxMinSolver};
 pub use monitor::{Monitor, UsageSample};
 pub use node::{NodeCaps, NodeId, ResourceKind, Traffic};

@@ -40,6 +40,13 @@ pub struct Monitor {
     windows: Vec<Vec<f64>>,
     /// Total simulated time covered so far.
     horizon: f64,
+    /// `aborted[node * TAGS + tag]` = bytes of in-flight transfer killed by
+    /// that node's failure (fault injection); the wasted-work ledger.
+    aborted: Vec<f64>,
+    /// Number of flows killed by node failures.
+    abort_events: usize,
+    /// Time of the most recent abort, in seconds (0 if none).
+    last_abort_secs: f64,
 }
 
 impl Monitor {
@@ -55,6 +62,9 @@ impl Monitor {
             nodes,
             windows: Vec::new(),
             horizon: 0.0,
+            aborted: vec![0.0; nodes * TAGS],
+            abort_events: 0,
+            last_abort_secs: 0.0,
         }
     }
 
@@ -90,6 +100,37 @@ impl Monitor {
             self.windows[w][idx] += rate * (seg_end - t);
             t = seg_end;
         }
+    }
+
+    /// Accounts a flow killed by `node`'s failure: `bytes` of its transfer
+    /// were still in flight (wasted work).
+    pub(crate) fn record_abort(&mut self, node: usize, tag: Traffic, bytes: f64, at_secs: f64) {
+        debug_assert!(node < self.nodes);
+        self.aborted[node * TAGS + tag.index()] += bytes;
+        self.abort_events += 1;
+        self.last_abort_secs = self.last_abort_secs.max(at_secs);
+    }
+
+    /// Bytes of one traffic class that were in flight when flows through
+    /// `node` were killed by its failure.
+    pub fn aborted_bytes(&self, node: usize, tag: Traffic) -> f64 {
+        self.aborted[node * TAGS + tag.index()]
+    }
+
+    /// Total in-flight bytes killed by node failures, across all nodes and
+    /// classes.
+    pub fn total_aborted_bytes(&self) -> f64 {
+        self.aborted.iter().sum()
+    }
+
+    /// Number of flows killed by node failures.
+    pub fn abort_count(&self) -> usize {
+        self.abort_events
+    }
+
+    /// Time of the most recent flow abort, in seconds (0 if none).
+    pub fn last_abort_secs(&self) -> f64 {
+        self.last_abort_secs
     }
 
     /// The configured window length in seconds.

@@ -77,6 +77,35 @@ pub fn run_driver(
     (driver.outcome(&sim), sim)
 }
 
+/// Like [`run_driver`], but with a fault plan injected: fault events are
+/// applied to the simulator and forwarded to the driver's `on_fault`.
+pub fn run_driver_with_faults(
+    ctx: &RepairContext,
+    driver: &mut dyn RepairDriver,
+    faults: &chameleonec::simnet::FaultPlan,
+) -> (RepairOutcome, Simulator) {
+    let mut sim = ctx.cluster.build_simulator();
+    let mut injector = faults.inject(&mut sim);
+    let lost: Vec<_> = ctx
+        .cluster
+        .failed_nodes()
+        .flat_map(|n| ctx.cluster.placement().chunks_on(n))
+        .collect();
+    driver.start(&mut sim, lost);
+    let mut guard = 0u64;
+    while let Some(ev) = sim.next_event() {
+        if let Some(fault) = injector.on_event(&mut sim, &ev) {
+            driver.on_fault(&mut sim, &fault);
+            continue;
+        }
+        driver.on_event(&mut sim, &ev);
+        guard += 1;
+        assert!(guard < 50_000_000, "simulation runaway");
+    }
+    assert!(driver.is_done(), "driver did not finish under faults");
+    (driver.outcome(&sim), sim)
+}
+
 /// Verifies that an executed plan reconstructs the failed chunk's bytes:
 /// relayable plans must satisfy `sum coeff_i * chunk_i == failed`;
 /// sub-chunk plans must name a source set from which the code's own repair
@@ -89,10 +118,14 @@ pub fn verify_plan_bytes(
     let chunk = plan.chunk();
     let stripe = &stripe_data[chunk.stripe];
     let expected = &stripe[chunk.index];
+    let source_indices: Vec<usize> = plan.participants().iter().map(|p| p.chunk_index).collect();
     let relayable = plan
         .participants()
         .iter()
-        .all(|p| (p.read_fraction - 1.0).abs() < 1e-12);
+        .all(|p| (p.read_fraction - 1.0).abs() < 1e-12)
+        && code
+            .repair_coefficients(chunk.index, &source_indices)
+            .is_ok();
     if relayable {
         let mut out = vec![0u8; expected.len()];
         for p in plan.participants() {
