@@ -58,6 +58,9 @@ pub fn run(scale: &Scale, jobs: usize) {
             algo.label(),
             format!("{mbps:.1}"),
             format!("{p99:.3}"),
+            format!("{:.3}", out.chunk_pct_secs(0.50)),
+            format!("{:.3}", out.chunk_pct_secs(0.95)),
+            format!("{:.3}", out.chunk_pct_secs(0.99)),
         ]);
         if *algo == AlgoKind::Chameleon {
             cham_tp.push(mbps);
@@ -68,12 +71,28 @@ pub fn run(scale: &Scale, jobs: usize) {
 
     print_table(
         "repair throughput and trace P99 under interference",
-        &["trace", "algorithm", "repair MB/s", "P99 (ms)"],
+        &[
+            "trace",
+            "algorithm",
+            "repair MB/s",
+            "P99 (ms)",
+            "chunk p50 (s)",
+            "chunk p95 (s)",
+            "chunk p99 (s)",
+        ],
         &rows,
     );
     write_csv(
         "exp01_interference_study",
-        &["trace", "algorithm", "repair_mbps", "p99_ms"],
+        &[
+            "trace",
+            "algorithm",
+            "repair_mbps",
+            "p99_ms",
+            "chunk_p50_s",
+            "chunk_p95_s",
+            "chunk_p99_s",
+        ],
         &rows,
     );
 

@@ -112,6 +112,9 @@ fn rows_of(cells: &[Cell], outs: &[RunOutput]) -> Vec<Vec<String>> {
                 rec.given_up.to_string(),
                 format!("{:.2}", loss_window),
                 format!("{:.2}", out.p99_ms()),
+                format!("{:.3}", out.chunk_pct_secs(0.50)),
+                format!("{:.3}", out.chunk_pct_secs(0.95)),
+                format!("{:.3}", out.chunk_pct_secs(0.99)),
             ]
         })
         .collect()
@@ -168,6 +171,9 @@ pub fn run(scale: &Scale, jobs: usize) {
             "given up",
             "loss window s",
             "P99 ms",
+            "chunk p50 (s)",
+            "chunk p95 (s)",
+            "chunk p99 (s)",
         ],
         &rows,
     );
@@ -185,6 +191,9 @@ pub fn run(scale: &Scale, jobs: usize) {
             "given_up",
             "loss_window_secs",
             "p99_ms",
+            "chunk_p50_s",
+            "chunk_p95_s",
+            "chunk_p99_s",
         ],
         &rows,
     );

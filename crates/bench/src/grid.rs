@@ -42,7 +42,7 @@ use chameleon_simnet::{FaultPlan, Simulator};
 use std::sync::Arc;
 
 use crate::algo::AlgoKind;
-use crate::runner::{run_repair_faulted, FgSpec, RunOutput, SimSummary};
+use crate::runner::{run_repair_traced, FgSpec, RunOutput, SimSummary};
 
 /// How a [`RunSpec`] builds its repair driver.
 #[derive(Debug, Clone)]
@@ -112,6 +112,9 @@ pub struct RunSpec {
     pub mode: RunMode,
     /// Scheduled faults injected while the repair runs (None = fault-free).
     pub faults: Option<FaultPlan>,
+    /// Record the engine's flow trace (off by default; tracing buffers
+    /// every flow lifecycle event in memory).
+    pub trace: bool,
 }
 
 impl std::fmt::Debug for RunSpec {
@@ -146,6 +149,7 @@ impl RunSpec {
             seed: 7,
             mode: RunMode::Repair,
             faults: None,
+            trace: false,
         }
     }
 
@@ -167,6 +171,12 @@ impl RunSpec {
         self
     }
 
+    /// Enables the engine's flow trace for this run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
     /// Switches to degraded-read mode for the given chunk.
     pub fn degraded_read(mut self, chunk: ChunkId) -> Self {
         self.mode = RunMode::DegradedRead(chunk);
@@ -177,13 +187,14 @@ impl RunSpec {
     /// ambient state is read, so any thread may run it.
     pub fn execute(&self) -> RunOutput {
         match self.mode {
-            RunMode::Repair => run_repair_faulted(
+            RunMode::Repair => run_repair_traced(
                 self.code.clone(),
                 self.cfg.clone(),
                 &self.victims,
                 |ctx| self.driver.build(ctx, self.seed),
                 self.fg.clone(),
                 self.faults.as_ref(),
+                self.trace,
             ),
             RunMode::DegradedRead(chunk) => self.execute_degraded_read(chunk),
         }
@@ -198,6 +209,7 @@ impl RunSpec {
         }
         let ctx = RepairContext::new(cluster, self.code.clone());
         let mut sim = ctx.cluster.build_simulator();
+        sim.set_trace_enabled(self.trace);
         let mut fg_driver = self.fg.clone().map(|spec| {
             let mut d = chameleon_cluster::ForegroundDriver::new(
                 spec.workloads(),

@@ -3,7 +3,7 @@
 use chameleon_cluster::{Cluster, ForegroundDriver, ForegroundReport};
 use chameleon_codes::ErasureCode;
 use chameleon_core::{RepairContext, RepairDriver, RepairOutcome};
-use chameleon_simnet::{FaultPlan, Monitor, Simulator};
+use chameleon_simnet::{EngineProfile, FaultPlan, Monitor, Simulator, TraceSink};
 use chameleon_traces::{TraceKind, Workload};
 
 use std::sync::Arc;
@@ -80,13 +80,19 @@ impl FgSpec {
 pub struct SimSummary {
     monitor: Monitor,
     end_secs: f64,
+    profile: EngineProfile,
+    trace: Option<TraceSink>,
 }
 
 impl SimSummary {
     /// Captures the summary and drops the rest of the simulator.
-    pub fn capture(sim: Simulator) -> Self {
+    pub fn capture(mut sim: Simulator) -> Self {
+        let profile = sim.profile();
+        let trace = sim.take_trace();
         SimSummary {
             end_secs: sim.now().as_secs(),
+            profile,
+            trace,
             monitor: sim.into_monitor(),
         }
     }
@@ -99,6 +105,16 @@ impl SimSummary {
     /// Simulated seconds when the run's event loop drained.
     pub fn end_secs(&self) -> f64 {
         self.end_secs
+    }
+
+    /// Engine self-profiling counters of the finished run.
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    /// The flow trace, if the run was executed with tracing enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 }
 
@@ -122,6 +138,34 @@ impl RunOutput {
     /// Foreground P99 latency in milliseconds (0 without foreground).
     pub fn p99_ms(&self) -> f64 {
         self.fg_report.as_ref().map_or(0.0, |r| r.p99_latency * 1e3)
+    }
+
+    /// Nearest-rank percentile of the per-chunk repair latencies in
+    /// seconds (0 before the first chunk completes) — the histogram
+    /// columns of the suite CSVs.
+    pub fn chunk_pct_secs(&self, p: f64) -> f64 {
+        chameleon_cluster::stats::percentile(&self.outcome.per_chunk_secs, p).unwrap_or(0.0)
+    }
+
+    /// Renders the run's observability record as JSONL: every flow
+    /// lifecycle event in admission order, then one `span` line per
+    /// repaired chunk in completion order, then the engine `profile`
+    /// footer. `None` if the run was not traced.
+    ///
+    /// The rendering is a pure function of the (deterministic) simulation,
+    /// so grid runs produce byte-identical traces at any `--jobs` count —
+    /// callers must still write the file *after* the grid returns, never
+    /// from worker threads.
+    pub fn trace_jsonl(&self) -> Option<String> {
+        let sink = self.sim.trace()?;
+        let mut out = sink.to_jsonl();
+        for span in &self.outcome.spans {
+            out.push_str(&span.to_json_line());
+            out.push('\n');
+        }
+        out.push_str(&self.sim.profile().to_json_line());
+        out.push('\n');
+        Some(out)
     }
 }
 
@@ -153,9 +197,30 @@ pub fn run_repair_faulted(
     code: Arc<dyn ErasureCode>,
     cfg: chameleon_cluster::ClusterConfig,
     victims: &[usize],
+    make_driver: impl FnMut(RepairContext) -> Box<dyn RepairDriver>,
+    fg: Option<FgSpec>,
+    faults: Option<&FaultPlan>,
+) -> RunOutput {
+    run_repair_traced(code, cfg, victims, make_driver, fg, faults, false)
+}
+
+/// [`run_repair_faulted`] with the engine's flow trace switched on when
+/// `trace` is true: the returned [`SimSummary`] then carries every flow
+/// lifecycle event and [`RunOutput::trace_jsonl`] renders the full
+/// observability record.
+///
+/// # Panics
+///
+/// Panics if the repair or foreground never finishes (simulation bug).
+#[allow(clippy::too_many_arguments)]
+pub fn run_repair_traced(
+    code: Arc<dyn ErasureCode>,
+    cfg: chameleon_cluster::ClusterConfig,
+    victims: &[usize],
     mut make_driver: impl FnMut(RepairContext) -> Box<dyn RepairDriver>,
     fg: Option<FgSpec>,
     faults: Option<&FaultPlan>,
+    trace: bool,
 ) -> RunOutput {
     let mut cluster = Cluster::new(cfg).expect("valid cluster config");
     for &v in victims {
@@ -164,6 +229,7 @@ pub fn run_repair_faulted(
     let lost = cluster.lost_chunks(victims);
     let ctx = RepairContext::new(cluster, code);
     let mut sim = ctx.cluster.build_simulator();
+    sim.set_trace_enabled(trace);
     let mut injector = faults.map(|plan| plan.inject(&mut sim));
 
     let mut fg_driver = fg.map(|spec| {

@@ -9,7 +9,9 @@
 
 use chameleon_bench::experiments::{exp02, exp08, exp15};
 use chameleon_bench::table::csv_string;
-use chameleon_bench::Scale;
+use chameleon_bench::{run_specs, AlgoKind, FgSpec, RunSpec, Scale};
+use chameleon_codes::{ErasureCode, ReedSolomon};
+use std::sync::Arc;
 
 /// A scale small enough for 12–16 full simulations per jobs level.
 fn tiny() -> Scale {
@@ -41,7 +43,15 @@ fn exp02_rows_are_identical_across_job_counts() {
 #[test]
 fn exp08_rows_are_identical_across_job_counts() {
     let scale = tiny();
-    let headers = ["failed_nodes", "algorithm", "repair_mbps", "chunks"];
+    let headers = [
+        "failed_nodes",
+        "algorithm",
+        "repair_mbps",
+        "chunks",
+        "chunk_p50_s",
+        "chunk_p95_s",
+        "chunk_p99_s",
+    ];
     let sequential = csv_string(&headers, &exp08::csv_rows(&scale, 1));
     assert!(
         sequential.lines().count() > 4,
@@ -52,6 +62,55 @@ fn exp08_rows_are_identical_across_job_counts() {
         assert_eq!(
             sequential, parallel,
             "exp08 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// The trace extension of the contract: a traced grid renders
+/// byte-identical JSONL observability records at any `--jobs` count.
+/// Traces are buffered per-run inside each worker and rendered here, in
+/// spec order, after the grid returns — completion order must be
+/// invisible in the bytes.
+#[test]
+fn traced_runs_render_identical_jsonl_across_job_counts() {
+    let scale = tiny();
+    let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(4, 2).unwrap());
+    let specs: Vec<RunSpec> = [
+        AlgoKind::Cr,
+        AlgoKind::Ppr,
+        AlgoKind::EcPipe,
+        AlgoKind::Chameleon,
+    ]
+    .into_iter()
+    .map(|algo| {
+        RunSpec::new(
+            format!("trace/{}", algo.label()),
+            code.clone(),
+            scale.cluster_config(6),
+            algo,
+            Some(FgSpec::ycsb(scale.clients, scale.requests_per_client)),
+        )
+        .with_trace()
+    })
+    .collect();
+
+    let render = |jobs: usize| -> String {
+        run_specs(&specs, jobs)
+            .iter()
+            .map(|out| out.trace_jsonl().expect("traced run must carry a trace"))
+            .collect()
+    };
+    let sequential = render(1);
+    assert!(
+        sequential.lines().count() > 100,
+        "expected a dense trace, got {} lines",
+        sequential.lines().count()
+    );
+    for jobs in [4, 8] {
+        assert_eq!(
+            sequential,
+            render(jobs),
+            "trace JSONL diverged between --jobs 1 and --jobs {jobs}"
         );
     }
 }
@@ -71,6 +130,9 @@ fn exp15_rows_are_identical_across_job_counts() {
         "given_up",
         "loss_window_secs",
         "p99_ms",
+        "chunk_p50_s",
+        "chunk_p95_s",
+        "chunk_p99_s",
     ];
     let sequential = csv_string(&headers, &exp15::csv_rows(&scale, 1));
     assert!(

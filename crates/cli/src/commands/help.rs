@@ -25,6 +25,9 @@ COMMANDS:
                     --faults     comma list of scheduled faults:
                                  crash:NODE@T | recover:NODE@T |
                                  slow:NODE@TxF+D | disk:NODE@TxF+D (default none)
+                    --trace      write a JSONL observability trace
+                                 (flow events + repair spans +
+                                 engine profile) to this path       (default off)
 
     sweep         Run an algorithm x seed grid in parallel worker threads
                     --algos      comma list (as --algo above)   (default cr,ppr,ecpipe,chameleon)
@@ -36,9 +39,15 @@ COMMANDS:
                                  available parallelism)         (default 0)
                     --faults     scheduled faults (as repair), applied
                                  to every cell                  (default none)
+                    --trace      write every cell's JSONL trace to this
+                                 path, in spec order — byte-identical
+                                 at any --jobs count            (default off)
 
     plan          Show the repair plan ChameleonEC builds for one chunk
                     --code, --gbps, --seed as above
+
+    trace         Summarize a JSONL trace written by repair/sweep --trace
+                    --file       path to the .jsonl trace file
 
     traces        Sample a synthetic workload and print its statistics
                     --kind       ycsb | ibm | memcached | etc      (default ycsb)

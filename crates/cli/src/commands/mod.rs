@@ -5,4 +5,5 @@ pub mod plan;
 pub mod reliability;
 pub mod repair;
 pub mod sweep;
+pub mod trace_cmd;
 pub mod traces;

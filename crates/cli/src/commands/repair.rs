@@ -24,6 +24,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "chunk-mb",
         "seed",
         "faults",
+        "trace",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
     let algo = flags.str_or("algo", "chameleon");
@@ -35,6 +36,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let disk_mbps: f64 = flags.num_or("disk-mbps", 500.0)?;
     let chunk_mb: u64 = flags.num_or("chunk-mb", 64)?;
     let seed: u64 = flags.num_or("seed", 7)?;
+    let trace_path = flags.str_or("trace", "");
     let faults = match flags.str_or("faults", "") {
         s if s.is_empty() => None,
         s => Some(FaultPlan::parse_list(&s)?),
@@ -77,6 +79,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let ctx = RepairContext::new(cluster, code);
     let mut sim = ctx.cluster.build_simulator();
+    sim.set_trace_enabled(!trace_path.is_empty());
     let mut injector = faults.as_ref().map(|plan| plan.inject(&mut sim));
 
     let mut fg = if clients > 0 {
@@ -116,6 +119,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
     println!("  throughput      : {:.1} MB/s", outcome.throughput() / 1e6);
     println!("  mean chunk time : {:.3} s", outcome.mean_chunk_secs());
+    if let Some(lat) = outcome.chunk_latency() {
+        println!(
+            "  chunk p50/p95/p99 : {:.3} / {:.3} / {:.3} s (max {:.3})",
+            lat.p50, lat.p95, lat.p99, lat.max
+        );
+    }
     if outcome.coding.chunks_coded > 0 {
         let c = &outcome.coding;
         println!(
@@ -146,7 +155,44 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("\nforeground ({clients} YCSB-A clients):");
         println!("  requests        : {}", report.completed);
         println!("  mean latency    : {:.2} ms", report.mean_latency * 1e3);
+        if let Some(lat) = report.latency {
+            println!("  P50 latency     : {:.2} ms", lat.p50 * 1e3);
+            println!("  P95 latency     : {:.2} ms", lat.p95 * 1e3);
+        }
         println!("  P99 latency     : {:.2} ms", report.p99_latency * 1e3);
+    }
+
+    let profile = sim.profile();
+    println!(
+        "\nengine: {} events, {} solves ({} rounds), {} heap rebuilds, \
+         {} timers ({} cancelled)",
+        profile.events,
+        profile.solves,
+        profile.solver_rounds,
+        profile.heap_rebuilds,
+        profile.timers_scheduled,
+        profile.timers_cancelled,
+    );
+
+    if !trace_path.is_empty() {
+        let sink = sim
+            .take_trace()
+            .ok_or("tracing was enabled but the engine produced no trace")?;
+        let flow_events = sink.len();
+        let mut jsonl = sink.to_jsonl();
+        for span in &outcome.spans {
+            jsonl.push_str(&span.to_json_line());
+            jsonl.push('\n');
+        }
+        jsonl.push_str(&profile.to_json_line());
+        jsonl.push('\n');
+        std::fs::write(&trace_path, &jsonl)
+            .map_err(|e| format!("cannot write --trace file `{trace_path}`: {e}"))?;
+        println!(
+            "trace: {} flow events + {} spans + profile -> {trace_path}",
+            flow_events,
+            outcome.spans.len()
+        );
     }
     Ok(())
 }

@@ -18,7 +18,7 @@ use crate::args::{parse_code, Flags};
 pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.ensure_known(&[
-        "code", "algos", "seeds", "clients", "requests", "chunks", "jobs", "faults",
+        "code", "algos", "seeds", "clients", "requests", "chunks", "jobs", "faults", "trace",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
     let algos = parse_algos(&flags.str_or("algos", "cr,ppr,ecpipe,chameleon"))?;
@@ -37,6 +37,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         s if s.is_empty() => None,
         s => Some(FaultPlan::parse_list(&s)?),
     };
+    let trace_path = flags.str_or("trace", "");
 
     let mut scale = Scale::small();
     scale.chunks_per_node = chunks;
@@ -65,6 +66,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
             if let Some(plan) = &faults {
                 spec = spec.with_faults(plan.clone());
             }
+            if !trace_path.is_empty() {
+                spec = spec.with_trace();
+            }
             specs.push(spec);
         }
     }
@@ -75,6 +79,23 @@ pub fn run(args: &[String]) -> Result<(), String> {
         code.name()
     );
     let outs = grid::run_specs(&specs, jobs);
+
+    // Traces are buffered inside each worker and rendered here, in spec
+    // order, so the file is byte-identical at any `--jobs` count.
+    if !trace_path.is_empty() {
+        let jsonl: String = outs
+            .iter()
+            .filter_map(|out| out.trace_jsonl())
+            .collect::<Vec<_>>()
+            .concat();
+        std::fs::write(&trace_path, &jsonl)
+            .map_err(|e| format!("cannot write --trace file `{trace_path}`: {e}"))?;
+        println!(
+            "trace: {} runs, {} lines -> {trace_path}",
+            outs.len(),
+            jsonl.lines().count()
+        );
+    }
 
     let mut rows = Vec::new();
     for (group, group_outs) in cells.chunks(seeds).zip(outs.chunks(seeds)) {

@@ -4,6 +4,7 @@
 //! chameleonec repair   --code rs:10,4 --algo chameleon --clients 4
 //! chameleonec sweep    --algos cr,chameleon --seeds 5 --jobs 4
 //! chameleonec plan     --code rs:4,2 --algo chameleon
+//! chameleonec trace    --file out.jsonl
 //! chameleonec traces   --kind ycsb --count 10000
 //! chameleonec reliability --throughput 50,100,500
 //! chameleonec help
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
         "repair" => commands::repair::run(rest),
         "sweep" => commands::sweep::run(rest),
         "plan" => commands::plan::run(rest),
+        "trace" => commands::trace_cmd::run(rest),
         "traces" => commands::traces::run(rest),
         "reliability" => commands::reliability::run(rest),
         "help" | "--help" | "-h" => {

@@ -6,7 +6,7 @@ use chameleon_simnet::{Event, FlowId, FlowSpec, ResourceKind, Simulator, TimerId
 use chameleon_traces::{Op, Workload};
 
 use crate::config::Cluster;
-use crate::stats;
+use crate::stats::{self, LatencySummary};
 
 /// Summary of a finished (or in-progress) foreground run.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,11 @@ pub struct ForegroundReport {
     pub mean_latency: f64,
     /// P99 request latency in seconds (the paper's service-quality metric).
     pub p99_latency: f64,
+    /// Full percentile summary (p50/p95/p99/max) of the request latencies;
+    /// `None` before the first completion. `latency.p99` equals
+    /// [`ForegroundReport::p99_latency`], which is kept as a plain field
+    /// because it is the paper's headline service-quality metric.
+    pub latency: Option<LatencySummary>,
     /// Total bytes moved by foreground requests.
     pub total_bytes: f64,
     /// Requests killed by a node failure (the target crashed mid-request).
@@ -229,6 +234,7 @@ impl ForegroundDriver {
             completed: self.latencies.len(),
             mean_latency: stats::mean(&self.latencies).unwrap_or(0.0),
             p99_latency: stats::percentile(&self.latencies, 0.99).unwrap_or(0.0),
+            latency: LatencySummary::from_samples(&self.latencies),
             total_bytes: self.total_bytes,
             aborted: self.aborted,
             execution_time: match (self.started_at, self.finished_at) {
@@ -305,6 +311,11 @@ mod tests {
         assert_eq!(report.completed, 100);
         assert!(report.mean_latency > 0.0);
         assert!(report.p99_latency >= report.mean_latency);
+        let lat = report.latency.unwrap();
+        assert_eq!(lat.count, report.completed);
+        assert_eq!(lat.p99, report.p99_latency);
+        assert_eq!(lat.mean, report.mean_latency);
+        assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99 && lat.p99 <= lat.max);
         assert!(report.execution_time.unwrap() > 0.0);
         assert_eq!(report.total_bytes, 100.0 * 512.0 * 1024.0);
     }

@@ -45,6 +45,55 @@ pub fn mean(samples: &[f64]) -> Option<f64> {
     }
 }
 
+/// Percentile summary of a latency sample set (seconds), the common
+/// currency of the observability layer: repair spans, foreground request
+/// latencies, and suite CSV columns all render through it.
+///
+/// Built on the same nearest-rank [`percentile`] the experiments use, so a
+/// summary printed by the CLI matches one recomputed from the raw samples.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_cluster::stats::LatencySummary;
+/// let s = LatencySummary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.p50, 2.0);
+/// assert_eq!(s.max, 4.0);
+/// assert!(LatencySummary::from_samples(&[]).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples`; `None` for an empty set (there is no honest
+    /// percentile of nothing).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        let mean = mean(samples)?;
+        Some(LatencySummary {
+            count: samples.len(),
+            mean,
+            p50: percentile(samples, 0.50)?,
+            p95: percentile(samples, 0.95)?,
+            p99: percentile(samples, 0.99)?,
+            max: percentile(samples, 1.0)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +121,27 @@ mod tests {
     #[test]
     fn mean_works() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn latency_summary_matches_percentile() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.p50, percentile(&xs, 0.5).unwrap());
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn latency_summary_single_sample() {
+        let s = LatencySummary::from_samples(&[0.25]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(
+            (s.mean, s.p50, s.p95, s.p99, s.max),
+            (0.25, 0.25, 0.25, 0.25, 0.25)
+        );
     }
 }

@@ -10,7 +10,7 @@ use crate::coding::{CodingStats, PlanCoder};
 use crate::context::RepairContext;
 use crate::error::RepairError;
 use crate::exec::{ExecStatus, PlanExecutor};
-use crate::metrics::RepairOutcome;
+use crate::metrics::{RepairOutcome, RepairSpan};
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::select::SourceSelector;
 use crate::{cr, ecpipe, ppr, RepairDriver};
@@ -70,6 +70,7 @@ pub struct StaticRepairDriver {
     /// stripe → destinations promised to in-flight sibling chunks.
     stripe_destinations: HashMap<usize, Vec<NodeId>>,
     per_chunk_secs: Vec<f64>,
+    spans: Vec<RepairSpan>,
     completed_plans: Vec<crate::plan::RepairPlan>,
     coder: PlanCoder,
     coding: CodingStats,
@@ -130,6 +131,7 @@ impl StaticRepairDriver {
             running: Vec::new(),
             stripe_destinations: HashMap::new(),
             per_chunk_secs: Vec::new(),
+            spans: Vec::new(),
             completed_plans: Vec::new(),
             coder,
             coding: CodingStats::default(),
@@ -346,8 +348,8 @@ impl RepairDriver for StaticRepairDriver {
                 ExecStatus::Done => {
                     let mut a = self.running.swap_remove(i);
                     let exec = &mut a.exec;
-                    let secs = match (exec.finished_at(), exec.started_at()) {
-                        (Some(f), Some(s)) => f - s,
+                    let (finished, started) = match (exec.finished_at(), exec.started_at()) {
+                        (Some(f), Some(s)) => (f, s),
                         _ => {
                             // Internally inconsistent attempt: record it
                             // instead of panicking and drop the attempt.
@@ -357,10 +359,17 @@ impl RepairDriver for StaticRepairDriver {
                             return true;
                         }
                     };
-                    self.per_chunk_secs.push(secs);
+                    self.per_chunk_secs.push(finished - started);
                     self.coding.merge(&exec.run_coding(&mut self.coder));
                     self.completed_plans.push(exec.plan().clone());
                     let chunk = exec.plan().chunk();
+                    self.spans.push(RepairSpan {
+                        stripe: chunk.stripe,
+                        index: chunk.index,
+                        started_secs: started,
+                        finished_secs: finished,
+                        attempts: self.attempts.get(&chunk).copied().unwrap_or(1),
+                    });
                     if let Some(dests) = self.stripe_destinations.get_mut(&chunk.stripe) {
                         if let Some(pos) =
                             dests.iter().position(|&d| d == exec.plan().destination())
@@ -422,6 +431,7 @@ impl RepairDriver for StaticRepairDriver {
                 _ => None,
             },
             per_chunk_secs: self.per_chunk_secs.clone(),
+            spans: self.spans.clone(),
             coding: self.coding,
             recovery: self.recovery,
         }
@@ -463,6 +473,20 @@ mod tests {
         assert_eq!(outcome.coding.chunks_coded, outcome.chunks_repaired);
         assert!(outcome.coding.total_nanos() > 0);
         assert!(outcome.coding.bytes_coded > 0);
+    }
+
+    #[test]
+    fn spans_reconcile_with_per_chunk_secs() {
+        let outcome = run_full_repair(PlanShape::Tree);
+        assert_eq!(outcome.spans.len(), outcome.per_chunk_secs.len());
+        for (span, &secs) in outcome.spans.iter().zip(&outcome.per_chunk_secs) {
+            assert_eq!(span.duration_secs(), secs);
+            assert_eq!(span.attempts, 1, "fault-free repair takes one attempt");
+            assert!(span.finished_secs > span.started_secs);
+        }
+        let lat = outcome.chunk_latency().unwrap();
+        assert_eq!(lat.count, outcome.chunks_repaired);
+        assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99 && lat.p99 <= lat.max);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::coding::{CodingStats, PlanCoder};
 use crate::context::{RepairContext, Resources};
 use crate::error::RepairError;
 use crate::exec::{ExecStatus, PlanExecutor};
-use crate::metrics::RepairOutcome;
+use crate::metrics::{RepairOutcome, RepairSpan};
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::select::SelectError;
 use crate::RepairDriver;
@@ -140,6 +140,7 @@ pub struct ChameleonDriver {
     phase_timer: Option<TimerId>,
     check_timer: Option<TimerId>,
     per_chunk_secs: Vec<f64>,
+    spans: Vec<RepairSpan>,
     completed_plans: Vec<crate::plan::RepairPlan>,
     coder: PlanCoder,
     coding: CodingStats,
@@ -184,6 +185,7 @@ impl ChameleonDriver {
             phase_timer: None,
             check_timer: None,
             per_chunk_secs: Vec::new(),
+            spans: Vec::new(),
             completed_plans: Vec::new(),
             coder,
             coding: CodingStats::default(),
@@ -529,8 +531,8 @@ impl ChameleonDriver {
 
     fn finish_chunk(&mut self, sim: &mut Simulator, idx: usize) {
         let mut a = self.active.swap_remove(idx);
-        let secs = match (a.exec.finished_at(), a.exec.started_at()) {
-            (Some(f), Some(s)) => f - s,
+        let (finished, started) = match (a.exec.finished_at(), a.exec.started_at()) {
+            (Some(f), Some(s)) => (f, s),
             _ => {
                 // Internally inconsistent attempt: record it instead of
                 // panicking and treat it as failed.
@@ -540,7 +542,17 @@ impl ChameleonDriver {
                 return;
             }
         };
-        self.per_chunk_secs.push(secs);
+        self.per_chunk_secs.push(finished - started);
+        {
+            let chunk = a.exec.plan().chunk();
+            self.spans.push(RepairSpan {
+                stripe: chunk.stripe,
+                index: chunk.index,
+                started_secs: started,
+                finished_secs: finished,
+                attempts: self.attempts.get(&chunk).copied().unwrap_or(1),
+            });
+        }
         self.coding.merge(&a.exec.run_coding(&mut self.coder));
         self.completed_plans.push(a.exec.plan().clone());
         // The chunk's tasks are no longer outstanding.
@@ -704,6 +716,7 @@ impl RepairDriver for ChameleonDriver {
                 _ => None,
             },
             per_chunk_secs: self.per_chunk_secs.clone(),
+            spans: self.spans.clone(),
             coding: self.coding,
             recovery: self.recovery,
         }
@@ -741,6 +754,16 @@ mod tests {
         assert!(outcome.throughput() > 0.0);
         assert!(stats.phases >= 1);
         assert_eq!(outcome.algorithm, "ChameleonEC");
+    }
+
+    #[test]
+    fn spans_reconcile_with_per_chunk_secs() {
+        let (outcome, _) = run(ChameleonConfig::default());
+        assert_eq!(outcome.spans.len(), outcome.per_chunk_secs.len());
+        for (span, &secs) in outcome.spans.iter().zip(&outcome.per_chunk_secs) {
+            assert_eq!(span.duration_secs(), secs);
+            assert!(span.attempts >= 1);
+        }
     }
 
     #[test]

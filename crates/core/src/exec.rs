@@ -284,7 +284,11 @@ impl PlanExecutor {
         let mut ids: Vec<FlowId> = self.flow_map.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
-            if sim.cancel_flow(id).is_some() {
+            // A sibling the same node failure already killed is gone from
+            // the engine (cancel is a no-op) but its abort notification is
+            // still queued — it belongs in this attempt's abort count, or
+            // `RecoveryStats::aborted_flows` under-reports the trace.
+            if sim.cancel_flow(id).is_some() || sim.abort_pending(id) {
                 self.aborted_flows += 1;
             }
         }

@@ -53,7 +53,7 @@ pub use coding::{CodingStats, PlanCoder};
 pub use context::{RepairContext, Resources};
 pub use error::RepairError;
 pub use exec::{ExecStatus, PlanExecutor};
-pub use metrics::{LinkLoadStats, RepairOutcome};
+pub use metrics::{LinkLoadStats, RepairOutcome, RepairSpan};
 pub use plan::{Participant, PlanError, RepairPlan};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use select::{SelectError, Selection, SourcePick, SourceSelector};

@@ -1,9 +1,52 @@
-//! Repair outcome metrics and link-load statistics.
+//! Repair outcome metrics, per-chunk repair spans, and link-load
+//! statistics.
 
+use chameleon_cluster::stats::LatencySummary;
 use chameleon_simnet::{Monitor, ResourceKind, Traffic};
 
 use crate::coding::CodingStats;
 use crate::recovery::RecoveryStats;
+
+/// One completed chunk repair as an observability span: which chunk, when
+/// its (final, successful) attempt started and finished in simulated time,
+/// and how many dispatch attempts it took in total (1 = repaired on the
+/// first try; failed attempts' wasted work is accounted separately in
+/// [`RecoveryStats`]).
+///
+/// Spans are recorded at the same instant (and from the same executor
+/// timestamps) as the matching [`RepairOutcome::per_chunk_secs`] entry, so
+/// `span.duration_secs() == per_chunk_secs[i]` holds exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairSpan {
+    /// Stripe of the repaired chunk.
+    pub stripe: usize,
+    /// Chunk index within the stripe.
+    pub index: usize,
+    /// Simulated second the successful attempt started.
+    pub started_secs: f64,
+    /// Simulated second the repaired chunk was fully written.
+    pub finished_secs: f64,
+    /// Dispatch attempts for this chunk, including the successful one.
+    pub attempts: u32,
+}
+
+impl RepairSpan {
+    /// Span length in simulated seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.finished_secs - self.started_secs
+    }
+
+    /// Renders the span as one JSON line, schema-compatible with the
+    /// simulator's flow trace (`chameleon_simnet::trace`) so both can live
+    /// in the same `.jsonl` file:
+    /// `{"event":"span","stripe":S,"chunk":I,"start":T0,"end":T1,"attempts":N}`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"event\":\"span\",\"stripe\":{},\"chunk\":{},\"start\":{},\"end\":{},\"attempts\":{}}}",
+            self.stripe, self.index, self.started_secs, self.finished_secs, self.attempts
+        )
+    }
+}
 
 /// Summary of a repair campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +64,9 @@ pub struct RepairOutcome {
     pub duration: Option<f64>,
     /// Per-chunk repair latencies in seconds.
     pub per_chunk_secs: Vec<f64>,
+    /// One span per repaired chunk, in completion order; `spans[i]` covers
+    /// the same attempt as `per_chunk_secs[i]`.
+    pub spans: Vec<RepairSpan>,
     /// Wall-clock cost of the real GF(2^8) coding stages executed for the
     /// repaired chunks (source scale / relay merge / reassemble).
     pub coding: CodingStats,
@@ -49,6 +95,12 @@ impl RepairOutcome {
         } else {
             self.per_chunk_secs.iter().sum::<f64>() / self.per_chunk_secs.len() as f64
         }
+    }
+
+    /// Percentile summary (p50/p95/p99/max) of the per-chunk repair
+    /// latencies; `None` before the first chunk completes.
+    pub fn chunk_latency(&self) -> Option<LatencySummary> {
+        LatencySummary::from_samples(&self.per_chunk_secs)
     }
 }
 
@@ -141,11 +193,16 @@ mod tests {
             repaired_bytes: 200.0,
             duration: Some(4.0),
             per_chunk_secs: vec![2.0, 4.0],
+            spans: vec![],
             coding: CodingStats::default(),
             recovery: RecoveryStats::default(),
         };
         assert_eq!(outcome.throughput(), 50.0);
         assert_eq!(outcome.mean_chunk_secs(), 3.0);
+        let lat = outcome.chunk_latency().unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.p50, 2.0);
+        assert_eq!(lat.max, 4.0);
     }
 
     #[test]
@@ -157,9 +214,26 @@ mod tests {
             repaired_bytes: 100.0,
             duration: None,
             per_chunk_secs: vec![2.0],
+            spans: vec![],
             coding: CodingStats::default(),
             recovery: RecoveryStats::default(),
         };
         assert_eq!(outcome.throughput(), 0.0);
+    }
+
+    #[test]
+    fn span_duration_and_json_line() {
+        let span = RepairSpan {
+            stripe: 3,
+            index: 1,
+            started_secs: 0.5,
+            finished_secs: 2.0,
+            attempts: 2,
+        };
+        assert_eq!(span.duration_secs(), 1.5);
+        assert_eq!(
+            span.to_json_line(),
+            "{\"event\":\"span\",\"stripe\":3,\"chunk\":1,\"start\":0.5,\"end\":2,\"attempts\":2}"
+        );
     }
 }

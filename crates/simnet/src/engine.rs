@@ -35,6 +35,7 @@ use crate::maxmin::{reference, MaxMinSolver};
 use crate::monitor::Monitor;
 use crate::node::{NodeCaps, NodeId, ResourceKind, Traffic};
 use crate::time::SimTime;
+use crate::trace::{AbortCause, EngineProfile, TraceEvent, TraceEventKind, TraceSink};
 
 /// Bytes below which a flow counts as finished (guards float rounding).
 const EPS_BYTES: f64 = 1e-6;
@@ -163,6 +164,11 @@ pub struct Simulator {
     pending_timers: HashSet<u64>,
     rates_stale: bool,
     monitor: Monitor,
+    /// Opt-in flow-lifecycle trace ([`Simulator::set_trace_enabled`]);
+    /// `None` (the default) makes every hook a branch-and-skip.
+    trace: Option<TraceSink>,
+    /// Self-profiling counters, maintained unconditionally.
+    profile: EngineProfile,
 
     // --- Indexed-engine state ---
     /// Whether to run the original full-rescan engine instead.
@@ -178,8 +184,6 @@ pub struct Simulator {
     completions: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
     /// The time `Flow::remaining` values are accurate as of.
     last_materialize: SimTime,
-    /// Solve counter, for periodic class-rate-table rebuilds.
-    solves: u64,
     solver: MaxMinSolver,
     /// Flow groups (slab; `count == 0` slots are free and listed in
     /// `free_groups`). Maintained in both engine modes, solved against in
@@ -245,12 +249,13 @@ impl Simulator {
             pending_timers: HashSet::new(),
             rates_stale: true,
             monitor,
+            trace: None,
+            profile: EngineProfile::default(),
             reference_mode: false,
             class_rate_tbl: vec![0.0; cells],
             class_count_tbl: vec![0; cells],
             completions: BinaryHeap::new(),
             last_materialize: SimTime::ZERO,
-            solves: 0,
             solver: MaxMinSolver::new(),
             groups: Vec::new(),
             free_groups: Vec::new(),
@@ -326,6 +331,52 @@ impl Simulator {
         self.monitor
     }
 
+    /// Enables or disables flow-lifecycle tracing.
+    ///
+    /// Off by default; when off, tracing costs one branch per hook site
+    /// and records nothing. Enabling starts a fresh [`TraceSink`];
+    /// disabling drops any recorded events. Tracing never influences the
+    /// simulation — the event stream is a pure observation, so traced and
+    /// untraced runs of the same spec are identical.
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.trace = if on { Some(TraceSink::new()) } else { None };
+    }
+
+    /// The recorded flow-lifecycle trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the recorded trace out of the simulator (tracing stops;
+    /// re-enable with [`Simulator::set_trace_enabled`] if needed).
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// The engine's self-profiling counters (events delivered, solver
+    /// invocations and rounds, heap rebuilds, timer churn).
+    pub fn profile(&self) -> EngineProfile {
+        EngineProfile {
+            solver_rounds: self.solver.total_rounds(),
+            ..self.profile
+        }
+    }
+
+    /// Emits one lifecycle event for a flow if tracing is on.
+    fn trace_flow(&mut self, id: u64, spec: &FlowSpec, kind: TraceEventKind) {
+        if let Some(tr) = self.trace.as_mut() {
+            let (src, dst) = spec.endpoints();
+            tr.push(TraceEvent {
+                at_secs: self.now.as_secs(),
+                flow: id,
+                tag: spec.tag(),
+                src,
+                dst,
+                kind,
+            });
+        }
+    }
+
     fn cell(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> usize {
         (node * KINDS + kind.index()) * TAGS + tag.index()
     }
@@ -353,6 +404,21 @@ impl Simulator {
         {
             let id = FlowId(self.next_flow_id);
             self.next_flow_id += 1;
+            self.trace_flow(
+                id.0,
+                &spec,
+                TraceEventKind::Admitted {
+                    bytes: spec.bytes(),
+                },
+            );
+            self.trace_flow(
+                id.0,
+                &spec,
+                TraceEventKind::Aborted {
+                    cause: AbortCause::NodeFailure,
+                    remaining: spec.bytes(),
+                },
+            );
             self.pending_aborts.push_back((id.0, spec.tag()));
             return id;
         }
@@ -370,6 +436,13 @@ impl Simulator {
         }
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
+        self.trace_flow(
+            id.0,
+            &spec,
+            TraceEventKind::Admitted {
+                bytes: spec.bytes(),
+            },
+        );
         let mut flow = Flow::new(spec);
         let tag = flow.spec.tag.index();
         for &c in flow.cells() {
@@ -499,6 +572,14 @@ impl Simulator {
         let flow = self.remove_flow(id.0)?;
         let left = self.live_remaining(&flow);
         self.retire_flow_accounting(&flow);
+        self.trace_flow(
+            id.0,
+            &flow.spec,
+            TraceEventKind::Aborted {
+                cause: AbortCause::Cancelled,
+                remaining: left,
+            },
+        );
         self.rates_stale = true;
         Some(left)
     }
@@ -539,6 +620,14 @@ impl Simulator {
             self.retire_flow_accounting(&flow);
             self.monitor
                 .record_abort(node, flow.spec.tag, wasted, self.now.as_secs());
+            self.trace_flow(
+                id,
+                &flow.spec,
+                TraceEventKind::Aborted {
+                    cause: AbortCause::NodeFailure,
+                    remaining: wasted,
+                },
+            );
             self.pending_aborts.push_back((id, flow.spec.tag));
             self.rates_stale = true;
         }
@@ -623,6 +712,16 @@ impl Simulator {
         self.flow(id.0).map(|f| self.live_remaining(f))
     }
 
+    /// Whether an abort notification for `id` is queued but not yet
+    /// delivered. A node failure kills every flow touching the node
+    /// atomically but surfaces the aborts one event at a time; a driver
+    /// tearing down a whole attempt on the first abort uses this to
+    /// account for sibling flows the same failure already killed
+    /// (cancelling them is a no-op — they are gone from the engine).
+    pub fn abort_pending(&self, id: FlowId) -> bool {
+        self.pending_aborts.iter().any(|&(fid, _)| fid == id.0)
+    }
+
     /// Instantaneous aggregate rate of one traffic class through one node
     /// resource, in bytes/s — what a bandwidth monitor daemon (NetHogs in
     /// the paper) would report right now. O(1) in the indexed engine.
@@ -686,6 +785,7 @@ impl Simulator {
         self.next_timer_id += 1;
         self.timers.push(Reverse((at, id.0, key)));
         self.pending_timers.insert(id.0);
+        self.profile.timers_scheduled += 1;
         id
     }
 
@@ -694,6 +794,7 @@ impl Simulator {
     pub fn cancel_timer(&mut self, id: TimerId) {
         if self.pending_timers.contains(&id.0) {
             self.cancelled_timers.insert(id.0);
+            self.profile.timers_cancelled += 1;
         }
     }
 
@@ -710,6 +811,8 @@ impl Simulator {
         // the current time (when `fail_node` struck), so they are
         // delivered before any heap event and without advancing the clock.
         if let Some((id, tag)) = self.pending_aborts.pop_front() {
+            self.profile.events += 1;
+            self.profile.flow_aborts += 1;
             return Some(Event::FlowCompleted {
                 id: FlowId(id),
                 tag,
@@ -800,6 +903,15 @@ impl Simulator {
             }
             let flow = self.remove_flow(id).expect("flow exists");
             self.retire_flow_accounting(&flow);
+            self.trace_flow(
+                id,
+                &flow.spec,
+                TraceEventKind::Completed {
+                    bytes: flow.spec.bytes(),
+                },
+            );
+            self.profile.events += 1;
+            self.profile.flow_completions += 1;
             self.rates_stale = true;
             Some(Event::FlowCompleted {
                 id: FlowId(id),
@@ -809,6 +921,8 @@ impl Simulator {
         } else {
             let Reverse((_, id, key)) = self.timers.pop().expect("timer event chosen");
             self.pending_timers.remove(&id);
+            self.profile.events += 1;
+            self.profile.timer_fires += 1;
             Some(Event::Timer {
                 id: TimerId(id),
                 key,
@@ -926,6 +1040,8 @@ impl Simulator {
             scr_entries,
             scr_changed,
             completions,
+            trace,
+            profile,
             ..
         } = self;
         scr_entries.clear();
@@ -943,6 +1059,17 @@ impl Simulator {
                     class_rate_tbl[c as usize * TAGS + tag] += new_rate - f.rate;
                 }
                 f.rate = new_rate;
+                if let Some(tr) = trace.as_mut() {
+                    let (src, dst) = f.spec.endpoints();
+                    tr.push(TraceEvent {
+                        at_secs: now.as_secs(),
+                        flow: slot_ids[slot],
+                        tag: f.spec.tag,
+                        src,
+                        dst,
+                        kind: TraceEventKind::RateChanged { rate: new_rate },
+                    });
+                }
             }
             if changed || !f.has_entry {
                 f.epoch += 1;
@@ -981,14 +1108,15 @@ impl Simulator {
             // allocation as the next solve's scratch.
             let old = std::mem::replace(completions, BinaryHeap::from(std::mem::take(scr_entries)));
             *scr_entries = old.into_vec();
+            profile.heap_rebuilds += 1;
         } else {
             for e in scr_changed.drain(..) {
                 completions.push(e);
             }
         }
 
-        self.solves += 1;
-        if self.solves.is_multiple_of(TABLE_REBUILD_PERIOD) {
+        self.profile.solves += 1;
+        if self.profile.solves.is_multiple_of(TABLE_REBUILD_PERIOD) {
             // Bound incremental float drift with an exact rebuild.
             self.class_rate_tbl.fill(0.0);
             for f in self.flows.iter().flatten() {
@@ -1405,6 +1533,166 @@ mod tests {
             sequential.start_flow(s);
         }
         assert_eq!(drain(&mut batched), drain(&mut sequential));
+    }
+
+    #[test]
+    fn trace_records_full_flow_lifecycle() {
+        let mut sim = two_node_sim();
+        sim.set_trace_enabled(true);
+        let a = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let b = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Foreground));
+        while sim.next_event().is_some() {}
+        let events = sim.trace().unwrap().events().to_vec();
+        let of =
+            |id: FlowId| -> Vec<&TraceEvent> { events.iter().filter(|e| e.flow == id.0).collect() };
+        // a: admitted at 0, rated 50 (shared), re-rated 100 when b leaves
+        // ... except a (lower id) finishes first at the tie; both deliver.
+        let ea = of(a);
+        assert!(matches!(ea[0].kind, TraceEventKind::Admitted { bytes } if bytes == 100.0));
+        assert_eq!(ea[0].src, 0);
+        assert_eq!(ea[0].dst, 1);
+        assert!(ea
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::RateChanged { rate } if rate == 50.0)));
+        assert!(matches!(
+            ea.last().unwrap().kind,
+            TraceEventKind::Completed { bytes } if bytes == 100.0
+        ));
+        let eb = of(b);
+        assert_eq!(eb.first().unwrap().tag, Traffic::Foreground);
+        assert!(matches!(
+            eb.last().unwrap().kind,
+            TraceEventKind::Completed { .. }
+        ));
+        // The survivor was re-rated to full capacity after a left.
+        assert!(eb
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::RateChanged { rate } if rate == 100.0)));
+    }
+
+    #[test]
+    fn trace_labels_abort_causes() {
+        let mut sim = two_node_sim();
+        sim.set_trace_enabled(true);
+        let killed = sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Repair));
+        let cancelled = sim.start_flow(FlowSpec::network(1, 0, 1000, Traffic::Repair));
+        sim.schedule_in(1.0, 0);
+        let _ = sim.next_event();
+        sim.cancel_flow(cancelled);
+        sim.fail_node(1);
+        // Admission against the failed node also traces an abort.
+        let refused = sim.start_flow(FlowSpec::network(0, 1, 10, Traffic::Repair));
+        while sim.next_event().is_some() {}
+        let events = sim.take_trace().unwrap().into_events();
+        let cause_of = |id: FlowId| {
+            events.iter().find_map(|e| match e.kind {
+                TraceEventKind::Aborted { cause, .. } if e.flow == id.0 => Some(cause),
+                _ => None,
+            })
+        };
+        assert_eq!(cause_of(killed), Some(AbortCause::NodeFailure));
+        assert_eq!(cause_of(cancelled), Some(AbortCause::Cancelled));
+        assert_eq!(cause_of(refused), Some(AbortCause::NodeFailure));
+        // Aborted events carry the undelivered remainder.
+        let killed_remaining = events
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceEventKind::Aborted { remaining, .. } if e.flow == killed.0 => Some(remaining),
+                _ => None,
+            })
+            .unwrap();
+        // `killed` ran alone on its links at 100 B/s for 1 s.
+        assert!((killed_remaining - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let run = |traced: bool| {
+            let mut sim = Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0)));
+            sim.set_trace_enabled(traced);
+            for i in 0..4u64 {
+                sim.start_flow(FlowSpec::network(
+                    i as usize,
+                    (i as usize + 1) % 4,
+                    30 + i * 11,
+                    Traffic::Repair,
+                ));
+            }
+            sim.schedule_in(1.7, 3);
+            let mut log = Vec::new();
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs().to_bits()));
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn traced_runs_are_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0)));
+            sim.set_trace_enabled(true);
+            for i in 0..3u64 {
+                sim.start_flow(FlowSpec::network(
+                    i as usize,
+                    3,
+                    50 + i * 10,
+                    Traffic::Repair,
+                ));
+            }
+            while sim.next_event().is_some() {}
+            sim.take_trace().unwrap().to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_droppable() {
+        let mut sim = two_node_sim();
+        assert!(sim.trace().is_none());
+        sim.start_flow(FlowSpec::network(0, 1, 10, Traffic::Repair));
+        while sim.next_event().is_some() {}
+        assert!(sim.take_trace().is_none());
+        // Enabling then disabling drops recorded events.
+        sim.set_trace_enabled(true);
+        sim.start_flow(FlowSpec::network(0, 1, 10, Traffic::Repair));
+        sim.set_trace_enabled(false);
+        assert!(sim.trace().is_none());
+    }
+
+    #[test]
+    fn profile_counts_events_solves_and_timer_churn() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        sim.start_flow(FlowSpec::network(1, 0, 100, Traffic::Repair));
+        let t = sim.schedule_in(0.1, 1);
+        sim.schedule_in(0.2, 2);
+        sim.cancel_timer(t);
+        sim.cancel_flow(f);
+        let mut events = 0;
+        while sim.next_event().is_some() {
+            events += 1;
+        }
+        let p = sim.profile();
+        assert_eq!(p.events, events);
+        assert_eq!(p.flow_completions, 1);
+        assert_eq!(p.timer_fires, 1);
+        assert_eq!(p.timers_scheduled, 2);
+        assert_eq!(p.timers_cancelled, 1);
+        assert!(p.solves >= 1, "at least one rate solve happened");
+        assert!(p.solver_rounds >= p.solves, "each solve runs >= 1 round");
+    }
+
+    #[test]
+    fn profile_counts_aborts() {
+        let mut sim = two_node_sim();
+        sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Repair));
+        sim.fail_node(1);
+        while sim.next_event().is_some() {}
+        let p = sim.profile();
+        assert_eq!(p.flow_aborts, 1);
+        assert_eq!(p.flow_completions, 0);
     }
 
     #[test]

@@ -145,6 +145,15 @@ impl FlowSpec {
     pub fn constraints(&self) -> &[(NodeId, ResourceKind)] {
         &self.constraints
     }
+
+    /// The (first, last) constraint nodes — (src, dst) for a network flow,
+    /// the same node twice for a single-resource disk flow. Used by the
+    /// trace layer to label lifecycle events.
+    pub(crate) fn endpoints(&self) -> (NodeId, NodeId) {
+        let first = self.constraints.first().map_or(0, |&(n, _)| n);
+        let last = self.constraints.last().map_or(first, |&(n, _)| n);
+        (first, last)
+    }
 }
 
 /// A live flow inside the engine.

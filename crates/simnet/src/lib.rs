@@ -22,6 +22,12 @@
 //!   node crashes/recoveries, transient slowdowns, and disk degradation,
 //!   driven off the engine's timer wheel. Killed flows surface as
 //!   [`FlowOutcome::Aborted`] completions instead of silently vanishing.
+//! - **Observability** ([`trace`]): an opt-in, zero-cost-when-off
+//!   [`TraceSink`] of structured flow-lifecycle events
+//!   (admitted/rate-changed/completed/aborted, with class, endpoints,
+//!   bytes, and cause) plus always-on [`EngineProfile`] self-profiling
+//!   counters (events, solver invocations and rounds, heap rebuilds,
+//!   timer churn).
 //!
 //! The simulator uses a *pull* event loop: drivers call
 //! [`Simulator::next_event`] and react to [`Event`]s, starting new flows and
@@ -55,6 +61,7 @@ pub mod maxmin;
 mod monitor;
 mod node;
 mod time;
+pub mod trace;
 
 pub use engine::{Event, SimConfig, Simulator};
 pub use faults::{FaultEvent, FaultInjector, FaultPlan, FaultSpec};
@@ -63,3 +70,4 @@ pub use maxmin::{allocate_rates, MaxMinSolver};
 pub use monitor::{Monitor, UsageSample};
 pub use node::{NodeCaps, NodeId, ResourceKind, Traffic};
 pub use time::SimTime;
+pub use trace::{AbortCause, EngineProfile, TraceEvent, TraceEventKind, TraceSink};

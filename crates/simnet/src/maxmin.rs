@@ -95,12 +95,23 @@ pub struct MaxMinSolver {
     frozen: Vec<bool>,
     /// All-ones weight buffer backing the unweighted entry point.
     ones: Vec<u32>,
+    /// Cumulative progressive-filling rounds across all solves — the
+    /// per-solve iteration count the engine's self-profile reports.
+    rounds: u64,
 }
 
 impl MaxMinSolver {
     /// Creates an empty solver; buffers grow on first use.
     pub fn new() -> Self {
         MaxMinSolver::default()
+    }
+
+    /// Total progressive-filling rounds (bottleneck freezes) performed
+    /// across every solve so far. A round freezes at least one group, so
+    /// `total_rounds / solves` is the mean bottleneck count per solve —
+    /// the engine's solver-iterations profiling metric.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds
     }
 
     /// Solves the max–min allocation, writing one rate per flow into
@@ -205,6 +216,7 @@ impl MaxMinSolver {
         let mut unfrozen = nflows;
 
         while unfrozen > 0 {
+            self.rounds += 1;
             // Find the bottleneck: the resource with the smallest equal
             // share (ties broken by lowest index, as in the reference).
             let mut best_share = f64::INFINITY;
@@ -455,6 +467,18 @@ mod tests {
         let mut solver = MaxMinSolver::new();
         let mut rates = vec![0.0; 1];
         solver.solve_weighted_into(&[1.0], &[0, 1], &[0], &[0], &mut rates);
+    }
+
+    #[test]
+    fn rounds_accumulate_across_solves() {
+        let mut solver = MaxMinSolver::new();
+        let mut rates = vec![0.0; 2];
+        solver.solve_into(&[10.0, 2.0], &[0, 1, 3], &[0, 0, 1], &mut rates);
+        let first = solver.total_rounds();
+        // Two distinct bottlenecks (the 2-unit link, then the 10-unit one).
+        assert_eq!(first, 2);
+        solver.solve_into(&[10.0, 2.0], &[0, 1, 3], &[0, 0, 1], &mut rates);
+        assert_eq!(solver.total_rounds(), 2 * first);
     }
 
     #[test]

@@ -89,16 +89,28 @@ impl Monitor {
             return;
         }
         let idx = self.idx(node, kind, tag);
-        let mut t = start;
-        while t < end {
-            let w = (t / self.window_secs) as usize;
-            while self.windows.len() <= w {
-                self.windows.push(vec![0.0; self.nodes * KINDS * TAGS]);
+        let win = self.window_secs;
+        // Iterate over *integer* window indices. The previous float-stepping
+        // loop (`t = seg_end` with `seg_end = (w+1)*win`) could truncate
+        // `(t / win) as usize` back to the same window when the boundary is
+        // not exactly representable (e.g. win = 0.1 at large indices),
+        // producing zero-length segments — a livelock — or crediting
+        // boundary bytes to the wrong window. Incrementing `w` guarantees
+        // forward progress and attributes each overlap exactly once.
+        let mut w = (start / win).floor() as usize;
+        loop {
+            let w_start = w as f64 * win;
+            if w_start >= end {
+                break;
             }
-            let w_end = ((w + 1) as f64) * self.window_secs;
-            let seg_end = end.min(w_end);
-            self.windows[w][idx] += rate * (seg_end - t);
-            t = seg_end;
+            let overlap = end.min(w_start + win) - start.max(w_start);
+            if overlap > 0.0 {
+                while self.windows.len() <= w {
+                    self.windows.push(vec![0.0; self.nodes * KINDS * TAGS]);
+                }
+                self.windows[w][idx] += rate * overlap;
+            }
+            w += 1;
         }
     }
 
@@ -179,18 +191,38 @@ impl Monitor {
 
     /// The fluctuation (max rate − min rate across windows) of a class on a
     /// node resource — the paper's Fig. 5 metric.
+    ///
+    /// The series is restricted to the class's *active interval*: the span
+    /// from its first to its last nonzero window on this cell. The monitor's
+    /// global horizon is extended by every class on every node, so without
+    /// the restriction, leading/trailing windows created by *other* traffic
+    /// would drag a quiet class's min rate to 0 and inflate the metric. The
+    /// paper's §II-D measurement likewise samples only while the workload
+    /// under study is running; idle windows *inside* the active interval
+    /// still count — a class that stalls mid-run genuinely fluctuates.
     pub fn fluctuation(&self, node: usize, kind: ResourceKind, tag: Traffic) -> f64 {
         let series = self.rate_series(node, kind, tag);
-        if series.is_empty() {
+        let Some(first) = series.iter().position(|&r| r > 0.0) else {
             return 0.0;
-        }
-        let max = series.iter().cloned().fold(f64::MIN, f64::max);
-        let min = series.iter().cloned().fold(f64::MAX, f64::min);
+        };
+        let last = series
+            .iter()
+            .rposition(|&r| r > 0.0)
+            .expect("nonzero entry exists");
+        let active = &series[first..=last];
+        let max = active.iter().cloned().fold(f64::MIN, f64::max);
+        let min = active.iter().cloned().fold(f64::MAX, f64::min);
         max - min
     }
 
     /// Average rate over the whole recorded horizon for a class on a node
     /// resource.
+    ///
+    /// Unlike [`fluctuation`](Self::fluctuation), this deliberately keeps
+    /// the *global* horizon as the divisor: the Fig. 6 link-load comparison
+    /// ranks nodes against each other, which needs a common denominator —
+    /// dividing each node by its own active interval would make a briefly
+    /// busy link look as loaded as a continuously busy one.
     pub fn mean_rate(&self, node: usize, kind: ResourceKind, tag: Traffic) -> f64 {
         if self.horizon > 0.0 {
             self.total_bytes(node, kind, tag) / self.horizon
@@ -201,7 +233,17 @@ impl Monitor {
 
     /// Convenience: verifies no cell ever exceeded its capacity (sanity
     /// check used by tests; returns the worst relative overshoot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` has fewer entries than the monitor tracks nodes.
     pub fn worst_overshoot(&self, caps: &[NodeCaps]) -> f64 {
+        assert!(
+            caps.len() >= self.nodes,
+            "worst_overshoot: caps slice has {} entries but the monitor tracks {} nodes",
+            caps.len(),
+            self.nodes
+        );
         let mut worst: f64 = 0.0;
         for (w, win) in self.windows.iter().enumerate() {
             let start = w as f64 * self.window_secs;
@@ -286,5 +328,97 @@ mod tests {
         let s = m.usage(7, 0, ResourceKind::Uplink, Traffic::Repair);
         assert_eq!(s.bytes, 0.0);
         assert_eq!(s.rate(), 0.0);
+    }
+
+    #[test]
+    fn non_representable_window_lengths_conserve_bytes_over_long_horizons() {
+        // window_secs = 0.1 is not exactly representable; the old float
+        // stepping loop could produce zero-length segments at boundaries
+        // far from zero. Record many short segments deep into the horizon
+        // and check conservation and termination.
+        let mut m = Monitor::new(1, 0.1);
+        let mut expected = 0.0;
+        for k in 0..5000u32 {
+            // Segments that start exactly on (float-computed) boundaries.
+            let start = k as f64 * 0.1;
+            let end = (k + 1) as f64 * 0.1;
+            m.record(start, end, 3.0, 0, ResourceKind::Uplink, Traffic::Repair);
+            expected += 3.0 * (end - start);
+        }
+        let total = m.total_bytes(0, ResourceKind::Uplink, Traffic::Repair);
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "conservation broke: {total} vs {expected}"
+        );
+        // One long segment spanning thousands of windows must also
+        // terminate and conserve.
+        let mut m = Monitor::new(1, 0.1);
+        m.record(0.0, 1000.0, 2.0, 0, ResourceKind::Downlink, Traffic::Repair);
+        let total = m.total_bytes(0, ResourceKind::Downlink, Traffic::Repair);
+        assert!((total - 2000.0).abs() < 1e-6, "long segment lost bytes");
+        assert!(m.window_count() >= 9999);
+    }
+
+    #[test]
+    fn boundary_segment_lands_in_one_window() {
+        // A segment exactly filling window w must not leak into w+1.
+        let mut m = Monitor::new(1, 0.1);
+        let w = 4321usize;
+        m.record(
+            w as f64 * 0.1,
+            (w + 1) as f64 * 0.1,
+            10.0,
+            0,
+            ResourceKind::Uplink,
+            Traffic::Foreground,
+        );
+        let inside = m.usage(w, 0, ResourceKind::Uplink, Traffic::Foreground);
+        let after = m.usage(w + 1, 0, ResourceKind::Uplink, Traffic::Foreground);
+        assert!((inside.bytes - 1.0).abs() < 1e-9);
+        assert_eq!(after.bytes, 0.0);
+    }
+
+    #[test]
+    fn fluctuation_ignores_other_traffic_horizon() {
+        // Repair runs at a steady 10 B/s in windows 0-1; foreground traffic
+        // then extends the horizon to window 9. The quiet windows belong to
+        // foreground's lifetime, not repair's, and must not drag repair's
+        // min rate to 0.
+        let mut m = Monitor::new(1, 1.0);
+        m.record(0.0, 2.0, 10.0, 0, ResourceKind::Uplink, Traffic::Repair);
+        m.record(0.0, 10.0, 3.0, 0, ResourceKind::Uplink, Traffic::Foreground);
+        assert!(
+            m.fluctuation(0, ResourceKind::Uplink, Traffic::Repair)
+                .abs()
+                < 1e-9,
+            "steady repair traffic should have zero fluctuation"
+        );
+        // An idle window *inside* the active interval still counts.
+        m.record(4.0, 5.0, 10.0, 0, ResourceKind::Uplink, Traffic::Repair);
+        assert!((m.fluctuation(0, ResourceKind::Uplink, Traffic::Repair) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fluctuation_of_silent_class_is_zero() {
+        let mut m = Monitor::new(1, 1.0);
+        m.record(0.0, 5.0, 3.0, 0, ResourceKind::Uplink, Traffic::Foreground);
+        assert_eq!(m.fluctuation(0, ResourceKind::Uplink, Traffic::Repair), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "caps slice has 1 entries but the monitor tracks 2 nodes")]
+    fn worst_overshoot_rejects_short_caps_slice() {
+        let mut m = Monitor::new(2, 1.0);
+        m.record(0.0, 1.0, 1.0, 1, ResourceKind::Uplink, Traffic::Repair);
+        let caps = vec![NodeCaps::symmetric(10.0, 10.0)];
+        m.worst_overshoot(&caps);
+    }
+
+    #[test]
+    fn worst_overshoot_accepts_full_caps_slice() {
+        let mut m = Monitor::new(2, 1.0);
+        m.record(0.0, 1.0, 5.0, 1, ResourceKind::Uplink, Traffic::Repair);
+        let caps = vec![NodeCaps::symmetric(10.0, 10.0); 2];
+        assert!(m.worst_overshoot(&caps) <= 0.0);
     }
 }

@@ -113,6 +113,76 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn monitor_conserves_bytes_under_random_windows_and_schedules(
+        seed in any::<u64>(),
+        flow_count in 1usize..12,
+        window_decis in 1u32..150,
+    ) {
+        // The invariant both Monitor window bugfixes protect: whatever the
+        // window length (including non-representable ones like 0.1) and
+        // however flows are staggered in time, the bytes the monitor
+        // attributes across windows equal the bytes the engine delivered.
+        let caps = NodeCaps::symmetric(100.0, 50.0);
+        let mut cfg = SimConfig::uniform(4, caps);
+        cfg.monitor_window_secs = window_decis as f64 * 0.1;
+        let mut sim = Simulator::new(cfg);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut up = [0.0f64; 4];
+        let mut down = [0.0f64; 4];
+        let mut pending: Vec<(u64, usize, usize, u64)> = Vec::new();
+        for i in 0..flow_count {
+            let src = (next() % 4) as usize;
+            let dst = (src + 1 + (next() % 3) as usize) % 4;
+            let bytes = 1 + next() % 5000;
+            let delay = next() % 50; // tenths of a second
+            up[src] += bytes as f64;
+            down[dst] += bytes as f64;
+            if delay == 0 {
+                sim.start_flow(FlowSpec::network(src, dst, bytes, Traffic::Repair));
+            } else {
+                sim.schedule_in(delay as f64 * 0.1, i as u64);
+                pending.push((i as u64, src, dst, bytes));
+            }
+        }
+        while let Some(ev) = sim.next_event() {
+            if let Event::Timer { key, .. } = ev {
+                if let Some(pos) = pending.iter().position(|&(k, ..)| k == key) {
+                    let (_, src, dst, bytes) = pending.remove(pos);
+                    sim.start_flow(FlowSpec::network(src, dst, bytes, Traffic::Repair));
+                }
+            }
+        }
+        for node in 0..4 {
+            let sent = sim
+                .monitor()
+                .total_bytes(node, ResourceKind::Uplink, Traffic::Repair);
+            prop_assert!(
+                (sent - up[node]).abs() < 1e-3,
+                "uplink {node}: monitor {sent} vs delivered {}",
+                up[node]
+            );
+            let recv = sim
+                .monitor()
+                .total_bytes(node, ResourceKind::Downlink, Traffic::Repair);
+            prop_assert!(
+                (recv - down[node]).abs() < 1e-3,
+                "downlink {node}: monitor {recv} vs delivered {}",
+                down[node]
+            );
+        }
+        // No window over-reports capacity either.
+        let caps_vec = vec![caps; 4];
+        prop_assert!(sim.monitor().worst_overshoot(&caps_vec) < 1e-6);
+    }
+
+    #[test]
     fn indexed_solver_matches_reference(
         caps in proptest::collection::vec(0.0f64..100.0, 4..10),
         flows in flows_strategy(8),
