@@ -1,19 +1,25 @@
 //! Simulator-throughput benchmark: sustained events/sec at 1k/10k/100k
-//! concurrent flows on a 20-node cluster, for the indexed engine
-//! (inverted-index max–min solver, incremental class tables, completion
-//! heap) against the original full-rescan reference engine.
+//! concurrent flows, for the indexed engine (incremental dirty-set max–min
+//! solver, group-level completion tracking, completion heap) against the
+//! original full-rescan reference engine — on the paper's 20-node cluster
+//! and on a 1000-node cluster the same workload generator scales up to.
 //!
 //! Every ChameleonEC experiment replays a trace through `simnet`, so
 //! events/sec is the wall-clock ceiling of the whole evaluation. The
 //! results seed the perf trajectory: `results/BENCH_simnet.json` is
-//! uploaded as a CI artifact so future PRs can track the number.
+//! uploaded as a CI artifact, and the `bench-gate` CI job compares the
+//! 20-node 10k-flow indexed point against the committed
+//! `results/BENCH_simnet.baseline.json`, failing on a >20% regression.
+//!
+//! Modes:
+//! - default: full sweep, including the 1000-node / 100k-flow points.
+//! - `CHAMELEON_BENCH_SMOKE=1`: the 20-node levels only, with smaller
+//!   event floors and time budgets — the CI gate configuration.
 
 use std::time::Instant;
 
 use chameleon_bench::table::{print_table, write_json};
 use chameleon_simnet::{FlowSpec, NodeCaps, SimConfig, Simulator, Traffic};
-
-const NODES: usize = 20;
 
 /// Deterministic LCG so both engines replay the identical workload.
 struct Rng(u64);
@@ -28,9 +34,9 @@ impl Rng {
     }
 }
 
-fn random_spec(rng: &mut Rng) -> FlowSpec {
-    let src = (rng.next() as usize) % NODES;
-    let dst = (src + 1 + (rng.next() as usize) % (NODES - 1)) % NODES;
+fn random_spec(rng: &mut Rng, nodes: usize) -> FlowSpec {
+    let src = (rng.next() as usize) % nodes;
+    let dst = (src + 1 + (rng.next() as usize) % (nodes - 1)) % nodes;
     // 1–64 MiB transfers, a plausible chunk/sub-chunk mix.
     let bytes = (1 + rng.next() % 64) << 20;
     let tag = match rng.next() % 10 {
@@ -44,18 +50,18 @@ fn random_spec(rng: &mut Rng) -> FlowSpec {
 /// Runs a closed-loop workload at a fixed concurrency: every completion
 /// admits a replacement flow, so the solver always sees `flows` active
 /// flows. Returns sustained events/sec.
-fn measure(flows: usize, reference: bool, budget_secs: f64, min_events: u64) -> f64 {
-    let mut sim = Simulator::new(SimConfig::uniform(NODES, NodeCaps::default()));
+fn measure(nodes: usize, flows: usize, reference: bool, budget_secs: f64, min_events: u64) -> f64 {
+    let mut sim = Simulator::new(SimConfig::uniform(nodes, NodeCaps::default()));
     sim.use_reference_engine(reference);
-    let mut rng = Rng(0x5EED ^ flows as u64);
+    let mut rng = Rng(0x5EED ^ flows as u64 ^ ((nodes as u64) << 32));
     // Batched admission: the initial burst costs one rate solve.
-    sim.start_flows((0..flows).map(|_| random_spec(&mut rng)));
+    sim.start_flows((0..flows).map(|_| random_spec(&mut rng, nodes)));
 
     let start = Instant::now();
     let mut events = 0u64;
     loop {
         sim.next_event().expect("closed loop never drains");
-        sim.start_flow(random_spec(&mut rng));
+        sim.start_flow(random_spec(&mut rng, nodes));
         events += 1;
         if events.is_multiple_of(32)
             && events >= min_events
@@ -67,30 +73,75 @@ fn measure(flows: usize, reference: bool, budget_secs: f64, min_events: u64) -> 
     events as f64 / start.elapsed().as_secs_f64()
 }
 
+/// One sweep point: cluster size, concurrency, and the per-engine event
+/// floors (the reference engine is O(rounds x flows) per event; smaller
+/// floors keep the slow levels affordable).
+struct Point {
+    nodes: usize,
+    flows: usize,
+    indexed_floor: u64,
+    reference_floor: u64,
+}
+
 fn main() {
-    println!("simnet throughput: sustained events/sec, {NODES}-node cluster, closed loop");
+    let smoke = std::env::var("CHAMELEON_BENCH_SMOKE").as_deref() == Ok("1");
+    let mut points = vec![
+        Point {
+            nodes: 20,
+            flows: 1_000,
+            indexed_floor: 512,
+            reference_floor: 32,
+        },
+        Point {
+            nodes: 20,
+            flows: 10_000,
+            indexed_floor: 512,
+            reference_floor: 32,
+        },
+        Point {
+            nodes: 20,
+            flows: 100_000,
+            indexed_floor: 512,
+            reference_floor: 32,
+        },
+    ];
+    if !smoke {
+        points.push(Point {
+            nodes: 1_000,
+            flows: 100_000,
+            indexed_floor: 512,
+            reference_floor: 32,
+        });
+    }
+    let budget = if smoke { 0.4 } else { 1.0 };
+
+    println!(
+        "simnet throughput: sustained events/sec, closed loop{}",
+        if smoke { " (smoke mode)" } else { "" }
+    );
     let mut rows = Vec::new();
     let mut json_levels = Vec::new();
-    for &flows in &[1_000usize, 10_000, 100_000] {
-        // The reference engine is O(rounds x flows) per event; give it a
-        // smaller event floor so the 100k level stays affordable.
-        let indexed = measure(flows, false, 1.0, 512);
-        let reference = measure(flows, true, 1.0, 32);
+    for p in &points {
+        let indexed = measure(p.nodes, p.flows, false, budget, p.indexed_floor);
+        let reference = measure(p.nodes, p.flows, true, budget, p.reference_floor);
         let speedup = indexed / reference;
         rows.push(vec![
-            format!("{flows}"),
+            format!("{}", p.nodes),
+            format!("{}", p.flows),
             format!("{indexed:.0}"),
             format!("{reference:.0}"),
             format!("{speedup:.1}x"),
         ]);
         json_levels.push(format!(
-            "    {{\"flows\": {flows}, \"indexed_events_per_sec\": {indexed:.1}, \
-             \"reference_events_per_sec\": {reference:.1}, \"speedup\": {speedup:.2}}}"
+            "    {{\"nodes\": {}, \"flows\": {}, \"indexed_events_per_sec\": {indexed:.1}, \
+             \"reference_events_per_sec\": {reference:.1}, \"speedup\": {speedup:.2}}}",
+            p.nodes, p.flows
         ));
     }
     print_table(
         "simulator throughput (indexed vs reference engine)",
         &[
+            "nodes",
             "concurrent flows",
             "indexed ev/s",
             "reference ev/s",
@@ -99,9 +150,12 @@ fn main() {
         &rows,
     );
     let json = format!(
-        "{{\n  \"bench\": \"simnet_throughput\",\n  \"nodes\": {NODES},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"simnet_throughput\",\n  \"levels\": [\n{}\n  ]\n}}\n",
         json_levels.join(",\n")
     );
     write_json("BENCH_simnet", &json);
-    println!("target: >= 5x events/sec over the reference engine at 10k concurrent flows.");
+    println!(
+        "gate: the 20-node 10k-flow indexed point must stay within 20% of \
+         results/BENCH_simnet.baseline.json (run `bench_gate` to check)."
+    );
 }

@@ -1,0 +1,58 @@
+//! CI perf-regression gate: compares the fresh `results/BENCH_simnet.json`
+//! against the committed `results/BENCH_simnet.baseline.json` at the gate
+//! point (20 nodes, 10k flows) and exits non-zero on a >20% drop of
+//! indexed events/sec. Run `cargo bench --bench simnet_throughput` first.
+//!
+//! Usage: `bench_gate [--current <path>] [--baseline <path>]`
+
+use std::path::PathBuf;
+
+use chameleon_bench::gate;
+
+fn results_path(name: &str) -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(manifest) => PathBuf::from(manifest).join(format!("../../results/{name}")),
+        Err(_) => PathBuf::from(format!("results/{name}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut current = results_path("BENCH_simnet.json");
+    let mut baseline = results_path("BENCH_simnet.baseline.json");
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--current" => current = it.next().expect("--current needs a path").into(),
+            "--baseline" => baseline = it.next().expect("--baseline needs a path").into(),
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let report = match gate::check(&read(&current), &read(&baseline)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", report.render());
+    if !report.pass() {
+        eprintln!(
+            "bench_gate: indexed events/sec regressed more than {:.0}% at the gate point; \
+             if this slowdown is intentional, refresh results/BENCH_simnet.baseline.json \
+             in the same PR and justify it in the description",
+            gate::MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+}

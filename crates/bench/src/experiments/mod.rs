@@ -26,6 +26,7 @@ pub mod exp12;
 pub mod exp13;
 pub mod exp14;
 pub mod exp15;
+pub mod exp16;
 pub mod fig02;
 pub mod fig04;
 pub mod fig05;
@@ -47,7 +48,7 @@ pub struct Experiment {
 }
 
 /// Every experiment and figure study, in evaluation order.
-pub const ALL: [Experiment; 19] = [
+pub const ALL: [Experiment; 20] = [
     Experiment {
         name: "fig02_reliability",
         title: "Fig. 2: data-loss probability vs repair throughput",
@@ -142,6 +143,11 @@ pub const ALL: [Experiment; 19] = [
         name: "exp15_fault_tolerance",
         title: "Exp#15: repair under mid-campaign node crashes",
         run: exp15::run,
+    },
+    Experiment {
+        name: "exp16_scalability",
+        title: "Exp#16: full-node repair at 20-1000 storage nodes",
+        run: exp16::run,
     },
 ];
 

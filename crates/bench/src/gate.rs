@@ -1,0 +1,179 @@
+//! Perf-regression gate over the simnet throughput benchmark JSON.
+//!
+//! CI runs `simnet_throughput` (smoke mode), then the `bench_gate` binary
+//! compares the fresh `results/BENCH_simnet.json` against the committed
+//! `results/BENCH_simnet.baseline.json` and fails the job when the
+//! indexed events/sec at the gate point (20 nodes, 10k concurrent flows)
+//! drops more than [`MAX_REGRESSION`] below the baseline.
+//!
+//! The parser is a line-oriented key extractor over the repo's own flat
+//! JSON-level schema (one level object per line), like the trace
+//! summarizer — deliberately not a general JSON parser. Speedups over the
+//! baseline never fail the gate; they are the point of the trajectory.
+
+/// The gate point: the paper's cluster size at the mid concurrency level.
+pub const GATE_NODES: u64 = 20;
+/// Concurrent flows at the gate point.
+pub const GATE_FLOWS: u64 = 10_000;
+/// Largest tolerated drop of indexed events/sec vs the baseline (0.2 =
+/// 20%); absorbs runner noise while catching real regressions.
+pub const MAX_REGRESSION: f64 = 0.20;
+
+/// Extracts the indexed events/sec of one sweep point from a
+/// `BENCH_simnet` JSON document.
+///
+/// Matches the level line carrying `"nodes": nodes` and `"flows": flows`.
+/// Documents from before the cluster-size sweep carried no per-level
+/// `"nodes"` key (every level was 20 nodes); those lines match on `flows`
+/// alone.
+pub fn extract_events_per_sec(json: &str, nodes: u64, flows: u64) -> Option<f64> {
+    let nodes_pat = format!("\"nodes\": {nodes},");
+    let flows_pat = format!("\"flows\": {flows},");
+    for line in json.lines() {
+        if !line.contains(&flows_pat) {
+            continue;
+        }
+        if line.contains("\"nodes\":") && !line.contains(&nodes_pat) {
+            continue;
+        }
+        let pat = "\"indexed_events_per_sec\": ";
+        let start = line.find(pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        return rest[..end].trim().parse().ok();
+    }
+    None
+}
+
+/// The gate's verdict on one (baseline, current) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateReport {
+    /// Indexed events/sec recorded in the committed baseline.
+    pub baseline: f64,
+    /// Indexed events/sec of the fresh benchmark run.
+    pub current: f64,
+    /// Largest tolerated fractional drop (0.2 = 20%).
+    pub max_regression: f64,
+}
+
+impl GateReport {
+    /// `current / baseline` — above 1.0 is a speedup.
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+
+    /// `true` when the current number is within the tolerated envelope.
+    pub fn pass(&self) -> bool {
+        self.current >= self.baseline * (1.0 - self.max_regression)
+    }
+
+    /// One-paragraph human verdict for the CI log.
+    pub fn render(&self) -> String {
+        format!(
+            "bench-gate @ {GATE_NODES} nodes / {GATE_FLOWS} flows: \
+             current {:.1} ev/s vs baseline {:.1} ev/s ({:.2}x, floor {:.1}) -> {}",
+            self.current,
+            self.baseline,
+            self.ratio(),
+            self.baseline * (1.0 - self.max_regression),
+            if self.pass() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Compares a fresh benchmark JSON against the committed baseline at the
+/// gate point. `Err` means a document was missing the point entirely —
+/// that fails CI too, loudly, instead of silently passing.
+pub fn check(current_json: &str, baseline_json: &str) -> Result<GateReport, String> {
+    let baseline = extract_events_per_sec(baseline_json, GATE_NODES, GATE_FLOWS)
+        .ok_or_else(|| format!("baseline has no {GATE_NODES}-node {GATE_FLOWS}-flow point"))?;
+    let current = extract_events_per_sec(current_json, GATE_NODES, GATE_FLOWS)
+        .ok_or_else(|| format!("current run has no {GATE_NODES}-node {GATE_FLOWS}-flow point"))?;
+    if baseline <= 0.0 {
+        return Err(format!("baseline events/sec is not positive: {baseline}"));
+    }
+    Ok(GateReport {
+        baseline,
+        current,
+        max_regression: MAX_REGRESSION,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(points: &[(u64, u64, f64)]) -> String {
+        let levels: Vec<String> = points
+            .iter()
+            .map(|(n, f, ev)| {
+                format!(
+                    "    {{\"nodes\": {n}, \"flows\": {f}, \"indexed_events_per_sec\": {ev}, \
+                     \"reference_events_per_sec\": 10.0, \"speedup\": 1.0}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"simnet_throughput\",\n  \"levels\": [\n{}\n  ]\n}}\n",
+            levels.join(",\n")
+        )
+    }
+
+    #[test]
+    fn extracts_the_matching_point() {
+        let json = doc(&[
+            (20, 1_000, 40_000.0),
+            (20, 10_000, 5_000.5),
+            (1_000, 10_000, 900.0),
+        ]);
+        assert_eq!(extract_events_per_sec(&json, 20, 10_000), Some(5_000.5));
+        assert_eq!(extract_events_per_sec(&json, 1_000, 10_000), Some(900.0));
+        assert_eq!(extract_events_per_sec(&json, 20, 1_000), Some(40_000.0));
+        assert_eq!(extract_events_per_sec(&json, 500, 10_000), None);
+        assert_eq!(extract_events_per_sec(&json, 20, 777), None);
+    }
+
+    #[test]
+    fn legacy_documents_without_per_level_nodes_match_on_flows() {
+        let json = "{\n  \"bench\": \"simnet_throughput\",\n  \"nodes\": 20,\n  \"levels\": [\n\
+             {\"flows\": 10000, \"indexed_events_per_sec\": 5012.3, \
+              \"reference_events_per_sec\": 447.8, \"speedup\": 11.19}\n  ]\n}\n";
+        assert_eq!(extract_events_per_sec(json, 20, 10_000), Some(5012.3));
+    }
+
+    #[test]
+    fn gate_passes_at_parity_and_on_speedups() {
+        let baseline = doc(&[(20, 10_000, 5_000.0)]);
+        for current_ev in [5_000.0, 4_100.0, 50_000.0] {
+            let current = doc(&[(20, 10_000, current_ev)]);
+            let report = check(&current, &baseline).unwrap();
+            assert!(report.pass(), "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn gate_fails_on_injected_synthetic_regression() {
+        // A synthetic 30% regression: 5000 -> 3500 ev/s must fail a 20%
+        // gate, and the verdict must say so.
+        let baseline = doc(&[(20, 10_000, 5_000.0)]);
+        let regressed = doc(&[(20, 10_000, 3_500.0)]);
+        let report = check(&regressed, &baseline).unwrap();
+        assert!(!report.pass());
+        assert!(report.render().contains("FAIL"), "{}", report.render());
+        // Just past the 20% edge fails too; just inside passes.
+        let edge_fail = doc(&[(20, 10_000, 3_999.0)]);
+        assert!(!check(&edge_fail, &baseline).unwrap().pass());
+        let edge_pass = doc(&[(20, 10_000, 4_001.0)]);
+        assert!(check(&edge_pass, &baseline).unwrap().pass());
+    }
+
+    #[test]
+    fn missing_points_are_loud_errors() {
+        let baseline = doc(&[(20, 10_000, 5_000.0)]);
+        let wrong = doc(&[(20, 1_000, 5_000.0)]);
+        assert!(check(&wrong, &baseline).is_err());
+        assert!(check(&baseline, &wrong).is_err());
+        let zero = doc(&[(20, 10_000, 0.0)]);
+        assert!(check(&baseline, &zero).is_err());
+    }
+}

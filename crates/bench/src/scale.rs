@@ -89,7 +89,30 @@ impl Scale {
         network: f64,
         disk: f64,
     ) -> ClusterConfig {
-        let storage_nodes = 20;
+        self.cluster_config_sized(stripe_width, 20, network, disk)
+    }
+
+    /// Like [`Scale::cluster_config`] with an explicit storage-node count
+    /// — the cluster-size sweep (Exp#16). Chunk loss per failed node stays
+    /// at [`Scale::chunks_per_node`]: the stripe count grows with the
+    /// cluster, so bigger clusters mean a bigger contention graph, not a
+    /// longer repair.
+    pub fn cluster_config_with_nodes(
+        &self,
+        stripe_width: usize,
+        storage_nodes: usize,
+    ) -> ClusterConfig {
+        self.cluster_config_sized(stripe_width, storage_nodes, 1.25e9, 500e6)
+    }
+
+    /// The fully explicit variant behind the `cluster_config*` helpers.
+    pub fn cluster_config_sized(
+        &self,
+        stripe_width: usize,
+        storage_nodes: usize,
+        network: f64,
+        disk: f64,
+    ) -> ClusterConfig {
         let stripes = (self.chunks_per_node * storage_nodes).div_ceil(stripe_width);
         ClusterConfig {
             storage_nodes,
@@ -126,6 +149,21 @@ mod tests {
             .collect();
         let avg = per_node.iter().sum::<usize>() as f64 / 20.0;
         assert!((avg - 20.0).abs() < 2.0, "avg {avg}");
+    }
+
+    #[test]
+    fn sized_config_keeps_per_node_chunk_loss_constant() {
+        let scale = Scale::small();
+        for nodes in [20, 100, 500] {
+            let cfg = scale.cluster_config_with_nodes(6, nodes);
+            assert_eq!(cfg.storage_nodes, nodes);
+            let total_chunks = cfg.stripes * cfg.stripe_width;
+            let per_node = total_chunks as f64 / nodes as f64;
+            assert!(
+                (per_node - scale.chunks_per_node as f64).abs() < 1.0,
+                "{nodes} nodes: {per_node} chunks/node"
+            );
+        }
     }
 
     #[test]

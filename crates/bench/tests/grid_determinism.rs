@@ -7,7 +7,7 @@
 //! (the control grid fixes the crash window for the faulted grid). All
 //! run at a tiny scale so the whole suite stays in seconds.
 
-use chameleon_bench::experiments::{exp02, exp08, exp15};
+use chameleon_bench::experiments::{exp02, exp08, exp15, exp16};
 use chameleon_bench::table::csv_string;
 use chameleon_bench::{run_specs, AlgoKind, FgSpec, RunSpec, Scale};
 use chameleon_codes::{ErasureCode, ReedSolomon};
@@ -144,6 +144,37 @@ fn exp15_rows_are_identical_across_job_counts() {
         assert_eq!(
             sequential, parallel,
             "exp15 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// Exp#16 exercises the cluster-size sweep (the cells differ only in
+/// topology; the engine counters in the CSV must be scheduling-invariant).
+#[test]
+fn exp16_rows_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = [
+        "nodes",
+        "algorithm",
+        "repair_mbps",
+        "chunks",
+        "p99_ms",
+        "events",
+        "solves",
+        "incremental_share",
+        "chunk_p50_s",
+        "chunk_p99_s",
+    ];
+    let sequential = csv_string(&headers, &exp16::csv_rows(&scale, 1));
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    for jobs in [4, 8] {
+        let parallel = csv_string(&headers, &exp16::csv_rows(&scale, jobs));
+        assert_eq!(
+            sequential, parallel,
+            "exp16 CSV diverged between --jobs 1 and --jobs {jobs}"
         );
     }
 }

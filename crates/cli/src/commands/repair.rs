@@ -164,10 +164,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let profile = sim.profile();
     println!(
-        "\nengine: {} events, {} solves ({} rounds), {} heap rebuilds, \
-         {} timers ({} cancelled)",
+        "\nengine: {} events, {} solves ({} full, {} incremental, {} dirty groups, \
+         {} rounds), {} heap rebuilds, {} timers ({} cancelled)",
         profile.events,
         profile.solves,
+        profile.full_solves,
+        profile.incremental_solves,
+        profile.dirty_groups,
         profile.solver_rounds,
         profile.heap_rebuilds,
         profile.timers_scheduled,

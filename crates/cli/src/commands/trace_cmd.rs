@@ -14,9 +14,12 @@ use chameleon_cluster::stats::LatencySummary;
 use crate::args::Flags;
 
 /// The engine counters summed from `"event":"profile"` footers.
-const PROFILE_KEYS: [&str; 6] = [
+const PROFILE_KEYS: [&str; 9] = [
     "events",
     "solves",
+    "full_solves",
+    "incremental_solves",
+    "dirty_groups",
     "solver_rounds",
     "heap_rebuilds",
     "timers_scheduled",
@@ -160,11 +163,15 @@ impl TraceSummary {
         if self.profile_runs > 0 {
             let n = |key: &str| self.profile.get(key).copied().unwrap_or(0.0);
             out.push_str(&format!(
-                "  engine profile  : {} run(s): {} events, {} solves ({} rounds), \
+                "  engine profile  : {} run(s): {} events, {} solves ({} full, \
+                 {} incremental, {} dirty groups, {} rounds), \
                  {} heap rebuilds, {} timers ({} cancelled)\n",
                 self.profile_runs,
                 n("events"),
                 n("solves"),
+                n("full_solves"),
+                n("incremental_solves"),
+                n("dirty_groups"),
                 n("solver_rounds"),
                 n("heap_rebuilds"),
                 n("timers_scheduled"),
@@ -225,7 +232,7 @@ mod tests {
 {\"at\":0,\"flow\":2,\"class\":\"client\",\"src\":1,\"dst\":4,\"event\":\"admitted\",\"bytes\":50}\n\
 {\"at\":1,\"flow\":2,\"class\":\"client\",\"src\":1,\"dst\":4,\"event\":\"aborted\",\"cause\":\"node_failure\",\"remaining\":25}\n\
 {\"event\":\"span\",\"stripe\":0,\"chunk\":1,\"start\":0.5,\"end\":2,\"attempts\":2}\n\
-{\"event\":\"profile\",\"events\":10,\"flow_completions\":1,\"flow_aborts\":1,\"timer_fires\":0,\"solves\":4,\"solver_rounds\":6,\"heap_rebuilds\":1,\"timers_scheduled\":0,\"timers_cancelled\":0}\n";
+{\"event\":\"profile\",\"events\":10,\"flow_completions\":1,\"flow_aborts\":1,\"timer_fires\":0,\"solves\":4,\"full_solves\":1,\"incremental_solves\":3,\"dirty_groups\":5,\"solver_rounds\":6,\"heap_rebuilds\":1,\"timers_scheduled\":0,\"timers_cancelled\":0}\n";
         let s = summarize(text).unwrap();
         assert_eq!(s.lines, 6);
         let repair = s.classes["repair"];
@@ -245,6 +252,9 @@ mod tests {
         assert_eq!((s.first_at, s.last_at), (0.0, 2.0));
         assert_eq!(s.profile_runs, 1);
         assert_eq!(s.profile["solver_rounds"], 6.0);
+        assert_eq!(s.profile["full_solves"], 1.0);
+        assert_eq!(s.profile["incremental_solves"], 3.0);
+        assert_eq!(s.profile["dirty_groups"], 5.0);
         let rendered = s.render("t.jsonl");
         assert!(rendered.contains("repair spans"), "{rendered}");
         assert!(rendered.contains("engine profile"), "{rendered}");

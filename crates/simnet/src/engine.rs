@@ -1,26 +1,33 @@
 //! The discrete-event engine.
 //!
 //! The default ("indexed") engine is built for trace-scale event
-//! throughput:
+//! throughput, and its hot path is *group-level*: no per-event cost is
+//! proportional to the number of live flows.
 //!
-//! - rates come from the indexed [`MaxMinSolver`] (inverted resource→flow
-//!   index, reusable scratch — no per-solve allocation);
-//! - flows live in a slab (dense slot vector + free list + id→slot map),
-//!   so every per-event pass is a linear scan over contiguous memory and
-//!   the constraint cells are packed flat at admission — no tree walks or
-//!   per-flow pointer chasing on the hot path;
+//! - rates come from the [`IncrementalSolver`]: flow mutations seed a
+//!   dirty-resource set, and each solve re-runs progressive filling only
+//!   over the contention components reachable from the seeds, bit-identical
+//!   to a full solve (DESIGN.md §3.10);
+//! - flows live in a slab (dense slot vector + free list + id→slot map);
+//!   each flow belongs to a *flow group* (its exact resource-cell
+//!   sequence), and all per-event bookkeeping — progress, rates, class
+//!   tables, completion predictions — happens per group, not per flow;
+//! - per-group progress is a cumulative byte counter (`done`, anchored at
+//!   the last rate change); each member carries an immutable completion
+//!   `target` on that counter, so members complete in target order and the
+//!   whole group needs just one entry (its earliest member) in the global
+//!   completion heap;
 //! - per-(node, resource, class) aggregate rate and flow-count tables are
 //!   maintained incrementally, so [`Simulator::class_rate`],
 //!   [`Simulator::residual_capacity`] and [`Simulator::class_flow_count`]
-//!   are O(1) lookups (and take `&self`);
+//!   are O(1) lookups (and take `&self`); the monitor records from a
+//!   maintained list of *active* cells, so advancing time is O(busy cells),
+//!   not O(nodes);
 //! - the earliest completion comes from a lazy-invalidation binary heap of
-//!   predicted completion times, re-pushed only for flows whose rate
-//!   actually changed in the last solve; when a solve moves most
-//!   predictions at once the heap is rebuilt wholesale (O(F) heapify
-//!   instead of F pushes into a heap full of dead entries);
-//! - flow `remaining` values are materialized lazily at rate solves, so
-//!   advancing time between events touches no per-flow state; the monitor
-//!   records from the aggregate class tables instead of per flow.
+//!   per-group predictions, re-pushed only for groups touched by the last
+//!   solve; when a solve moves most predictions at once the heap is
+//!   rebuilt wholesale (O(G) heapify instead of G pushes into a heap full
+//!   of dead entries).
 //!
 //! [`Simulator::use_reference_engine`] switches to the original
 //! full-rescan implementation (reference solver, linear completion scan,
@@ -31,7 +38,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use crate::flow::{Flow, FlowId, FlowOutcome, FlowSpec, TimerId, MAX_CONSTRAINTS};
-use crate::maxmin::{reference, MaxMinSolver};
+use crate::maxmin::{reference, IncrementalSolver, MaxMinSolver};
 use crate::monitor::Monitor;
 use crate::node::{NodeCaps, NodeId, ResourceKind, Traffic};
 use crate::time::SimTime;
@@ -54,12 +61,40 @@ const TAGS: usize = 3;
 /// freezes them in the same progressive-filling round, so the solver can
 /// price the whole group at once — a cluster has O(nodes²) distinct
 /// shapes no matter how many flows are live.
+///
+/// In the indexed engine the group is also the unit of progress tracking:
+/// `done` counts the bytes every member has moved since the group's
+/// creation (materialized lazily at `anchor`; extrapolate with `rate` for
+/// later instants), each member stores an immutable completion *target* on
+/// that counter, and the group keeps exactly one entry — its
+/// earliest-finishing member — in the global completion heap.
 #[derive(Debug, Clone)]
 struct FlowGroup {
     cells: [u32; MAX_CONSTRAINTS],
     ncells: u8,
     /// Number of member flows; 0 means the group slot is free.
     count: u32,
+    /// Members per traffic class (class-table bookkeeping; sums to
+    /// `count`).
+    tag_counts: [u32; TAGS],
+    /// Current per-member max–min rate (indexed mode).
+    rate: f64,
+    /// Cumulative bytes each member has moved, accurate as of `anchor`.
+    done: f64,
+    /// The time `done` was last materialized (the last rate change).
+    anchor: SimTime,
+    /// Bumped whenever the group's completion-heap entry is re-stamped;
+    /// stale entries are detected by epoch mismatch.
+    epoch: u64,
+    /// Whether a live heap entry exists (all-starved groups have none).
+    has_entry: bool,
+    /// Flow id of the entry's member (the group's earliest finisher).
+    head: u64,
+    /// Predicted completion time of the entry.
+    pred: SimTime,
+    /// Whether the group sits in the engine's touched list awaiting
+    /// prediction maintenance at the next solve.
+    touched: bool,
 }
 
 /// Configuration of a simulation run.
@@ -89,6 +124,27 @@ impl SimConfig {
         }
     }
 }
+
+/// Rates have not been re-solved since the last flow-set mutation.
+///
+/// Returned by [`Simulator::check_fresh`]; the panicking read paths
+/// ([`Simulator::flow_rate`], [`Simulator::class_rate`],
+/// [`Simulator::residual_capacity`]) raise the same condition as an
+/// assertion. Fix by calling [`Simulator::refresh`] (or letting
+/// [`Simulator::next_event`] run) before reading rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleRatesError;
+
+impl core::fmt::Display for StaleRatesError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(
+            "rates are stale: call refresh() (or next_event()) after \
+             mutating flows before reading rates",
+        )
+    }
+}
+
+impl std::error::Error for StaleRatesError {}
 
 /// An observable simulation event, returned by [`Simulator::next_event`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,12 +235,13 @@ pub struct Simulator {
     /// Active-flow count per (node, kind, tag) cell (maintained in both
     /// modes; integer, exact).
     class_count_tbl: Vec<u32>,
-    /// Lazy-invalidation min-heap of (predicted completion, flow id,
-    /// epoch).
+    /// Lazy-invalidation min-heap of per-group completion predictions:
+    /// (predicted completion, head flow id, group epoch).
     completions: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
-    /// The time `Flow::remaining` values are accurate as of.
+    /// The time `Flow::remaining` values are accurate as of (reference
+    /// mode only; the indexed engine anchors progress per group).
     last_materialize: SimTime,
-    solver: MaxMinSolver,
+    solver: IncrementalSolver,
     /// Flow groups (slab; `count == 0` slots are free and listed in
     /// `free_groups`). Maintained in both engine modes, solved against in
     /// indexed mode.
@@ -192,18 +249,25 @@ pub struct Simulator {
     free_groups: Vec<u32>,
     /// Cell sequence → group index (unused key slots are `u32::MAX`).
     group_ids: HashMap<[u32; MAX_CONSTRAINTS], u32>,
-    grp_offsets: Vec<u32>,
-    grp_targets: Vec<u32>,
-    grp_weights: Vec<u32>,
-    /// Group index → dense solve row (stale for free groups).
-    grp_row: Vec<u32>,
-    grp_rates: Vec<f64>,
-    /// Every live completion prediction from the last apply pass (the
-    /// heap-rebuild source).
+    /// Per-group min-heaps of members by (completion-target bits, flow
+    /// id); parallel to `groups`, cleared when a slot frees. Dead members
+    /// linger lazily and are discarded when they surface at the head.
+    grp_members: Vec<BinaryHeap<Reverse<(u64, u64)>>>,
+    /// Groups whose membership or rate changed since the last solve —
+    /// exactly the set whose heap entry needs re-stamping.
+    touched_groups: Vec<u32>,
+    /// Rate-change output of the last incremental solve (scratch).
+    scr_changed: Vec<(u32, f64)>,
+    /// Entry buffer recycled across wholesale heap rebuilds.
     scr_entries: Vec<Reverse<(SimTime, u64, u64)>>,
-    /// Predictions re-stamped by the last apply pass (the incremental-push
-    /// set).
-    scr_changed: Vec<Reverse<(SimTime, u64, u64)>>,
+    /// Member-id buffer for per-flow trace emission on group rate changes.
+    scr_trace_ids: Vec<u64>,
+    /// Flattened (node, kind, tag) cell indices with at least one active
+    /// flow — what `advance_to` records to the monitor, so idle cells cost
+    /// nothing at 1000-node scale.
+    active_cells: Vec<u32>,
+    /// Position of each cell in `active_cells` (`u32::MAX` when inactive).
+    active_pos: Vec<u32>,
 }
 
 // Send-bound audit: whole simulations are executed on worker threads by the
@@ -230,6 +294,8 @@ impl Simulator {
             .collect();
         let monitor = Monitor::new(config.nodes.len(), config.monitor_window_secs);
         let cells = config.nodes.len() * KINDS * TAGS;
+        let mut solver = IncrementalSolver::new();
+        solver.set_capacities(&caps);
         Simulator {
             now: SimTime::ZERO,
             caps,
@@ -256,17 +322,17 @@ impl Simulator {
             class_count_tbl: vec![0; cells],
             completions: BinaryHeap::new(),
             last_materialize: SimTime::ZERO,
-            solver: MaxMinSolver::new(),
+            solver,
             groups: Vec::new(),
             free_groups: Vec::new(),
             group_ids: HashMap::new(),
-            grp_offsets: Vec::new(),
-            grp_targets: Vec::new(),
-            grp_weights: Vec::new(),
-            grp_row: Vec::new(),
-            grp_rates: Vec::new(),
-            scr_entries: Vec::new(),
+            grp_members: Vec::new(),
+            touched_groups: Vec::new(),
             scr_changed: Vec::new(),
+            scr_entries: Vec::new(),
+            scr_trace_ids: Vec::new(),
+            active_cells: Vec::new(),
+            active_pos: vec![u32::MAX; cells],
         }
     }
 
@@ -446,9 +512,29 @@ impl Simulator {
         let mut flow = Flow::new(spec);
         let tag = flow.spec.tag.index();
         for &c in flow.cells() {
-            self.class_count_tbl[c as usize * TAGS + tag] += 1;
+            self.activate_cell(c as usize * TAGS + tag);
         }
-        flow.group = self.join_group(&flow);
+        let g = self.join_group(&flow, tag);
+        flow.group = g;
+        if !self.reference_mode {
+            let grp = &self.groups[g as usize];
+            // The member joins mid-stream: its completion target is the
+            // group's progress counter now plus its bytes. Time cannot
+            // advance while rates are stale, so extrapolating at the
+            // pre-solve rate is exact.
+            let dt = (self.now - grp.anchor).as_secs();
+            let done_now = if grp.rate > 0.0 && dt > 0.0 {
+                grp.done + grp.rate * dt
+            } else {
+                grp.done
+            };
+            flow.target = done_now + flow.spec.bytes;
+            self.grp_members[g as usize].push(Reverse((flow.target.to_bits(), id.0)));
+            // New members share the group's current rate immediately.
+            for &c in flow.cells() {
+                self.class_rate_tbl[c as usize * TAGS + tag] += grp.rate;
+            }
+        }
         let slot = match self.free_slots.pop() {
             Some(s) => {
                 self.flows[s as usize] = Some(flow);
@@ -489,45 +575,96 @@ impl Simulator {
         key
     }
 
+    /// Marks a group for prediction maintenance at the next solve.
+    fn touch_group(&mut self, g: u32) {
+        let grp = &mut self.groups[g as usize];
+        if !grp.touched {
+            grp.touched = true;
+            self.touched_groups.push(g);
+        }
+    }
+
     /// Adds a flow to the group sharing its resource-cell sequence,
-    /// creating the group if it is the first member.
-    fn join_group(&mut self, flow: &Flow) -> u32 {
+    /// creating the group if it is the first member. Registers the
+    /// membership change with the incremental solver (indexed mode) and
+    /// marks the group touched.
+    fn join_group(&mut self, flow: &Flow, tag: usize) -> u32 {
         use std::collections::hash_map::Entry;
-        match self.group_ids.entry(Self::group_key(flow)) {
+        let (g, created) = match self.group_ids.entry(Self::group_key(flow)) {
             Entry::Occupied(e) => {
                 let g = *e.get();
-                self.groups[g as usize].count += 1;
-                g
+                let grp = &mut self.groups[g as usize];
+                grp.count += 1;
+                grp.tag_counts[tag] += 1;
+                (g, false)
             }
             Entry::Vacant(e) => {
+                let mut tag_counts = [0u32; TAGS];
+                tag_counts[tag] = 1;
                 let grp = FlowGroup {
                     cells: flow.cells,
                     ncells: flow.ncells,
                     count: 1,
+                    tag_counts,
+                    rate: 0.0,
+                    done: 0.0,
+                    anchor: self.now,
+                    epoch: 0,
+                    has_entry: false,
+                    head: 0,
+                    pred: SimTime::ZERO,
+                    touched: false,
                 };
                 let g = match self.free_groups.pop() {
                     Some(g) => {
+                        // Preserve the touched flag across slot reuse: the
+                        // old occupant may still sit in the touched list.
+                        let was_touched = self.groups[g as usize].touched;
                         self.groups[g as usize] = grp;
+                        self.groups[g as usize].touched = was_touched;
                         g
                     }
                     None => {
                         self.groups.push(grp);
+                        self.grp_members.push(BinaryHeap::new());
                         (self.groups.len() - 1) as u32
                     }
                 };
-                *e.insert(g)
+                (*e.insert(g), true)
+            }
+        };
+        if !self.reference_mode {
+            let grp = &self.groups[g as usize];
+            if created {
+                self.solver
+                    .insert_group(g, &grp.cells[..grp.ncells as usize], 1);
+            } else {
+                self.solver.set_weight(g, grp.count);
             }
         }
+        self.touch_group(g);
+        g
     }
 
     /// Removes a departed flow from its group, freeing empty groups.
+    /// Registers the weight change with the incremental solver (indexed
+    /// mode) and marks the group touched.
     fn leave_group(&mut self, flow: &Flow) {
         let g = flow.group as usize;
+        let tag = flow.spec.tag.index();
         debug_assert!(self.groups[g].count > 0);
+        debug_assert!(self.groups[g].tag_counts[tag] > 0);
         self.groups[g].count -= 1;
-        if self.groups[g].count == 0 {
+        self.groups[g].tag_counts[tag] -= 1;
+        let count = self.groups[g].count;
+        if !self.reference_mode {
+            self.solver.set_weight(flow.group, count);
+        }
+        self.touch_group(flow.group);
+        if count == 0 {
             self.group_ids.remove(&Self::group_key(flow));
             self.free_groups.push(flow.group);
+            self.grp_members[g].clear();
         }
     }
 
@@ -542,27 +679,70 @@ impl Simulator {
         Some(flow)
     }
 
+    /// Marks a (node, kind, tag) cell as having one more active flow,
+    /// adding it to the active list on the 0→1 transition.
+    fn activate_cell(&mut self, ct: usize) {
+        if self.class_count_tbl[ct] == 0 {
+            self.active_pos[ct] = self.active_cells.len() as u32;
+            self.active_cells.push(ct as u32);
+        }
+        self.class_count_tbl[ct] += 1;
+    }
+
+    /// Removes one active flow from a cell, swap-removing it from the
+    /// active list (and zeroing any accumulated rate drift) on the 1→0
+    /// transition.
+    fn deactivate_cell(&mut self, ct: usize) {
+        debug_assert!(self.class_count_tbl[ct] > 0);
+        self.class_count_tbl[ct] -= 1;
+        if self.class_count_tbl[ct] == 0 {
+            self.class_rate_tbl[ct] = 0.0;
+            let p = self.active_pos[ct] as usize;
+            let last = self.active_cells.pop().expect("active list nonempty");
+            if last as usize != ct {
+                self.active_cells[p] = last;
+                self.active_pos[last as usize] = p as u32;
+            }
+            self.active_pos[ct] = u32::MAX;
+        }
+    }
+
     /// Subtracts a departing flow from the class tables and its group.
     fn retire_flow_accounting(&mut self, flow: &Flow) {
         let tag = flow.spec.tag.index();
+        let rate = if self.reference_mode {
+            0.0
+        } else {
+            self.groups[flow.group as usize].rate
+        };
         for &c in flow.cells() {
             let cell = c as usize * TAGS + tag;
-            debug_assert!(self.class_count_tbl[cell] > 0);
-            self.class_count_tbl[cell] -= 1;
             if !self.reference_mode {
-                self.class_rate_tbl[cell] -= flow.rate;
+                self.class_rate_tbl[cell] -= rate;
             }
+            self.deactivate_cell(cell);
         }
         self.leave_group(flow);
     }
 
     /// `remaining` of a live flow as of `now` (lazily materialized).
     fn live_remaining(&self, flow: &Flow) -> f64 {
-        let dt = (self.now - self.last_materialize).as_secs();
-        if flow.rate > 0.0 && dt > 0.0 {
-            (flow.remaining - flow.rate * dt).max(0.0)
+        if self.reference_mode {
+            let dt = (self.now - self.last_materialize).as_secs();
+            if flow.rate > 0.0 && dt > 0.0 {
+                (flow.remaining - flow.rate * dt).max(0.0)
+            } else {
+                flow.remaining
+            }
         } else {
-            flow.remaining
+            let grp = &self.groups[flow.group as usize];
+            let dt = (self.now - grp.anchor).as_secs();
+            let done_now = if grp.rate > 0.0 && dt > 0.0 {
+                grp.done + grp.rate * dt
+            } else {
+                grp.done
+            };
+            (flow.target - done_now).max(0.0)
         }
     }
 
@@ -666,7 +846,9 @@ impl Simulator {
         let scaled = self.base_caps[node].scaled(net_factor, disk_factor);
         self.node_caps[node] = scaled;
         for kind in ResourceKind::ALL {
-            self.caps[node * KINDS + kind.index()] = scaled.capacity(kind);
+            let res = node * KINDS + kind.index();
+            self.caps[res] = scaled.capacity(kind);
+            self.solver.set_capacity(res, self.caps[res]);
         }
         self.rates_stale = true;
     }
@@ -679,13 +861,26 @@ impl Simulator {
         self.refresh_rates();
     }
 
+    /// Checks that rates are fresh, returning a typed error instead of
+    /// panicking — the fallible twin of the internal freshness assertion
+    /// behind [`Simulator::flow_rate`] and friends. Drivers probing
+    /// between mutations can branch on this rather than catch an unwind.
+    pub fn check_fresh(&self) -> Result<(), StaleRatesError> {
+        if self.rates_stale {
+            Err(StaleRatesError)
+        } else {
+            Ok(())
+        }
+    }
+
     #[track_caller]
     fn assert_fresh(&self) {
-        assert!(
-            !self.rates_stale,
-            "rates are stale: call refresh() (or next_event()) after \
-             mutating flows before reading rates"
-        );
+        if self.check_fresh().is_err() {
+            panic!(
+                "rates are stale: call refresh() (or next_event()) after \
+                 mutating flows before reading rates"
+            );
+        }
     }
 
     /// Looks up a live flow by id.
@@ -704,7 +899,13 @@ impl Simulator {
     /// Panics if rates are stale — call [`Simulator::refresh`] first.
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
         self.assert_fresh();
-        self.flow(id.0).map(|f| f.rate)
+        self.flow(id.0).map(|f| {
+            if self.reference_mode {
+                f.rate
+            } else {
+                self.groups[f.group as usize].rate
+            }
+        })
     }
 
     /// Bytes a flow still has to transfer.
@@ -856,11 +1057,15 @@ impl Simulator {
         } else {
             // Pop lazily-invalidated heap entries until a live one
             // surfaces (leave it in place: a timer may still pre-empt it).
+            // An entry is live iff its head flow still exists and its
+            // group's epoch matches (the group re-stamped no newer entry).
             loop {
                 match self.completions.peek() {
                     None => break None,
                     Some(&Reverse((t, id, epoch))) => {
-                        let live = self.flow(id).is_some_and(|f| f.epoch == epoch);
+                        let live = self
+                            .flow(id)
+                            .is_some_and(|f| self.groups[f.group as usize].epoch == epoch);
                         if live {
                             break Some((t, id));
                         }
@@ -897,11 +1102,21 @@ impl Simulator {
 
         if is_flow {
             let id = flow_done.expect("flow event chosen").1;
-            if !self.reference_mode {
-                // The live entry we peeked above is still the heap head.
-                self.completions.pop();
-            }
             let flow = self.remove_flow(id).expect("flow exists");
+            if !self.reference_mode {
+                // The live entry we peeked above is still the heap head;
+                // its group's next member gets a fresh entry at the next
+                // solve (the retirement below marks the group touched).
+                self.completions.pop();
+                let g = flow.group as usize;
+                self.groups[g].has_entry = false;
+                let popped = self.grp_members[g].pop();
+                debug_assert_eq!(
+                    popped.map(|Reverse((_, fid))| fid),
+                    Some(id),
+                    "delivered flow heads its group's member heap"
+                );
+            }
             self.retire_flow_accounting(&flow);
             self.trace_flow(
                 id,
@@ -955,17 +1170,20 @@ impl Simulator {
                 }
                 self.last_materialize = t;
             } else {
-                // Per-flow state is untouched (remaining is lazy); the
-                // monitor records straight from the aggregate class
-                // tables — O(nodes) per event instead of O(flows).
-                for node in 0..self.node_caps.len() {
-                    for kind in ResourceKind::ALL {
-                        for tag in Traffic::ALL {
-                            let rate = self.class_rate_tbl[self.cell(node, kind, tag)];
-                            if rate > 0.0 {
-                                self.monitor.record(start, end, rate, node, kind, tag);
-                            }
-                        }
+                // Per-flow and per-group state is untouched (progress is
+                // anchored); the monitor records straight from the
+                // aggregate class tables, visiting only cells with active
+                // flows — O(busy cells) per event, independent of both
+                // flow and node count. Monitor cells are accounted
+                // independently, so the active-list order is immaterial.
+                for &ct in &self.active_cells {
+                    let rate = self.class_rate_tbl[ct as usize];
+                    if rate > 0.0 {
+                        let ct = ct as usize;
+                        let node = ct / (KINDS * TAGS);
+                        let kind = ResourceKind::ALL[(ct / TAGS) % KINDS];
+                        let tag = Traffic::ALL[ct % TAGS];
+                        self.monitor.record(start, end, rate, node, kind, tag);
                     }
                 }
             }
@@ -993,140 +1211,229 @@ impl Simulator {
             return;
         }
 
-        // Solve over flow groups, not flows: the group-level CSR is
-        // O(distinct shapes) long (≤ nodes² for network flows) however
-        // many flows are live, and group membership is maintained
-        // incrementally at admission/retirement.
-        self.grp_offsets.clear();
-        self.grp_targets.clear();
-        self.grp_weights.clear();
-        self.grp_offsets.push(0);
-        self.grp_row.resize(self.groups.len(), u32::MAX);
-        for (g, grp) in self.groups.iter().enumerate() {
+        // Incremental solve: membership and capacity mutations have
+        // already seeded the solver's dirty-resource set; the solve
+        // re-runs progressive filling over the dirty contention closure
+        // only and reports the groups whose rate bit-changed.
+        let mut changed = std::mem::take(&mut self.scr_changed);
+        changed.clear();
+        let outcome = self.solver.solve(&mut changed);
+        self.profile.solves += 1;
+        if outcome.full {
+            self.profile.full_solves += 1;
+        } else {
+            self.profile.incremental_solves += 1;
+        }
+        self.profile.dirty_groups += outcome.dirty_groups as u64;
+
+        // Apply rate changes per group: materialize the progress counter
+        // at the old rate up to now, shift the class-rate cells by
+        // delta × members-per-class, and mark the group for prediction
+        // re-stamping.
+        let now = self.now;
+        for &(g, new_rate) in &changed {
+            let grp = &mut self.groups[g as usize];
+            debug_assert!(grp.count > 0, "solver only reports live groups");
+            let dt = (now - grp.anchor).as_secs();
+            if grp.rate > 0.0 && dt > 0.0 {
+                grp.done += grp.rate * dt;
+            }
+            grp.anchor = now;
+            let delta = new_rate - grp.rate;
+            grp.rate = new_rate;
+            for ci in 0..grp.ncells as usize {
+                let c = grp.cells[ci] as usize;
+                for (tag, &n) in grp.tag_counts.iter().enumerate() {
+                    if n > 0 {
+                        self.class_rate_tbl[c * TAGS + tag] += delta * n as f64;
+                    }
+                }
+            }
+            if !grp.touched {
+                grp.touched = true;
+                self.touched_groups.push(g);
+            }
+        }
+
+        // Per-flow RateChanged trace events (opt-in; tracing implies small
+        // runs). Members are emitted per changed group, ascending by flow
+        // id — deterministic, and pure observation.
+        if self.trace.is_some() {
+            let mut ids = std::mem::take(&mut self.scr_trace_ids);
+            for &(g, new_rate) in &changed {
+                ids.clear();
+                ids.extend(
+                    self.grp_members[g as usize]
+                        .iter()
+                        .map(|&Reverse((_, id))| id)
+                        .filter(|id| self.id_to_slot.contains_key(id)),
+                );
+                ids.sort_unstable();
+                for &id in &ids {
+                    let (tag, src, dst) = {
+                        let f = self.flow(id).expect("live member");
+                        let (src, dst) = f.spec.endpoints();
+                        (f.spec.tag, src, dst)
+                    };
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.push(TraceEvent {
+                            at_secs: now.as_secs(),
+                            flow: id,
+                            tag,
+                            src,
+                            dst,
+                            kind: TraceEventKind::RateChanged { rate: new_rate },
+                        });
+                    }
+                }
+            }
+            self.scr_trace_ids = ids;
+        }
+        self.scr_changed = changed;
+
+        // Prediction maintenance for every group whose membership or rate
+        // changed: discard dead member-heap heads, recompute the earliest
+        // member's completion, and re-stamp the group's global heap entry
+        // (bumping the epoch invalidates the previous one in place).
+        let mut pushes = 0usize;
+        self.scr_entries.clear();
+        for ti in 0..self.touched_groups.len() {
+            let g = self.touched_groups[ti] as usize;
+            let grp = &mut self.groups[g];
+            grp.touched = false;
             if grp.count == 0 {
+                grp.has_entry = false;
                 continue;
             }
-            self.grp_row[g] = self.grp_weights.len() as u32;
-            self.grp_targets
-                .extend_from_slice(&grp.cells[..grp.ncells as usize]);
-            self.grp_offsets.push(self.grp_targets.len() as u32);
-            self.grp_weights.push(grp.count);
-        }
-        self.grp_rates.resize(self.grp_weights.len(), 0.0);
-        self.solver.solve_weighted_into(
-            &self.caps,
-            &self.grp_offsets,
-            &self.grp_targets,
-            &self.grp_weights,
-            &mut self.grp_rates,
-        );
-
-        // One slab pass: materialize each flow's remaining up to now at
-        // the (constant) old rate that applied since the last solve, then
-        // apply its group's new rate — updating class-rate cells and
-        // re-stamping completion predictions only for flows whose rate
-        // actually changed (the changed-set), while also collecting every
-        // live prediction in case the heap is rebuilt below.
-        let dt = (self.now - self.last_materialize).as_secs();
-        self.last_materialize = self.now;
-        let now = self.now;
-        let nflows = self.live_flows;
-        let Self {
-            flows,
-            slot_ids,
-            class_rate_tbl,
-            grp_row,
-            grp_rates,
-            scr_entries,
-            scr_changed,
-            completions,
-            trace,
-            profile,
-            ..
-        } = self;
-        scr_entries.clear();
-        scr_changed.clear();
-        for (slot, f) in flows.iter_mut().enumerate() {
-            let Some(f) = f else { continue };
-            if dt > 0.0 && f.rate > 0.0 {
-                f.remaining = (f.remaining - f.rate * dt).max(0.0);
-            }
-            let new_rate = grp_rates[grp_row[f.group as usize] as usize];
-            let changed = new_rate.to_bits() != f.rate.to_bits();
-            if changed {
-                let tag = f.spec.tag.index();
-                for &c in &f.cells[..f.ncells as usize] {
-                    class_rate_tbl[c as usize * TAGS + tag] += new_rate - f.rate;
+            let members = &mut self.grp_members[g];
+            while let Some(&Reverse((_, id))) = members.peek() {
+                if self.id_to_slot.contains_key(&id) {
+                    break;
                 }
-                f.rate = new_rate;
-                if let Some(tr) = trace.as_mut() {
-                    let (src, dst) = f.spec.endpoints();
-                    tr.push(TraceEvent {
-                        at_secs: now.as_secs(),
-                        flow: slot_ids[slot],
-                        tag: f.spec.tag,
-                        src,
-                        dst,
-                        kind: TraceEventKind::RateChanged { rate: new_rate },
-                    });
-                }
+                members.pop();
             }
-            if changed || !f.has_entry {
-                f.epoch += 1;
-                let pred = if f.remaining <= EPS_BYTES {
-                    Some(now)
-                } else if f.rate > 0.0 {
-                    Some(now + SimTime::from_secs(f.remaining / f.rate))
-                } else {
-                    None // starved; no completion at current rates
-                };
-                match pred {
-                    Some(t) => {
-                        f.pred = t;
-                        f.has_entry = true;
-                        scr_changed.push(Reverse((t, slot_ids[slot], f.epoch)));
-                    }
-                    None => f.has_entry = false,
+            let &Reverse((target_bits, head)) =
+                members.peek().expect("live group has a live member");
+            let target = f64::from_bits(target_bits);
+            let dt = (now - grp.anchor).as_secs();
+            let done_now = if grp.rate > 0.0 && dt > 0.0 {
+                grp.done + grp.rate * dt
+            } else {
+                grp.done
+            };
+            let remaining = (target - done_now).max(0.0);
+            let pred = if remaining <= EPS_BYTES {
+                Some(now)
+            } else if grp.rate > 0.0 {
+                Some(now + SimTime::from_secs(remaining / grp.rate))
+            } else {
+                None // starved; no completion at current rates
+            };
+            grp.epoch += 1;
+            match pred {
+                Some(t) => {
+                    grp.pred = t;
+                    grp.head = head;
+                    grp.has_entry = true;
+                    self.scr_entries.push(Reverse((t, head, grp.epoch)));
+                    pushes += 1;
                 }
-            }
-            if f.has_entry {
-                scr_entries.push(Reverse((f.pred, slot_ids[slot], f.epoch)));
+                None => grp.has_entry = false,
             }
         }
+        self.touched_groups.clear();
 
-        // Heap maintenance. When a solve moves most predictions (the
-        // common case under symmetric load), F pushes into a heap full of
-        // newly-dead entries cost O(F log F) and leave the garbage behind;
-        // a wholesale O(F) heapify from the live predictions collected
-        // above is cheaper and leaves the heap exactly `live_flows` long.
-        // The same rebuild bounds lazy-invalidation garbage in the
-        // few-changes regime.
-        if scr_changed.len() * 2 >= nflows.max(1)
-            || completions.len() + scr_changed.len() > 4 * nflows + 64
+        // Heap maintenance, at group granularity. When a solve re-stamps
+        // most groups, G pushes into a heap full of newly-dead entries
+        // leave the garbage behind; a wholesale O(G) heapify from the live
+        // per-group entries is cheaper and leaves the heap exactly
+        // live-groups long. The same rebuild bounds lazy-invalidation
+        // garbage in the few-changes regime.
+        let live_groups = self.groups.len() - self.free_groups.len();
+        if pushes * 2 >= live_groups.max(1)
+            || self.completions.len() + pushes > 4 * live_groups + 64
         {
-            // Heapify consumes the entry buffer; recycle the old heap's
-            // allocation as the next solve's scratch.
-            let old = std::mem::replace(completions, BinaryHeap::from(std::mem::take(scr_entries)));
-            *scr_entries = old.into_vec();
-            profile.heap_rebuilds += 1;
+            self.scr_entries.clear();
+            for grp in &self.groups {
+                if grp.count > 0 && grp.has_entry {
+                    self.scr_entries
+                        .push(Reverse((grp.pred, grp.head, grp.epoch)));
+                }
+            }
+            let old = std::mem::replace(
+                &mut self.completions,
+                BinaryHeap::from(std::mem::take(&mut self.scr_entries)),
+            );
+            self.scr_entries = old.into_vec();
+            self.profile.heap_rebuilds += 1;
         } else {
-            for e in scr_changed.drain(..) {
-                completions.push(e);
+            for i in 0..pushes {
+                self.completions.push(self.scr_entries[i]);
             }
         }
 
-        self.profile.solves += 1;
         if self.profile.solves.is_multiple_of(TABLE_REBUILD_PERIOD) {
-            // Bound incremental float drift with an exact rebuild.
+            // Bound incremental float drift with an exact rebuild —
+            // O(groups), not O(flows).
             self.class_rate_tbl.fill(0.0);
-            for f in self.flows.iter().flatten() {
-                let tag = f.spec.tag.index();
-                for &c in f.cells() {
-                    self.class_rate_tbl[c as usize * TAGS + tag] += f.rate;
+            for grp in &self.groups {
+                if grp.count == 0 {
+                    continue;
+                }
+                for ci in 0..grp.ncells as usize {
+                    let c = grp.cells[ci] as usize;
+                    for (tag, &n) in grp.tag_counts.iter().enumerate() {
+                        if n > 0 {
+                            self.class_rate_tbl[c * TAGS + tag] += grp.rate * n as f64;
+                        }
+                    }
                 }
             }
         }
         self.rates_stale = false;
+    }
+
+    /// Differential self-check: verifies that the incremental solver's
+    /// per-group rates are bit-identical to a from-scratch full
+    /// [`MaxMinSolver::solve_weighted_into`] over the live group registry
+    /// (ascending slot order, as the pre-incremental engine solved).
+    /// Test-suite hook; no-op in reference mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group's rate diverges from the full solve.
+    #[doc(hidden)]
+    pub fn verify_against_full_solve(&mut self) {
+        self.refresh();
+        if self.reference_mode {
+            return;
+        }
+        let mut offsets = vec![0u32];
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        let mut slots = Vec::new();
+        for (g, grp) in self.groups.iter().enumerate() {
+            if grp.count == 0 {
+                continue;
+            }
+            targets.extend_from_slice(&grp.cells[..grp.ncells as usize]);
+            offsets.push(targets.len() as u32);
+            weights.push(grp.count);
+            slots.push(g);
+        }
+        let mut rates = vec![0.0; weights.len()];
+        let mut full = MaxMinSolver::new();
+        full.solve_weighted_into(&self.caps, &offsets, &targets, &weights, &mut rates);
+        for (row, &g) in slots.iter().enumerate() {
+            assert_eq!(
+                self.groups[g].rate.to_bits(),
+                rates[row].to_bits(),
+                "incremental rate diverged from full solve for group {g} \
+                 (incremental {}, full {})",
+                self.groups[g].rate,
+                rates[row],
+            );
+        }
     }
 }
 
@@ -1722,5 +2029,52 @@ mod tests {
             assert_eq!(ea, eb);
             assert!((ta - tb).abs() < 1e-9, "{ta} vs {tb}");
         }
+    }
+
+    #[test]
+    fn check_fresh_reports_staleness_without_panicking() {
+        let mut sim = two_node_sim();
+        assert!(
+            sim.check_fresh().is_err(),
+            "a new simulator is stale until its seed solve"
+        );
+        sim.refresh();
+        assert!(sim.check_fresh().is_ok());
+        let f = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let err = sim.check_fresh().expect_err("admission staled the rates");
+        assert_eq!(err, StaleRatesError);
+        assert!(err.to_string().contains("rates are stale"));
+        sim.refresh();
+        assert!(sim.check_fresh().is_ok());
+        sim.cancel_flow(f);
+        assert!(sim.check_fresh().is_err(), "cancellation staled the rates");
+        sim.refresh();
+        assert!(sim.check_fresh().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "rates are stale")]
+    fn stale_rate_reads_still_panic() {
+        let mut sim = two_node_sim();
+        let f = sim.start_flow(FlowSpec::network(0, 1, 100, Traffic::Repair));
+        let _ = sim.flow_rate(f);
+    }
+
+    #[test]
+    fn profile_splits_full_and_incremental_solves() {
+        let mut sim = Simulator::new(SimConfig::uniform(6, NodeCaps::symmetric(100.0, 100.0)));
+        // Two disjoint contention components: (0 -> 1) and (2 -> 3, 2 -> 4).
+        sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Foreground));
+        sim.refresh(); // first solve is always full
+        sim.start_flow(FlowSpec::network(2, 3, 1000, Traffic::Repair));
+        sim.refresh(); // touches only the new component: incremental
+        sim.start_flow(FlowSpec::network(2, 4, 1000, Traffic::Repair));
+        sim.refresh();
+        let p = sim.profile();
+        assert_eq!(p.solves, 3);
+        assert_eq!(p.full_solves + p.incremental_solves, p.solves);
+        assert_eq!(p.full_solves, 1, "only the seed solve covers every group");
+        assert!(p.dirty_groups >= 3, "every solve re-rated >= 1 group");
+        sim.verify_against_full_solve();
     }
 }

@@ -158,15 +158,19 @@ impl FlowSpec {
 
 /// A live flow inside the engine.
 ///
-/// In the indexed engine, `remaining` is accurate as of the simulator's
-/// last rate solve (`last_materialize`), not necessarily as of `now`; the
-/// engine materializes it lazily. `epoch`/`has_entry`/`pred` back the
-/// lazy-invalidation completion heap: an entry `(pred, id, epoch)` is live
-/// iff the flow still exists and its epoch matches.
+/// The reference engine tracks per-flow `remaining`/`rate` directly. The
+/// indexed engine keeps per-flow state immutable after admission: progress
+/// and rate live on the flow's *group*, and `target` pins the flow's
+/// completion point on the group's cumulative progress counter (the flow
+/// finishes when the counter reaches `target`).
 #[derive(Debug, Clone)]
 pub(crate) struct Flow {
     pub(crate) spec: FlowSpec,
+    /// Bytes left to transfer (reference engine only; the indexed engine
+    /// derives this from `target` minus group progress).
     pub(crate) remaining: f64,
+    /// Current max–min rate (reference engine only; the indexed engine
+    /// reads the group's rate).
     pub(crate) rate: f64,
     /// The flow's resource cells (`node * 4 + kind`), packed flat at
     /// admission so the per-solve hot loops never chase the `spec`
@@ -176,14 +180,10 @@ pub(crate) struct Flow {
     /// Index of the flow group (distinct resource set) this flow belongs
     /// to; assigned by the engine at admission.
     pub(crate) group: u32,
-    /// Bumped whenever the rate (and thus the completion prediction)
-    /// changes; stale heap entries are detected by epoch mismatch.
-    pub(crate) epoch: u64,
-    /// Whether a live heap entry exists for this flow (starved flows have
-    /// none).
-    pub(crate) has_entry: bool,
-    /// The predicted completion time of the live heap entry.
-    pub(crate) pred: crate::time::SimTime,
+    /// Value of the group's cumulative progress counter at which this
+    /// flow completes (group `done` at admission + flow bytes; indexed
+    /// engine only, immutable).
+    pub(crate) target: f64,
 }
 
 impl Flow {
@@ -201,9 +201,7 @@ impl Flow {
             cells,
             ncells,
             group: u32::MAX,
-            epoch: 0,
-            has_entry: false,
-            pred: crate::time::SimTime::ZERO,
+            target: 0.0,
         }
     }
 

@@ -63,10 +63,10 @@ mod node;
 mod time;
 pub mod trace;
 
-pub use engine::{Event, SimConfig, Simulator};
+pub use engine::{Event, SimConfig, Simulator, StaleRatesError};
 pub use faults::{FaultEvent, FaultInjector, FaultPlan, FaultSpec};
 pub use flow::{FlowId, FlowOutcome, FlowSpec, TimerId};
-pub use maxmin::{allocate_rates, MaxMinSolver};
+pub use maxmin::{allocate_rates, IncrementalSolver, MaxMinSolver, SolveOutcome};
 pub use monitor::{Monitor, UsageSample};
 pub use node::{NodeCaps, NodeId, ResourceKind, Traffic};
 pub use time::SimTime;

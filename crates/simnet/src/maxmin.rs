@@ -1,21 +1,30 @@
 //! Max–min fair rate allocation by progressive filling.
 //!
-//! Two implementations live here:
+//! Three implementations live here:
 //!
-//! - [`MaxMinSolver`] — the production solver. It builds a
+//! - [`MaxMinSolver`] — the batch solver. It builds a
 //!   resource→flow inverted index once per solve and keeps per-resource
 //!   live-load counters, so each freeze round touches only the flows that
 //!   actually cross the bottleneck: O(total constraint degree) across all
 //!   rounds instead of O(flows × resources) per round. Scratch buffers are
 //!   reused across solves, so a solver embedded in the simulator allocates
 //!   nothing in steady state.
+//! - [`IncrementalSolver`] — the production solver behind the simulator.
+//!   It keeps the group registry, the inverted resource→group index, and
+//!   the last-solved rates *across* solves; mutations (group added/removed,
+//!   weight or capacity changed) seed a dirty-resource set, and each solve
+//!   re-runs progressive filling only over the contention components
+//!   reachable from the seeds. Untouched components provably keep their
+//!   previous rates (see [`IncrementalSolver::solve`]), so the result is
+//!   bit-identical to a full [`MaxMinSolver::solve_weighted_into`] over the
+//!   whole group set — the differential proptests assert exactly that.
 //! - [`reference`] — the original textbook implementation, kept verbatim as
 //!   the oracle for the differential proptest suite and the
 //!   simulator-throughput benchmark baseline.
 //!
-//! Both perform the same floating-point operations in the same order, so
-//! their results are bit-identical (the differential tests assert this to
-//! 1e-9 to stay robust against future refactors).
+//! The first two perform the same floating-point operations in the same
+//! order, so their results are bit-identical (the differential tests assert
+//! this to 1e-9 to stay robust against future refactors).
 
 /// Computes the max–min fair allocation for a set of flows over shared
 /// capacity-limited resources.
@@ -263,6 +272,320 @@ impl MaxMinSolver {
     }
 }
 
+/// Outcome of one [`IncrementalSolver::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// Whether every live group was re-solved (a "full" solve). True on
+    /// the first solve after construction or wholesale capacity resets,
+    /// and whenever the dirty closure happens to cover everything.
+    pub full: bool,
+    /// Number of groups re-solved (the dirty closure size).
+    pub dirty_groups: usize,
+    /// Number of resources in the re-solved sub-problem.
+    pub dirty_resources: usize,
+}
+
+/// Maximum constraint degree of a group (mirrors the engine's flow shape).
+const MAX_DEGREE: usize = 4;
+
+/// Incremental max–min solver over a persistent registry of weighted flow
+/// groups.
+///
+/// Callers register groups ([`IncrementalSolver::insert_group`]) against
+/// slots of their choosing, adjust weights as members come and go
+/// ([`IncrementalSolver::set_weight`]; weight 0 removes the group), and
+/// update capacities ([`IncrementalSolver::set_capacity`]). Each mutation
+/// seeds a *dirty-resource* set. [`IncrementalSolver::solve`] then:
+///
+/// 1. expands the seeds to their *contention closure* — a breadth-first
+///    walk alternating resource → resident groups → their other resources
+///    over the persistent inverted index, collecting every group whose
+///    bottleneck could have moved;
+/// 2. rebuilds a compacted CSR over just the closure (groups ascending by
+///    slot, resources renumbered ascending — the same relative order a
+///    full solve would visit them in) and runs
+///    [`MaxMinSolver::solve_weighted_into`] on it;
+/// 3. reports the groups whose rate bit-changed and keeps everything else
+///    untouched.
+///
+/// # Why the closure is exact
+///
+/// Max–min fair allocation decomposes over connected components of the
+/// bipartite group↔resource contention graph: progressive filling never
+/// lets one component's freeze affect another's remaining capacity or
+/// load. Within a component, bottleneck shares are non-decreasing across
+/// rounds, so restricting the round sequence to one component reproduces
+/// exactly the sub-sequence of global rounds that touched it — the same
+/// divisions in the same order, hence bit-identical rates. A mutation can
+/// only perturb components containing a seeded resource, and the closure
+/// is precisely the union of those components (restricted to the current
+/// group set), so re-solving the closure and keeping prior rates elsewhere
+/// equals a full solve. The differential proptests assert this bitwise.
+#[derive(Debug, Default)]
+pub struct IncrementalSolver {
+    /// Capacity per resource.
+    caps: Vec<f64>,
+    // Per-group registry, indexed by caller-chosen slot.
+    g_cells: Vec<[u32; MAX_DEGREE]>,
+    g_ncells: Vec<u8>,
+    g_weight: Vec<u32>,
+    g_rate: Vec<f64>,
+    /// Position of each (group, cell) in its resource's resident list,
+    /// for O(1) swap-removal.
+    g_pos: Vec<[u32; MAX_DEGREE]>,
+    live_groups: usize,
+    /// Inverted index: groups resident on each resource (arbitrary order —
+    /// used only for closure walks, never for freeze order).
+    res_groups: Vec<Vec<u32>>,
+    /// Accumulated dirty-resource seeds since the last solve.
+    seeds: Vec<u32>,
+    seeded: Vec<bool>,
+    // Closure scratch, reused across solves.
+    res_in: Vec<bool>,
+    grp_in: Vec<bool>,
+    stack: Vec<u32>,
+    dirty_groups: Vec<u32>,
+    dirty_res: Vec<u32>,
+    /// Resource → compacted sub-problem index (stale outside a solve).
+    res_sub: Vec<u32>,
+    sub_caps: Vec<f64>,
+    sub_offsets: Vec<u32>,
+    sub_targets: Vec<u32>,
+    sub_weights: Vec<u32>,
+    sub_rates: Vec<f64>,
+    inner: MaxMinSolver,
+    solved_once: bool,
+}
+
+impl IncrementalSolver {
+    /// Creates an empty solver with no resources; call
+    /// [`IncrementalSolver::set_capacities`] before registering groups.
+    pub fn new() -> Self {
+        IncrementalSolver::default()
+    }
+
+    /// Sets (or replaces) the full capacity vector, marking every resource
+    /// dirty — the next solve is a full one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking below a resource still referenced by a live
+    /// group (debug assertions catch this via out-of-range cells later).
+    pub fn set_capacities(&mut self, caps: &[f64]) {
+        self.caps.clear();
+        self.caps.extend_from_slice(caps);
+        self.res_groups.resize(caps.len(), Vec::new());
+        self.seeded.resize(caps.len(), false);
+        for r in 0..caps.len() {
+            self.mark_res(r as u32);
+        }
+    }
+
+    /// Updates one resource's capacity, seeding it dirty.
+    pub fn set_capacity(&mut self, res: usize, cap: f64) {
+        self.caps[res] = cap;
+        self.mark_res(res as u32);
+    }
+
+    /// Cumulative progressive-filling rounds across all solves (delegates
+    /// to the inner batch solver).
+    pub fn total_rounds(&self) -> u64 {
+        self.inner.total_rounds()
+    }
+
+    /// Number of currently registered (live) groups.
+    pub fn group_count(&self) -> usize {
+        self.live_groups
+    }
+
+    /// Last solved rate of a group slot (0 until first solved; stale for
+    /// removed groups).
+    pub fn rate(&self, slot: u32) -> f64 {
+        self.g_rate[slot as usize]
+    }
+
+    fn mark_res(&mut self, r: u32) {
+        if !self.seeded[r as usize] {
+            self.seeded[r as usize] = true;
+            self.seeds.push(r);
+        }
+    }
+
+    /// Registers a new group at `slot` with the given resource cells and
+    /// weight, seeding its resources dirty. The slot must be free (never
+    /// used, or removed via weight 0); rates start at 0 until solved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty or longer than 4, if `weight` is 0, or
+    /// (debug assertions) if the slot already holds a live group.
+    pub fn insert_group(&mut self, slot: u32, cells: &[u32], weight: u32) {
+        assert!(
+            !cells.is_empty() && cells.len() <= MAX_DEGREE,
+            "1..=4 cells required"
+        );
+        assert!(weight > 0, "group must have positive weight");
+        let s = slot as usize;
+        if self.g_weight.len() <= s {
+            self.g_cells.resize(s + 1, [0; MAX_DEGREE]);
+            self.g_ncells.resize(s + 1, 0);
+            self.g_weight.resize(s + 1, 0);
+            self.g_rate.resize(s + 1, 0.0);
+            self.g_pos.resize(s + 1, [0; MAX_DEGREE]);
+            self.grp_in.resize(s + 1, false);
+        }
+        debug_assert_eq!(self.g_weight[s], 0, "slot already live");
+        let mut packed = [0u32; MAX_DEGREE];
+        packed[..cells.len()].copy_from_slice(cells);
+        self.g_cells[s] = packed;
+        self.g_ncells[s] = cells.len() as u8;
+        self.g_weight[s] = weight;
+        self.g_rate[s] = 0.0;
+        self.live_groups += 1;
+        for (i, &c) in cells.iter().enumerate() {
+            debug_assert!((c as usize) < self.caps.len(), "cell out of range");
+            self.g_pos[s][i] = self.res_groups[c as usize].len() as u32;
+            self.res_groups[c as usize].push(slot);
+            self.mark_res(c);
+        }
+    }
+
+    /// Changes a live group's weight, seeding its resources dirty. Weight
+    /// 0 removes the group (its slot becomes reusable).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the slot holds no live group.
+    pub fn set_weight(&mut self, slot: u32, weight: u32) {
+        let s = slot as usize;
+        debug_assert!(self.g_weight[s] > 0, "slot not live");
+        for i in 0..self.g_ncells[s] as usize {
+            self.mark_res(self.g_cells[s][i]);
+        }
+        self.g_weight[s] = weight;
+        if weight == 0 {
+            self.live_groups -= 1;
+            // Unlink from each resident list by swap-removal, patching the
+            // moved group's position entry.
+            for i in 0..self.g_ncells[s] as usize {
+                let c = self.g_cells[s][i] as usize;
+                let p = self.g_pos[s][i] as usize;
+                let last = self.res_groups[c].pop().expect("resident list nonempty");
+                if p < self.res_groups[c].len() {
+                    self.res_groups[c][p] = last;
+                    let l = last as usize;
+                    for j in 0..self.g_ncells[l] as usize {
+                        if self.g_cells[l][j] as usize == c {
+                            self.g_pos[l][j] = p as u32;
+                        }
+                    }
+                } else {
+                    debug_assert_eq!(last, slot, "tail removal removes self");
+                }
+            }
+        }
+    }
+
+    /// Re-solves the dirty contention closure, appending `(slot, new_rate)`
+    /// for every group whose rate bit-changed, and clears the seeds.
+    /// Untouched groups keep their previous rates (see the type docs for
+    /// why that is exact).
+    pub fn solve(&mut self, changed: &mut Vec<(u32, f64)>) -> SolveOutcome {
+        // Closure: alternate resource → resident groups → their resources.
+        self.dirty_groups.clear();
+        self.dirty_res.clear();
+        self.stack.clear();
+        self.res_in.resize(self.caps.len(), false);
+        for i in 0..self.seeds.len() {
+            let r = self.seeds[i];
+            if !self.res_in[r as usize] {
+                self.res_in[r as usize] = true;
+                self.dirty_res.push(r);
+                self.stack.push(r);
+            }
+        }
+        while let Some(r) = self.stack.pop() {
+            for gi in 0..self.res_groups[r as usize].len() {
+                let g = self.res_groups[r as usize][gi];
+                if self.grp_in[g as usize] {
+                    continue;
+                }
+                self.grp_in[g as usize] = true;
+                self.dirty_groups.push(g);
+                for ci in 0..self.g_ncells[g as usize] as usize {
+                    let c = self.g_cells[g as usize][ci];
+                    if !self.res_in[c as usize] {
+                        self.res_in[c as usize] = true;
+                        self.dirty_res.push(c);
+                        self.stack.push(c);
+                    }
+                }
+            }
+        }
+
+        // Compact the closure into a sub-problem. Ascending orders
+        // reproduce the full solve's relative freeze and tie-break order.
+        self.dirty_groups.sort_unstable();
+        self.dirty_res.sort_unstable();
+        self.res_sub.resize(self.caps.len(), u32::MAX);
+        self.sub_caps.clear();
+        for (i, &r) in self.dirty_res.iter().enumerate() {
+            self.res_sub[r as usize] = i as u32;
+            self.sub_caps.push(self.caps[r as usize]);
+        }
+        self.sub_offsets.clear();
+        self.sub_targets.clear();
+        self.sub_weights.clear();
+        self.sub_offsets.push(0);
+        for &g in &self.dirty_groups {
+            let s = g as usize;
+            for ci in 0..self.g_ncells[s] as usize {
+                self.sub_targets
+                    .push(self.res_sub[self.g_cells[s][ci] as usize]);
+            }
+            self.sub_offsets.push(self.sub_targets.len() as u32);
+            self.sub_weights.push(self.g_weight[s]);
+        }
+        self.sub_rates.clear();
+        self.sub_rates.resize(self.dirty_groups.len(), 0.0);
+        self.inner.solve_weighted_into(
+            &self.sub_caps,
+            &self.sub_offsets,
+            &self.sub_targets,
+            &self.sub_weights,
+            &mut self.sub_rates,
+        );
+
+        for (i, &g) in self.dirty_groups.iter().enumerate() {
+            let new = self.sub_rates[i];
+            if new.to_bits() != self.g_rate[g as usize].to_bits() {
+                self.g_rate[g as usize] = new;
+                changed.push((g, new));
+            }
+        }
+
+        // Reset the marks touched by this solve.
+        for &g in &self.dirty_groups {
+            self.grp_in[g as usize] = false;
+        }
+        for &r in &self.dirty_res {
+            self.res_in[r as usize] = false;
+        }
+        for &r in &self.seeds {
+            self.seeded[r as usize] = false;
+        }
+        self.seeds.clear();
+
+        let full = self.dirty_groups.len() == self.live_groups || !self.solved_once;
+        self.solved_once = true;
+        SolveOutcome {
+            full,
+            dirty_groups: self.dirty_groups.len(),
+            dirty_resources: self.dirty_res.len(),
+        }
+    }
+}
+
 /// The original O(flows × resources)-per-round progressive-filling solver,
 /// kept as the oracle for differential tests and benchmark baselines.
 pub mod reference {
@@ -479,6 +802,189 @@ mod tests {
         assert_eq!(first, 2);
         solver.solve_into(&[10.0, 2.0], &[0, 1, 3], &[0, 0, 1], &mut rates);
         assert_eq!(solver.total_rounds(), 2 * first);
+    }
+
+    /// Full batch solve over the incremental solver's live registry — the
+    /// oracle the incremental tests compare against bitwise.
+    fn full_oracle(caps: &[f64], groups: &[(u32, Vec<u32>, u32)]) -> Vec<f64> {
+        let mut solver = MaxMinSolver::new();
+        let mut offsets = vec![0u32];
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        for (_, cells, w) in groups {
+            targets.extend_from_slice(cells);
+            offsets.push(targets.len() as u32);
+            weights.push(*w);
+        }
+        let mut rates = vec![0.0; groups.len()];
+        solver.solve_weighted_into(caps, &offsets, &targets, &weights, &mut rates);
+        rates
+    }
+
+    #[test]
+    fn incremental_first_solve_is_full_and_matches_batch() {
+        let caps = [10.0, 3.0, 8.0];
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.insert_group(0, &[0], 3);
+        inc.insert_group(1, &[0, 1], 2);
+        inc.insert_group(2, &[2], 1);
+        let mut changed = Vec::new();
+        let out = inc.solve(&mut changed);
+        assert!(out.full);
+        assert_eq!(out.dirty_groups, 3);
+        let oracle = full_oracle(
+            &caps,
+            &[(0, vec![0], 3), (1, vec![0, 1], 2), (2, vec![2], 1)],
+        );
+        for (slot, want) in oracle.iter().enumerate() {
+            assert_eq!(inc.rate(slot as u32).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_resolves_only_the_dirty_component() {
+        // Two disjoint components: {res 0,1} and {res 2}.
+        let caps = [10.0, 3.0, 8.0];
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.insert_group(0, &[0], 1);
+        inc.insert_group(1, &[0, 1], 1);
+        inc.insert_group(2, &[2], 1);
+        let mut changed = Vec::new();
+        inc.solve(&mut changed);
+        changed.clear();
+        // Mutate only the second component.
+        inc.insert_group(3, &[2], 1);
+        let out = inc.solve(&mut changed);
+        assert!(!out.full);
+        assert_eq!(out.dirty_groups, 2, "only the res-2 component re-solves");
+        assert_eq!(out.dirty_resources, 1);
+        // Changed set: both res-2 groups now split the link.
+        assert_eq!(changed.len(), 2);
+        let oracle = full_oracle(
+            &caps,
+            &[
+                (0, vec![0], 1),
+                (1, vec![0, 1], 1),
+                (2, vec![2], 1),
+                (3, vec![2], 1),
+            ],
+        );
+        for (slot, want) in oracle.iter().enumerate() {
+            assert_eq!(
+                inc.rate(slot as u32).to_bits(),
+                want.to_bits(),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_tracks_removal_weight_and_capacity_changes() {
+        let caps = [10.0, 4.0];
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.insert_group(0, &[0], 2);
+        inc.insert_group(1, &[0, 1], 1);
+        let mut changed = Vec::new();
+        inc.solve(&mut changed);
+        // Weight bump, then removal, then slot reuse, then capacity edit —
+        // after each, the registry must match a fresh batch solve bitwise.
+        inc.set_weight(0, 5);
+        changed.clear();
+        inc.solve(&mut changed);
+        let oracle = full_oracle(&caps, &[(0, vec![0], 5), (1, vec![0, 1], 1)]);
+        assert_eq!(inc.rate(0).to_bits(), oracle[0].to_bits());
+        assert_eq!(inc.rate(1).to_bits(), oracle[1].to_bits());
+
+        inc.set_weight(1, 0); // remove
+        assert_eq!(inc.group_count(), 1);
+        changed.clear();
+        inc.solve(&mut changed);
+        let oracle = full_oracle(&caps, &[(0, vec![0], 5)]);
+        assert_eq!(inc.rate(0).to_bits(), oracle[0].to_bits());
+
+        inc.insert_group(1, &[1], 2); // reuse the freed slot
+        inc.set_capacity(0, 6.0);
+        changed.clear();
+        inc.solve(&mut changed);
+        let oracle = full_oracle(&[6.0, 4.0], &[(0, vec![0], 5), (1, vec![1], 2)]);
+        assert_eq!(inc.rate(0).to_bits(), oracle[0].to_bits());
+        assert_eq!(inc.rate(1).to_bits(), oracle[1].to_bits());
+    }
+
+    #[test]
+    fn incremental_matches_batch_under_randomized_mutation_schedule() {
+        // Deterministic LCG-driven schedule of inserts/removals/weight and
+        // capacity edits over a small cluster; after every solve the whole
+        // registry must match a from-scratch batch solve bitwise.
+        let mut caps = vec![0.0f64; 12];
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for c in caps.iter_mut() {
+            *c = 1.0 + (next() % 64) as f64;
+        }
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        // live[slot] = Some((cells, weight))
+        let mut live: Vec<Option<(Vec<u32>, u32)>> = vec![None; 24];
+        let mut changed = Vec::new();
+        for step in 0..400 {
+            let slot = (next() % live.len() as u64) as u32;
+            match &mut live[slot as usize] {
+                None => {
+                    let deg = 1 + (next() % 3) as usize;
+                    let mut cells: Vec<u32> = Vec::new();
+                    while cells.len() < deg {
+                        let c = (next() % caps.len() as u64) as u32;
+                        if !cells.contains(&c) {
+                            cells.push(c);
+                        }
+                    }
+                    let w = 1 + (next() % 4) as u32;
+                    inc.insert_group(slot, &cells, w);
+                    live[slot as usize] = Some((cells, w));
+                }
+                Some((_, w)) => match next() % 3 {
+                    0 => {
+                        inc.set_weight(slot, 0);
+                        live[slot as usize] = None;
+                    }
+                    1 => {
+                        *w = 1 + (next() % 6) as u32;
+                        inc.set_weight(slot, *w);
+                    }
+                    _ => {
+                        let r = (next() % caps.len() as u64) as usize;
+                        caps[r] = 1.0 + (next() % 64) as f64;
+                        inc.set_capacity(r, caps[r]);
+                    }
+                },
+            }
+            if step % 3 == 0 {
+                changed.clear();
+                inc.solve(&mut changed);
+                let groups: Vec<(u32, Vec<u32>, u32)> = live
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, g)| g.as_ref().map(|(cells, w)| (s as u32, cells.clone(), *w)))
+                    .collect();
+                let oracle = full_oracle(&caps, &groups);
+                for ((slot, _, _), want) in groups.iter().zip(&oracle) {
+                    assert_eq!(
+                        inc.rate(*slot).to_bits(),
+                        want.to_bits(),
+                        "step {step} slot {slot}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -225,6 +225,16 @@ pub struct EngineProfile {
     pub timer_fires: u64,
     /// Rate solves performed (indexed engine).
     pub solves: u64,
+    /// Solves whose dirty closure covered every live group (indexed
+    /// engine; includes the first solve).
+    pub full_solves: u64,
+    /// Solves that re-solved only a proper subset of the live groups
+    /// (indexed engine). `full_solves + incremental_solves == solves`.
+    pub incremental_solves: u64,
+    /// Cumulative flow groups re-solved across all solves (the dirty
+    /// closure sizes); `dirty_groups / solves` is the mean re-solve
+    /// footprint (indexed engine).
+    pub dirty_groups: u64,
     /// Total progressive-filling rounds across all solves (indexed engine).
     pub solver_rounds: u64,
     /// Wholesale completion-heap rebuilds (vs incremental pushes).
@@ -241,13 +251,17 @@ impl EngineProfile {
     pub fn to_json_line(&self) -> String {
         format!(
             "{{\"event\":\"profile\",\"events\":{},\"flow_completions\":{},\"flow_aborts\":{},\
-             \"timer_fires\":{},\"solves\":{},\"solver_rounds\":{},\"heap_rebuilds\":{},\
+             \"timer_fires\":{},\"solves\":{},\"full_solves\":{},\"incremental_solves\":{},\
+             \"dirty_groups\":{},\"solver_rounds\":{},\"heap_rebuilds\":{},\
              \"timers_scheduled\":{},\"timers_cancelled\":{}}}",
             self.events,
             self.flow_completions,
             self.flow_aborts,
             self.timer_fires,
             self.solves,
+            self.full_solves,
+            self.incremental_solves,
+            self.dirty_groups,
             self.solver_rounds,
             self.heap_rebuilds,
             self.timers_scheduled,

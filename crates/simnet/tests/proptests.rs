@@ -312,6 +312,90 @@ proptest! {
     }
 
     #[test]
+    fn incremental_solve_is_bit_identical_to_full_solve(
+        seed in any::<u64>(),
+        op_count in 4usize..32,
+    ) {
+        // The tentpole invariant of the incremental dirty-set solver: after
+        // ANY prefix of a randomized admit / complete / cancel / fault /
+        // rescale schedule, re-solving only the dirty closure leaves every
+        // group rate bit-identical to a from-scratch full solve over the
+        // entire live flow set. `verify_against_full_solve` refreshes and
+        // asserts bitwise equality (it panics on the first divergence).
+        let mut sim = Simulator::new(SimConfig::uniform(6, NodeCaps::symmetric(40.0, 25.0)));
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let tags = [Traffic::Foreground, Traffic::Repair, Traffic::Background];
+        let mut started = Vec::new();
+        let mut failed = [false; 6];
+        for i in 0..op_count {
+            match next() % 8 {
+                // Mostly admissions: singles and read-and-send customs.
+                0..=4 => {
+                    let src = (next() % 6) as usize;
+                    let dst = (src + 1 + (next() % 5) as usize) % 6;
+                    let tag = tags[(next() % 3) as usize];
+                    let bytes = 1 + next() % 400;
+                    let spec = if next() % 4 == 0 {
+                        FlowSpec::custom(
+                            bytes,
+                            vec![
+                                (src, ResourceKind::DiskRead),
+                                (src, ResourceKind::Uplink),
+                                (dst, ResourceKind::Downlink),
+                            ],
+                            tag,
+                        )
+                    } else {
+                        FlowSpec::network(src, dst, bytes, tag)
+                    };
+                    started.push(sim.start_flow(spec));
+                }
+                5 => {
+                    if !started.is_empty() {
+                        let victim = started[(next() as usize) % started.len()];
+                        let _ = sim.cancel_flow(victim);
+                    }
+                }
+                6 => {
+                    let node = (next() % 6) as usize;
+                    // Keep at least half the cluster alive.
+                    if !failed[node] && failed.iter().filter(|&&f| f).count() < 3 {
+                        failed[node] = true;
+                        sim.fail_node(node);
+                    }
+                }
+                _ => {
+                    let node = (next() % 6) as usize;
+                    let net = 0.25 + (next() % 150) as f64 / 100.0;
+                    let disk = 0.25 + (next() % 150) as f64 / 100.0;
+                    sim.scale_node_caps(node, net, disk);
+                }
+            }
+            // Verify after the mutation itself...
+            sim.verify_against_full_solve();
+            // ...and after draining a couple of events (completions and
+            // aborts dirty resources through a different path).
+            if i % 3 == 0 {
+                for _ in 0..2 {
+                    if sim.next_event().is_none() {
+                        break;
+                    }
+                    sim.verify_against_full_solve();
+                }
+            }
+        }
+        while sim.next_event().is_some() {
+            sim.verify_against_full_solve();
+        }
+    }
+
+    #[test]
     fn batched_start_flows_matches_sequential(
         seed in any::<u64>(),
         flow_count in 1usize..16,
