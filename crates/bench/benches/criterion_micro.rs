@@ -11,8 +11,9 @@ use chameleon_codes::{ErasureCode, ReedSolomon};
 use chameleon_core::chameleon::{dispatch_chunk, establish_plan, PhaseState};
 use chameleon_core::RepairContext;
 use chameleon_gf::{
-    mul_add_slice, mul_slice_split, mul_slice_with, mul_slice_xor_with, scalar, xor_slice, Gf256,
-    Matrix, MulTable,
+    available_simd_kernels, mul_add_slice, mul_slice_split, mul_slice_with,
+    mul_slice_with_portable, mul_slice_xor_with, mul_slice_xor_with_portable, scalar, xor_slice,
+    Gf256, Matrix, MulTable,
 };
 use chameleon_simnet::allocate_rates;
 
@@ -31,9 +32,12 @@ fn bench_gf(c: &mut Criterion) {
     group.finish();
 }
 
-/// Scalar log/exp loop vs. the split-table kernels, at the ≥64 KiB sizes
-/// where the repair hot path lives. The split-table variant is the
-/// acceptance target: ≥2× over scalar for `mul_slice`.
+/// Scalar log/exp loop vs. the portable split/wide-table kernels vs. each
+/// runtime-detected SIMD kernel, at the ≥64 KiB sizes where the repair
+/// hot path lives. The `_split`/`_wide` entries pin the portable path
+/// regardless of host dispatch; `mul_slice_dispatch` measures whatever
+/// `mul_slice_with` actually routes to in this process. Acceptance
+/// targets: split ≥2× scalar, best SIMD kernel ≥3× wide at 1 MiB.
 fn bench_gf_kernels(c: &mut Criterion) {
     let coeff = Gf256::new(0x1D);
     for size in [64 * 1024usize, 1 << 20] {
@@ -47,26 +51,78 @@ fn bench_gf_kernels(c: &mut Criterion) {
         let src = vec![0x5Au8; size];
         let mut dst = vec![0u8; size];
         // The decode hot path reuses tables through a MulTableCache, so
-        // the headline split-table entries measure a prebuilt table (wide
-        // double table included); the `_cold` entry pays the build per
-        // call.
-        let table = MulTable::new(coeff);
-        table.ensure_wide();
+        // the headline table entries measure a prebuilt table; the
+        // `_cold` entry pays the build per call. `split_table` never
+        // widens, `wide_table` is pre-widened: two distinct portable
+        // kernels.
+        let split_table = MulTable::new(coeff);
+        let wide_table = MulTable::new(coeff);
+        wide_table.ensure_wide();
         group.bench_function("mul_slice_scalar", |b| {
             b.iter(|| scalar::mul_slice(coeff, black_box(&src), black_box(&mut dst)))
         });
         group.bench_function("mul_slice_split", |b| {
-            b.iter(|| mul_slice_with(black_box(&table), black_box(&src), black_box(&mut dst)))
+            b.iter(|| {
+                mul_slice_with_portable(
+                    black_box(&split_table),
+                    black_box(&src),
+                    black_box(&mut dst),
+                )
+            })
+        });
+        group.bench_function("mul_slice_wide", |b| {
+            b.iter(|| {
+                mul_slice_with_portable(
+                    black_box(&wide_table),
+                    black_box(&src),
+                    black_box(&mut dst),
+                )
+            })
         });
         group.bench_function("mul_slice_split_cold", |b| {
             b.iter(|| mul_slice_split(coeff, black_box(&src), black_box(&mut dst)))
         });
+        group.bench_function("mul_slice_dispatch", |b| {
+            b.iter(|| {
+                mul_slice_with(
+                    black_box(&split_table),
+                    black_box(&src),
+                    black_box(&mut dst),
+                )
+            })
+        });
         group.bench_function("mul_slice_xor_scalar", |b| {
             b.iter(|| scalar::mul_slice_xor(coeff, black_box(&src), black_box(&mut dst)))
         });
-        group.bench_function("mul_slice_xor_split", |b| {
-            b.iter(|| mul_slice_xor_with(black_box(&table), black_box(&src), black_box(&mut dst)))
+        group.bench_function("mul_slice_xor_wide", |b| {
+            b.iter(|| {
+                mul_slice_xor_with_portable(
+                    black_box(&wide_table),
+                    black_box(&src),
+                    black_box(&mut dst),
+                )
+            })
         });
+        group.bench_function("mul_slice_xor_dispatch", |b| {
+            b.iter(|| {
+                mul_slice_xor_with(
+                    black_box(&split_table),
+                    black_box(&src),
+                    black_box(&mut dst),
+                )
+            })
+        });
+        for kernel in available_simd_kernels() {
+            let table = MulTable::new(coeff);
+            group.bench_function(format!("mul_slice_{}", kernel.name()), |b| {
+                b.iter(|| kernel.mul_slice(black_box(&table), black_box(&src), black_box(&mut dst)))
+            });
+            group.bench_function(format!("mul_slice_xor_{}", kernel.name()), |b| {
+                b.iter(|| {
+                    kernel.mul_slice_xor(black_box(&table), black_box(&src), black_box(&mut dst))
+                })
+            });
+        }
         group.bench_function("xor_slice_scalar", |b| {
             b.iter(|| scalar::xor_slice(black_box(&src), black_box(&mut dst)))
         });

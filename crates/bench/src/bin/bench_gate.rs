@@ -1,9 +1,15 @@
-//! CI perf-regression gate: compares the fresh `results/BENCH_simnet.json`
-//! against the committed `results/BENCH_simnet.baseline.json` at the gate
-//! point (20 nodes, 10k flows) and exits non-zero on a >20% drop of
-//! indexed events/sec. Run `cargo bench --bench simnet_throughput` first.
+//! CI perf-regression gate: compares the fresh benchmark JSON documents
+//! against the committed baselines and exits non-zero on a regression:
 //!
-//! Usage: `bench_gate [--current <path>] [--baseline <path>]`
+//! - `results/BENCH_simnet.json` vs `results/BENCH_simnet.baseline.json`
+//!   at the gate point (20 nodes, 10k flows), >20% drop of indexed
+//!   events/sec fails. Run `cargo bench --bench simnet_throughput` first.
+//! - `results/BENCH_gf.json` vs `results/BENCH_gf.baseline.json` at the
+//!   active GF kernel's 1 MiB `mul_slice_xor` point, >30% drop fails.
+//!   Run `cargo bench --bench gf_throughput` first.
+//!
+//! Usage: `bench_gate [--current <path>] [--baseline <path>]
+//!                    [--gf-current <path>] [--gf-baseline <path>]`
 
 use std::path::PathBuf;
 
@@ -20,11 +26,15 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut current = results_path("BENCH_simnet.json");
     let mut baseline = results_path("BENCH_simnet.baseline.json");
+    let mut gf_current = results_path("BENCH_gf.json");
+    let mut gf_baseline = results_path("BENCH_gf.baseline.json");
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--current" => current = it.next().expect("--current needs a path").into(),
             "--baseline" => baseline = it.next().expect("--baseline needs a path").into(),
+            "--gf-current" => gf_current = it.next().expect("--gf-current needs a path").into(),
+            "--gf-baseline" => gf_baseline = it.next().expect("--gf-baseline needs a path").into(),
             other => {
                 eprintln!("bench_gate: unknown argument `{other}`");
                 std::process::exit(2);
@@ -38,21 +48,45 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let report = match gate::check(&read(&current), &read(&baseline)) {
+
+    let simnet = match gate::check(&read(&current), &read(&baseline)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench_gate: {e}");
             std::process::exit(2);
         }
     };
-    println!("{}", report.render());
-    if !report.pass() {
+    println!("{}", simnet.render());
+
+    let gf = match gate::check_gf(&read(&gf_current), &read(&gf_baseline)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", gf.render_gf());
+
+    let mut failed = false;
+    if !simnet.pass() {
         eprintln!(
             "bench_gate: indexed events/sec regressed more than {:.0}% at the gate point; \
              if this slowdown is intentional, refresh results/BENCH_simnet.baseline.json \
              in the same PR and justify it in the description",
             gate::MAX_REGRESSION * 100.0
         );
+        failed = true;
+    }
+    if !gf.pass() {
+        eprintln!(
+            "bench_gate: active GF kernel MB/s regressed more than {:.0}% at 1 MiB; \
+             if this slowdown is intentional, refresh results/BENCH_gf.baseline.json \
+             in the same PR and justify it in the description",
+            gate::GF_MAX_REGRESSION * 100.0
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -75,6 +75,9 @@ pub fn run(_scale: &Scale, jobs: usize) {
     let times = run_grid(&cells, jobs, |&(nodes, chunks)| {
         plan_time_secs(nodes, chunks)
     });
+    // Wall-clock rows are attributed to the GF kernel in use so breakdown
+    // numbers from different machines/overrides can be told apart.
+    let kernel = chameleon_gf::active_kernel();
     let rows: Vec<Vec<String>> = cells
         .iter()
         .zip(&times)
@@ -83,17 +86,18 @@ pub fn run(_scale: &Scale, jobs: usize) {
                 nodes.to_string(),
                 chunks.to_string(),
                 format!("{:.4}", secs),
+                kernel.to_string(),
             ]
         })
         .collect();
     print_table(
         "plan-generation time vs nodes and chunks",
-        &["nodes", "chunks", "time (s)"],
+        &["nodes", "chunks", "time (s)", "gf kernel"],
         &rows,
     );
     write_csv(
         "exp05_computation",
-        &["nodes", "chunks", "plan_compute_secs"],
+        &["nodes", "chunks", "plan_compute_secs", "gf_kernel"],
         &rows,
     );
     println!(

@@ -90,6 +90,61 @@ fn run_one(algo: AlgoKind, scale: &Scale, straggle_at: f64) -> f64 {
     written / PHASE_SECS / 1e6
 }
 
+/// The five algorithms of the breakdown, in reporting order.
+const ALGOS: [AlgoKind; 5] = [
+    AlgoKind::Cr,
+    AlgoKind::Ppr,
+    AlgoKind::EcPipe,
+    AlgoKind::Etrp,
+    AlgoKind::Chameleon,
+];
+
+/// The (straggler offset, algorithm) grid in spec order.
+fn cells() -> Vec<(f64, AlgoKind)> {
+    let mut cells = Vec::new();
+    for straggle_at in [0.0f64, 5.0, 10.0] {
+        for algo in ALGOS {
+            cells.push((straggle_at, algo));
+        }
+    }
+    cells
+}
+
+/// Runs the full grid; returns the cells and their phase throughputs.
+fn compute(scale: &Scale, jobs: usize) -> (Vec<(f64, AlgoKind)>, Vec<f64>) {
+    let cells = cells();
+    let results = run_grid(&cells, jobs, |&(straggle_at, algo)| {
+        run_one(algo, scale, straggle_at)
+    });
+    (cells, results)
+}
+
+fn rows_of(cells: &[(f64, AlgoKind)], results: &[f64]) -> Vec<Vec<String>> {
+    // Simulated throughputs are deterministic; the kernel column records
+    // which GF code path the (wall-clock-free) run was attributed to.
+    let kernel = chameleon_gf::active_kernel();
+    cells
+        .iter()
+        .zip(results)
+        .map(|(&(straggle_at, algo), &mbps)| {
+            vec![
+                format!("{straggle_at:.0}"),
+                algo.label(),
+                format!("{mbps:.1}"),
+                kernel.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// The experiment's CSV rows — exposed for the grid determinism suite,
+/// which compares the byte-rendered rows across `--jobs` settings.
+pub fn csv_rows(scale: &Scale, jobs: usize) -> Vec<Vec<String>> {
+    let scale = scale.stressed();
+    let (cells, results) = compute(&scale, jobs);
+    rows_of(&cells, &results)
+}
+
 /// Runs the experiment at the given scale across `jobs` workers.
 pub fn run(scale: &Scale, jobs: usize) {
     let scale = scale.stressed();
@@ -99,34 +154,14 @@ pub fn run(scale: &Scale, jobs: usize) {
         scale.name()
     );
 
-    let algos = [
-        AlgoKind::Cr,
-        AlgoKind::Ppr,
-        AlgoKind::EcPipe,
-        AlgoKind::Etrp,
-        AlgoKind::Chameleon,
-    ];
-    let mut cells = Vec::new();
-    for straggle_at in [0.0f64, 5.0, 10.0] {
-        for algo in algos {
-            cells.push((straggle_at, algo));
-        }
-    }
-    let results = run_grid(&cells, jobs, |&(straggle_at, algo)| {
-        run_one(algo, &scale, straggle_at)
-    });
+    let (cells, results) = compute(&scale, jobs);
+    let rows = rows_of(&cells, &results);
 
-    let mut rows = Vec::new();
-    for (group, group_mbps) in cells.chunks(algos.len()).zip(results.chunks(algos.len())) {
+    for (group, group_mbps) in cells.chunks(ALGOS.len()).zip(results.chunks(ALGOS.len())) {
         let straggle_at = group[0].0;
         let mut etrp = 0.0f64;
         let mut cham = 0.0f64;
         for ((_, algo), &mbps) in group.iter().zip(group_mbps) {
-            rows.push(vec![
-                format!("{straggle_at:.0}"),
-                algo.label(),
-                format!("{mbps:.1}"),
-            ]);
             match algo {
                 AlgoKind::Etrp => etrp = mbps,
                 AlgoKind::Chameleon => cham = mbps,
@@ -140,12 +175,12 @@ pub fn run(scale: &Scale, jobs: usize) {
     }
     print_table(
         "repair throughput with an injected straggler",
-        &["straggler at (s)", "algorithm", "repair MB/s"],
+        &["straggler at (s)", "algorithm", "repair MB/s", "gf kernel"],
         &rows,
     );
     write_csv(
         "exp11_breakdown",
-        &["straggle_at_secs", "algorithm", "repair_mbps"],
+        &["straggle_at_secs", "algorithm", "repair_mbps", "gf_kernel"],
         &rows,
     );
     println!(

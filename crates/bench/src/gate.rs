@@ -1,10 +1,16 @@
-//! Perf-regression gate over the simnet throughput benchmark JSON.
+//! Perf-regression gates over the benchmark JSON documents.
 //!
-//! CI runs `simnet_throughput` (smoke mode), then the `bench_gate` binary
-//! compares the fresh `results/BENCH_simnet.json` against the committed
-//! `results/BENCH_simnet.baseline.json` and fails the job when the
-//! indexed events/sec at the gate point (20 nodes, 10k concurrent flows)
-//! drops more than [`MAX_REGRESSION`] below the baseline.
+//! CI runs `simnet_throughput` and `gf_throughput` (smoke mode), then the
+//! `bench_gate` binary compares the fresh `results/BENCH_simnet.json` /
+//! `results/BENCH_gf.json` against the committed `*.baseline.json`
+//! documents and fails the job on a regression past the tolerance:
+//!
+//! - simnet: indexed events/sec at the gate point (20 nodes, 10k
+//!   concurrent flows) must stay within [`MAX_REGRESSION`].
+//! - gf: the *active* GF kernel's `mul_slice_xor` MB/s at 1 MiB must stay
+//!   within [`GF_MAX_REGRESSION`] (looser, because absolute kernel MB/s
+//!   varies more across runner microarchitectures than simulator
+//!   events/sec does).
 //!
 //! The parser is a line-oriented key extractor over the repo's own flat
 //! JSON-level schema (one level object per line), like the trace
@@ -18,6 +24,11 @@ pub const GATE_FLOWS: u64 = 10_000;
 /// Largest tolerated drop of indexed events/sec vs the baseline (0.2 =
 /// 20%); absorbs runner noise while catching real regressions.
 pub const MAX_REGRESSION: f64 = 0.20;
+/// The GF gate point: buffer length whose active-kernel `mul_slice_xor`
+/// MB/s is gated (1 MiB, the ISSUE acceptance length).
+pub const GF_GATE_LEN: u64 = 1 << 20;
+/// Largest tolerated drop of the active GF kernel's MB/s vs the baseline.
+pub const GF_MAX_REGRESSION: f64 = 0.30;
 
 /// Extracts the indexed events/sec of one sweep point from a
 /// `BENCH_simnet` JSON document.
@@ -37,6 +48,29 @@ pub fn extract_events_per_sec(json: &str, nodes: u64, flows: u64) -> Option<f64>
             continue;
         }
         let pat = "\"indexed_events_per_sec\": ";
+        let start = line.find(pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        return rest[..end].trim().parse().ok();
+    }
+    None
+}
+
+/// Extracts the active kernel's `mul_slice_xor` MB/s at buffer length
+/// `len` from a `BENCH_gf` JSON document.
+///
+/// Matches the level line carrying `"active": true` and `"len": len` —
+/// the kernel's *name* is deliberately not part of the match, so a
+/// baseline recorded on an AVX2 host still gates a run whose best kernel
+/// is SSSE3 or NEON (the gate asks "is the dispatched path still fast?",
+/// not "is it the same instruction set?").
+pub fn extract_gf_mbps(json: &str, len: u64) -> Option<f64> {
+    let len_pat = format!("\"len\": {len},");
+    for line in json.lines() {
+        if !line.contains("\"active\": true") || !line.contains(&len_pat) {
+            continue;
+        }
+        let pat = "\"mul_xor_mbps\": ";
         let start = line.find(pat)? + pat.len();
         let rest = &line[start..];
         let end = rest.find([',', '}']).unwrap_or(rest.len());
@@ -79,6 +113,20 @@ impl GateReport {
             if self.pass() { "PASS" } else { "FAIL" }
         )
     }
+
+    /// Human verdict for the GF kernel gate.
+    pub fn render_gf(&self) -> String {
+        format!(
+            "bench-gate @ gf active kernel / {} KiB: \
+             current {:.1} MB/s vs baseline {:.1} MB/s ({:.2}x, floor {:.1}) -> {}",
+            GF_GATE_LEN / 1024,
+            self.current,
+            self.baseline,
+            self.ratio(),
+            self.baseline * (1.0 - self.max_regression),
+            if self.pass() { "PASS" } else { "FAIL" }
+        )
+    }
 }
 
 /// Compares a fresh benchmark JSON against the committed baseline at the
@@ -96,6 +144,25 @@ pub fn check(current_json: &str, baseline_json: &str) -> Result<GateReport, Stri
         baseline,
         current,
         max_regression: MAX_REGRESSION,
+    })
+}
+
+/// Compares a fresh `BENCH_gf` JSON against the committed baseline at the
+/// GF gate point. `Err` means a document was missing the active-kernel
+/// line entirely — that fails CI too, loudly, instead of silently
+/// passing.
+pub fn check_gf(current_json: &str, baseline_json: &str) -> Result<GateReport, String> {
+    let baseline = extract_gf_mbps(baseline_json, GF_GATE_LEN)
+        .ok_or_else(|| format!("gf baseline has no active-kernel {GF_GATE_LEN}-byte point"))?;
+    let current = extract_gf_mbps(current_json, GF_GATE_LEN)
+        .ok_or_else(|| format!("gf current run has no active-kernel {GF_GATE_LEN}-byte point"))?;
+    if baseline <= 0.0 {
+        return Err(format!("gf baseline MB/s is not positive: {baseline}"));
+    }
+    Ok(GateReport {
+        baseline,
+        current,
+        max_regression: GF_MAX_REGRESSION,
     })
 }
 
@@ -165,6 +232,71 @@ mod tests {
         assert!(!check(&edge_fail, &baseline).unwrap().pass());
         let edge_pass = doc(&[(20, 10_000, 4_001.0)]);
         assert!(check(&edge_pass, &baseline).unwrap().pass());
+    }
+
+    fn gf_doc(points: &[(&str, bool, u64, f64)]) -> String {
+        let levels: Vec<String> = points
+            .iter()
+            .map(|(kernel, active, len, mbps)| {
+                format!(
+                    "    {{\"kernel\": \"{kernel}\", \"active\": {active}, \"len\": {len}, \
+                     \"mul_mbps\": {mbps}, \"mul_xor_mbps\": {mbps}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"gf_throughput\",\n  \"levels\": [\n{}\n  ]\n}}\n",
+            levels.join(",\n")
+        )
+    }
+
+    #[test]
+    fn gf_extracts_only_the_active_gate_length_line() {
+        let json = gf_doc(&[
+            ("wide", false, 1 << 20, 900.0),
+            ("avx2", true, 64 * 1024, 7_000.0),
+            ("avx2", true, 1 << 20, 5_500.5),
+        ]);
+        assert_eq!(extract_gf_mbps(&json, 1 << 20), Some(5_500.5));
+        assert_eq!(extract_gf_mbps(&json, 64 * 1024), Some(7_000.0));
+        assert_eq!(extract_gf_mbps(&json, 32 * 1024), None);
+        // A document with no active line at all is a miss, not a fallback.
+        let inactive = gf_doc(&[("wide", false, 1 << 20, 900.0)]);
+        assert_eq!(extract_gf_mbps(&inactive, 1 << 20), None);
+    }
+
+    #[test]
+    fn gf_gate_matches_cross_kernel_baselines_and_fails_regressions() {
+        // Baseline from an AVX2 host gates an SSSE3 run: the kernel name
+        // is not part of the match.
+        let baseline = gf_doc(&[("avx2", true, 1 << 20, 5_000.0)]);
+        let ssse3 = gf_doc(&[("ssse3", true, 1 << 20, 4_000.0)]);
+        let report = check_gf(&ssse3, &baseline).unwrap();
+        assert!(report.pass(), "{}", report.render_gf());
+        // A >30% drop fails and the verdict says so.
+        let regressed = gf_doc(&[("avx2", true, 1 << 20, 3_000.0)]);
+        let report = check_gf(&regressed, &baseline).unwrap();
+        assert!(!report.pass());
+        assert!(
+            report.render_gf().contains("FAIL"),
+            "{}",
+            report.render_gf()
+        );
+        // Edge cases around the 30% floor.
+        let edge_fail = gf_doc(&[("avx2", true, 1 << 20, 3_499.0)]);
+        assert!(!check_gf(&edge_fail, &baseline).unwrap().pass());
+        let edge_pass = gf_doc(&[("avx2", true, 1 << 20, 3_501.0)]);
+        assert!(check_gf(&edge_pass, &baseline).unwrap().pass());
+    }
+
+    #[test]
+    fn gf_missing_points_are_loud_errors() {
+        let good = gf_doc(&[("avx2", true, 1 << 20, 5_000.0)]);
+        let wrong_len = gf_doc(&[("avx2", true, 64 * 1024, 5_000.0)]);
+        assert!(check_gf(&wrong_len, &good).is_err());
+        assert!(check_gf(&good, &wrong_len).is_err());
+        let zero = gf_doc(&[("avx2", true, 1 << 20, 0.0)]);
+        assert!(check_gf(&good, &zero).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! (the control grid fixes the crash window for the faulted grid). All
 //! run at a tiny scale so the whole suite stays in seconds.
 
-use chameleon_bench::experiments::{exp02, exp08, exp15, exp16};
+use chameleon_bench::experiments::{exp02, exp08, exp11, exp15, exp16};
 use chameleon_bench::table::csv_string;
 use chameleon_bench::{run_specs, AlgoKind, FgSpec, RunSpec, Scale};
 use chameleon_codes::{ErasureCode, ReedSolomon};
@@ -111,6 +111,24 @@ fn traced_runs_render_identical_jsonl_across_job_counts() {
             sequential,
             render(jobs),
             "trace JSONL diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn exp11_rows_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = ["straggle_at_secs", "algorithm", "repair_mbps", "gf_kernel"];
+    let sequential = csv_string(&headers, &exp11::csv_rows(&scale, 1));
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    for jobs in [4, 8] {
+        let parallel = csv_string(&headers, &exp11::csv_rows(&scale, jobs));
+        assert_eq!(
+            sequential, parallel,
+            "exp11 CSV diverged between --jobs 1 and --jobs {jobs}"
         );
     }
 }

@@ -137,6 +137,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             c.relay_merge_nanos as f64 / 1e6,
             c.reassemble_nanos as f64 / 1e6,
         );
+        println!("  gf kernel       : {}", c.kernel);
     }
     if let Some(inj) = &injector {
         let rec = &outcome.recovery;

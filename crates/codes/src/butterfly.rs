@@ -1,7 +1,7 @@
 //! The Butterfly(4, 2) XOR regenerating code (Pamies-Juarez et al.,
 //! FAST 2016), with sub-packetization 2.
 
-use chameleon_gf::Gf256;
+use chameleon_gf::{xor_slice, Gf256};
 
 use crate::linear::solve_combination;
 use crate::{ChunkClass, CodeError, ErasureCode, RepairRequirement, SourceRead};
@@ -159,9 +159,7 @@ impl ErasureCode for Butterfly {
                 let out = &mut chunk[h * half..(h + 1) * half];
                 for (col, &bit) in row.iter().enumerate() {
                     if bit != 0 {
-                        for (o, &s) in out.iter_mut().zip(subs[col]) {
-                            *o ^= s;
-                        }
+                        xor_slice(subs[col], out);
                     }
                 }
             }
@@ -201,9 +199,7 @@ impl ErasureCode for Butterfly {
             for (src, &c) in bytes.iter().zip(&coeffs) {
                 // All coefficients are 0/1 over this XOR code.
                 if !c.is_zero() {
-                    for (d, &s) in dst.iter_mut().zip(*src) {
-                        *d ^= s;
-                    }
+                    xor_slice(src, dst);
                 }
             }
         }
@@ -302,9 +298,7 @@ impl ErasureCode for Butterfly {
         for h in 0..ALPHA {
             let dst = &mut out[h * half..(h + 1) * half];
             for &pos in rule.rebuild[h] {
-                for (d, &s) in dst.iter_mut().zip(read_bytes[pos]) {
-                    *d ^= s;
-                }
+                xor_slice(read_bytes[pos], dst);
             }
         }
         Ok(out)

@@ -89,6 +89,28 @@ pub trait ErasureCode: Send + Sync {
     /// [`CodeError::ChunkSizeMismatch`] for malformed input.
     fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, CodeError>;
 
+    /// Like [`Self::encode`], but implementations may fan the parity
+    /// computation across parallel worker threads in cache-sized stripes.
+    ///
+    /// `stripe_bytes` is the stripe granularity (`0` picks the
+    /// implementation default). The output is byte-identical to
+    /// [`Self::encode`]; the default implementation simply delegates to
+    /// it, which is also the correct fallback for codes whose parity mixes
+    /// sub-chunk positions (Butterfly) and therefore cannot be split
+    /// positionally.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::encode`].
+    fn encode_striped(
+        &self,
+        data: &[&[u8]],
+        stripe_bytes: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        let _ = stripe_bytes;
+        self.encode(data)
+    }
+
     /// Reconstructs chunk `wanted` from any sufficient set of available
     /// chunks.
     ///

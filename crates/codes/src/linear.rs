@@ -1,6 +1,6 @@
 //! Shared engine for systematic linear codes described by a generator matrix.
 
-use chameleon_gf::{mul_add_slice, mul_slice_xor_with, Gf256, Matrix, MulTableCache};
+use chameleon_gf::{mul_add_slice, mul_slice_xor_with, Gf256, Matrix, MulTable, MulTableCache};
 
 use crate::CodeError;
 
@@ -50,7 +50,44 @@ impl LinearCode {
     }
 
     /// Encodes data chunks into the full stripe (data chunks are copied).
+    ///
+    /// Parity is produced by a fused coefficient-outer pass: the chunk is
+    /// walked in cache-sized blocks, and within each block every source is
+    /// read **once** and immediately applied to all `m` parity rows. The
+    /// older per-destination shape (`for each parity: for each source`)
+    /// re-streamed every source chunk from memory `m` times; fusing keeps
+    /// the working set at one source block plus `m` parity blocks — L2-
+    /// resident at [`DEFAULT_STRIPE_BYTES`] for any practical `m`.
     pub(crate) fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, CodeError> {
+        self.encode_inner(data, DEFAULT_STRIPE_BYTES, false)
+    }
+
+    /// Like [`LinearCode::encode`], but fans the fused parity pass across
+    /// scoped worker threads, mirroring [`LinearCode::decode_striped`]:
+    /// each worker owns the same disjoint, stripe-aligned byte region of
+    /// **every** parity buffer and runs the coefficient-outer block pass
+    /// over it. Byte-identical to [`LinearCode::encode`].
+    ///
+    /// `stripe_bytes == 0` selects [`DEFAULT_STRIPE_BYTES`].
+    pub(crate) fn encode_striped(
+        &self,
+        data: &[&[u8]],
+        stripe_bytes: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        let stripe = if stripe_bytes == 0 {
+            DEFAULT_STRIPE_BYTES
+        } else {
+            stripe_bytes
+        };
+        self.encode_inner(data, stripe, true)
+    }
+
+    fn encode_inner(
+        &self,
+        data: &[&[u8]],
+        stripe: usize,
+        fan_out: bool,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         if data.len() != self.k {
             return Err(CodeError::WrongChunkCount);
         }
@@ -58,15 +95,92 @@ impl LinearCode {
         if data.iter().any(|c| c.len() != len) {
             return Err(CodeError::ChunkSizeMismatch);
         }
-        let mut stripe: Vec<Vec<u8>> = data.iter().map(|c| c.to_vec()).collect();
-        for i in self.k..self.n() {
-            let mut chunk = vec![0u8; len];
-            for (j, src) in data.iter().enumerate() {
-                mul_add_slice(self.generator[(i, j)], src, &mut chunk);
-            }
-            stripe.push(chunk);
+        let m = self.n() - self.k;
+        let mut stripe_out: Vec<Vec<u8>> = data.iter().map(|c| c.to_vec()).collect();
+        if m == 0 || len == 0 {
+            stripe_out.extend((0..m).map(|_| Vec::new()));
+            return Ok(stripe_out);
         }
-        Ok(stripe)
+
+        // One table per generator coefficient, shared read-only across
+        // workers. Priming mirrors decode_striped: wide tables only pay
+        // off on big chunks, and only when no SIMD kernel is active
+        // (prime_wide itself degrades to prime in that case).
+        let mut cache = MulTableCache::new();
+        let coeffs =
+            (self.k..self.n()).flat_map(|i| (0..self.k).map(move |j| self.generator[(i, j)]));
+        if len >= chameleon_gf::WIDE_BUILD_THRESHOLD {
+            cache.prime_wide(coeffs);
+        } else {
+            cache.prime(coeffs);
+        }
+        // tables[pi][j] multiplies source j into parity row pi.
+        let tables: Vec<Vec<&MulTable>> = (self.k..self.n())
+            .map(|i| {
+                (0..self.k)
+                    .map(|j| {
+                        cache
+                            .cached(self.generator[(i, j)])
+                            .expect("cache was primed")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut parity: Vec<Vec<u8>> = (0..m).map(|_| vec![0u8; len]).collect();
+
+        // The fused block pass over one contiguous byte region, shared by
+        // the single-threaded and fanned-out paths. `regions[pi]` is the
+        // [base, base + region_len) window of parity row `pi`.
+        let apply_region = |base: usize, regions: &mut [&mut [u8]]| {
+            let region_len = regions.first().map_or(0, |r| r.len());
+            let mut off = 0;
+            while off < region_len {
+                let block = stripe.min(region_len - off);
+                for (j, src) in data.iter().enumerate() {
+                    let src_block = &src[base + off..base + off + block];
+                    for (row_tables, region) in tables.iter().zip(regions.iter_mut()) {
+                        mul_slice_xor_with(row_tables[j], src_block, &mut region[off..off + block]);
+                    }
+                }
+                off += block;
+            }
+        };
+
+        let workers = if fan_out {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(len.div_ceil(stripe).max(1))
+        } else {
+            1
+        };
+
+        if workers <= 1 {
+            let mut regions: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            apply_region(0, &mut regions);
+        } else {
+            // Split every parity buffer at the same stripe-aligned cuts and
+            // regroup by worker, so each worker's mutable borrows are
+            // disjoint by construction.
+            let region = len.div_ceil(workers).div_ceil(stripe).max(1) * stripe;
+            let mut per_worker: Vec<Vec<&mut [u8]>> =
+                (0..len.div_ceil(region)).map(|_| Vec::new()).collect();
+            for row in parity.iter_mut() {
+                for (t, seg) in row.chunks_mut(region).enumerate() {
+                    per_worker[t].push(seg);
+                }
+            }
+            std::thread::scope(|s| {
+                for (t, mut segments) in per_worker.into_iter().enumerate() {
+                    let apply_region = &apply_region;
+                    s.spawn(move || apply_region(t * region, &mut segments));
+                }
+            });
+        }
+
+        stripe_out.extend(parity);
+        Ok(stripe_out)
     }
 
     /// Expresses chunk `wanted` as a linear combination of the available
@@ -362,6 +476,36 @@ mod tests {
                 assert_eq!(striped, plain, "lost={lost} stripe={stripe_bytes}");
             }
         }
+    }
+
+    #[test]
+    fn encode_striped_matches_encode() {
+        let code = toy_code();
+        // Several stripes at the tiny stripe sizes below, plus a ragged
+        // tail that is not a multiple of the stripe or word size.
+        let len = 3 * 1024 + 5;
+        let data: Vec<Vec<u8>> = (0..3)
+            .map(|j| {
+                (0..len)
+                    .map(|i| ((i * 37 + j * 11 + 2) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|c| c.as_slice()).collect();
+        let plain = code.encode(&refs).unwrap();
+        for stripe_bytes in [0usize, 64, 1024, 1 << 20] {
+            let striped = code.encode_striped(&refs, stripe_bytes).unwrap();
+            assert_eq!(striped, plain, "stripe={stripe_bytes}");
+        }
+    }
+
+    #[test]
+    fn encode_striped_handles_empty_chunks() {
+        let code = toy_code();
+        let data = [&[][..], &[][..], &[][..]];
+        let stripe = code.encode_striped(&data, 64).unwrap();
+        assert_eq!(stripe.len(), 5);
+        assert!(stripe.iter().all(Vec::is_empty));
     }
 
     #[test]

@@ -85,6 +85,14 @@ impl ErasureCode for ReedSolomon {
         self.inner.encode(data)
     }
 
+    fn encode_striped(
+        &self,
+        data: &[&[u8]],
+        stripe_bytes: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        self.inner.encode_striped(data, stripe_bytes)
+    }
+
     fn decode(&self, available: &[(usize, &[u8])], wanted: usize) -> Result<Vec<u8>, CodeError> {
         self.inner.decode(available, wanted)
     }

@@ -54,6 +54,10 @@ pub struct CodingStats {
     pub bytes_coded: u64,
     /// Chunks whose coding stages were executed.
     pub chunks_coded: usize,
+    /// Name of the GF kernel the stages dispatched to
+    /// (`chameleon_gf::active_kernel()`), so reported nanoseconds are
+    /// attributable to a code path. Empty until a chunk is coded.
+    pub kernel: &'static str,
 }
 
 impl CodingStats {
@@ -64,6 +68,11 @@ impl CodingStats {
 
     /// Accumulates another chunk's stats into this campaign total.
     pub fn merge(&mut self, other: &CodingStats) {
+        if self.kernel.is_empty() {
+            // The kernel is selected once per process, so any non-empty
+            // name merged in is the campaign-wide one.
+            self.kernel = other.kernel;
+        }
         self.source_scale_nanos += other.source_scale_nanos;
         self.relay_merge_nanos += other.relay_merge_nanos;
         self.reassemble_nanos += other.reassemble_nanos;
@@ -114,6 +123,7 @@ impl PlanCoder {
             .all(|p| (p.read_fraction - 1.0).abs() < 1e-12);
         let mut stats = CodingStats {
             chunks_coded: 1,
+            kernel: chameleon_gf::active_kernel(),
             ..CodingStats::default()
         };
         if !relayable {
@@ -371,11 +381,22 @@ mod tests {
             reassemble_nanos: 11,
             bytes_coded: 13,
             chunks_coded: 1,
+            kernel: "avx2",
         };
         total.merge(&one);
         total.merge(&one);
         assert_eq!(total.total_nanos(), 46);
         assert_eq!(total.bytes_coded, 26);
         assert_eq!(total.chunks_coded, 2);
+        assert_eq!(total.kernel, "avx2");
+    }
+
+    #[test]
+    fn run_records_active_kernel() {
+        let plan = RepairPlan::new(chunk(), 2, vec![part(0, 2, 3), part(1, 2, 5)]).unwrap();
+        let mut coder = PlanCoder::new(4 * 1024);
+        let stats = coder.run(&plan);
+        assert_eq!(stats.kernel, chameleon_gf::active_kernel());
+        assert!(!stats.kernel.is_empty());
     }
 }

@@ -22,6 +22,15 @@
 //! them so Gauss–Jordan decodes and matrix–chunk products that reuse the
 //! same coefficients never rebuild a table.
 //!
+//! When the host CPU has a byte-shuffle SIMD kernel (see
+//! [`crate::simd`]), the bulk entry points [`mul_slice_with`] and
+//! [`mul_slice_xor_with`] dispatch to it instead of the table loops: the
+//! same nibble tables, but 16/32 lookups per instruction. The portable
+//! split/wide path survives unchanged as the fallback (and is reachable
+//! explicitly via [`mul_slice_with_portable`] /
+//! [`mul_slice_xor_with_portable`] for benchmarks and differential
+//! tests, or process-wide via `CHAMELEON_GF_KERNEL=scalar`).
+//!
 //! The [`scalar`] module keeps the original byte-at-a-time loops as the
 //! reference implementation for equivalence tests and benchmarks.
 
@@ -120,11 +129,16 @@ impl MulTable {
     /// The wide table to use for a bulk call over `len` bytes: an
     /// existing one, one built on the spot when `len` amortises the build,
     /// or `None` (stay on the 256-entry row).
+    ///
+    /// When a SIMD kernel is active the 128 KiB build is never triggered
+    /// automatically — bulk calls go through the SIMD path, so the wide
+    /// table would be dead weight (an already-built one is still used by
+    /// the explicit portable entry points).
     #[inline]
     fn wide_for(&self, len: usize) -> Option<&[u16; 65536]> {
         if let Some(w) = self.wide.get() {
             Some(w)
-        } else if len >= WIDE_BUILD_THRESHOLD {
+        } else if len >= WIDE_BUILD_THRESHOLD && crate::simd::active().is_none() {
             Some(self.ensure_wide())
         } else {
             None
@@ -180,9 +194,18 @@ impl MulTableCache {
     /// wide double table. Worth it when every coefficient will be applied
     /// to bulk data in sub-[`WIDE_BUILD_THRESHOLD`] pieces (e.g. stripe-
     /// sized kernel calls repeated across a whole chunk).
+    ///
+    /// When a SIMD kernel is active this degrades to plain
+    /// [`MulTableCache::prime`]: bulk calls take the SIMD path off the
+    /// 16-entry nibble tables, so the 128 KiB-per-coefficient wide tables
+    /// would double the cache's footprint for zero benefit.
     pub fn prime_wide(&mut self, coeffs: impl IntoIterator<Item = Gf256>) {
+        let simd_active = crate::simd::active().is_some();
         for c in coeffs {
-            self.get(c).ensure_wide();
+            let table = self.get(c);
+            if !simd_active {
+                table.ensure_wide();
+            }
         }
     }
 
@@ -225,6 +248,9 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
 /// Multiplies every byte of `src` by the table's constant, writing into
 /// `dst`: `dst[i] = c * src[i]`.
 ///
+/// Dispatches to the process-wide SIMD kernel when one is active (see
+/// [`crate::simd::active`]), otherwise takes the portable split/wide path.
+///
 /// # Panics
 ///
 /// Panics if `src` and `dst` have different lengths.
@@ -238,6 +264,37 @@ pub fn mul_slice_with(table: &MulTable, src: &[u8], dst: &mut [u8]) {
         dst.copy_from_slice(src);
         return;
     }
+    if let Some(kernel) = crate::simd::active() {
+        kernel.mul_slice(table, src, dst);
+        return;
+    }
+    mul_slice_with_row(table, src, dst);
+}
+
+/// Portable `dst[i] = c * src[i]` — the split/wide table path, never the
+/// SIMD kernels. The regular [`mul_slice_with`] entry point should be
+/// preferred; this exists so benchmarks and differential tests can pin the
+/// code path regardless of host CPU or `CHAMELEON_GF_KERNEL`.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice_with_portable(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if table.coeff.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if table.coeff == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    mul_slice_with_row(table, src, dst);
+}
+
+/// Shared portable tail of [`mul_slice_with`]: wide table if available (or
+/// worth building), else the 256-entry row loop.
+fn mul_slice_with_row(table: &MulTable, src: &[u8], dst: &mut [u8]) {
     if let Some(wide) = table.wide_for(src.len()) {
         mul_wide(wide, src, dst);
         return;
@@ -309,6 +366,9 @@ fn mul_xor_wide(wide: &[u16; 65536], src: &[u8], dst: &mut [u8]) {
 /// Multiplies every byte of `src` by the table's constant and
 /// XOR-accumulates into `dst`: `dst[i] ^= c * src[i]`.
 ///
+/// Dispatches to the process-wide SIMD kernel when one is active (see
+/// [`crate::simd::active`]), otherwise takes the portable split/wide path.
+///
 /// # Panics
 ///
 /// Panics if `src` and `dst` have different lengths.
@@ -321,6 +381,34 @@ pub fn mul_slice_xor_with(table: &MulTable, src: &[u8], dst: &mut [u8]) {
         xor_slice(src, dst);
         return;
     }
+    if let Some(kernel) = crate::simd::active() {
+        kernel.mul_slice_xor(table, src, dst);
+        return;
+    }
+    mul_slice_xor_with_row(table, src, dst);
+}
+
+/// Portable `dst[i] ^= c * src[i]` — the split/wide table path, never the
+/// SIMD kernels. See [`mul_slice_with_portable`] for when to use this.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn mul_slice_xor_with_portable(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if table.coeff.is_zero() {
+        return;
+    }
+    if table.coeff == Gf256::ONE {
+        xor_slice(src, dst);
+        return;
+    }
+    mul_slice_xor_with_row(table, src, dst);
+}
+
+/// Shared portable tail of [`mul_slice_xor_with`]: wide table if available
+/// (or worth building), else the 256-entry row loop.
+fn mul_slice_xor_with_row(table: &MulTable, src: &[u8], dst: &mut [u8]) {
     if let Some(wide) = table.wide_for(src.len()) {
         mul_xor_wide(wide, src, dst);
         return;

@@ -15,6 +15,9 @@
 //! - [`Matrix`]: dense row-major matrices over GF(2^8) with Vandermonde and
 //!   Cauchy constructors and Gauss–Jordan inversion, the building blocks of
 //!   Reed–Solomon and LRC codes.
+//! - [`simd`]: arch-specific byte-shuffle multiply kernels (SSSE3 / AVX2 /
+//!   NEON) selected once per process by runtime feature detection, with a
+//!   `CHAMELEON_GF_KERNEL` override; [`active_kernel`] names the path in use.
 //!
 //! # Examples
 //!
@@ -29,17 +32,23 @@
 //! assert_eq!(m.rows(), 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the `simd` module is the single opt-out
+// (module-level `allow`) because `std::arch` intrinsics require it. Every
+// unsafe block there carries a safety argument (see DESIGN.md §3.11).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;
 pub mod kernels;
 mod matrix;
+pub mod simd;
 mod tables;
 
 pub use field::{add_assign_slice, mul_add_slice, mul_slice, Gf256};
 pub use kernels::{
-    mul_slice_split, mul_slice_with, mul_slice_xor_split, mul_slice_xor_with, scalar, xor_slice,
-    MulTable, MulTableCache, WIDE_BUILD_THRESHOLD,
+    mul_slice_split, mul_slice_with, mul_slice_with_portable, mul_slice_xor_split,
+    mul_slice_xor_with, mul_slice_xor_with_portable, scalar, xor_slice, MulTable, MulTableCache,
+    WIDE_BUILD_THRESHOLD,
 };
 pub use matrix::{Matrix, MatrixError};
+pub use simd::{active_kernel, available_simd_kernels, SimdKernel};

@@ -1,0 +1,517 @@
+//! Arch-specific SIMD GF(2^8) multiply kernels with runtime dispatch.
+//!
+//! The portable kernels in [`crate::kernels`] are load-bound: one (split
+//! row) or one-per-two-bytes (wide table) dependent table loads. The
+//! classic way past that bound (GF-Complete, ISA-L, the
+//! `reed_solomon_erasure` crate) is the 4-bit table lookup: the two
+//! 16-entry nibble tables a [`MulTable`] already carries fit exactly into
+//! one SIMD register each, and a byte-shuffle instruction
+//! (`PSHUFB` on x86, `TBL` on AArch64) performs sixteen (or thirty-two)
+//! table lookups per instruction:
+//!
+//! ```text
+//! product = shuffle(lo_table, src & 0x0F) ^ shuffle(hi_table, src >> 4)
+//! ```
+//!
+//! Three kernels are provided, each compiled only for its architecture
+//! and selected once per process by runtime feature detection:
+//!
+//! - **ssse3** — 16 bytes per step via `_mm_shuffle_epi8`
+//! - **avx2** — 32 bytes per step via `_mm256_shuffle_epi8`
+//! - **neon** — 16 bytes per step via `vqtbl1q_u8`
+//!
+//! [`active`] picks the best available kernel (avx2 > ssse3, neon on
+//! AArch64) unless the `CHAMELEON_GF_KERNEL` environment variable forces
+//! one (`scalar` forces the portable split/wide-table fallback; a kernel
+//! name the host cannot run falls back to auto-detection with a warning).
+//! The bulk entry points in [`crate::kernels`] consult [`active`] on
+//! every call, so the whole workspace switches code paths together.
+//!
+//! # Safety
+//!
+//! This module is the only place in the workspace that uses `unsafe`
+//! (the crate root is `#![deny(unsafe_code)]`). The argument, kernel by
+//! kernel:
+//!
+//! - Every intrinsic is gated at the call site: the `unsafe fn`s carrying
+//!   `#[target_feature(...)]` are reachable only through [`SimdKernel`]
+//!   values constructed after the matching
+//!   `is_x86_feature_detected!`/`is_aarch64_feature_detected!` check
+//!   passed, so an illegal instruction can never be executed.
+//! - No alignment is assumed: all loads/stores use the unaligned
+//!   variants (`_mm_loadu_si128`/`_mm256_loadu_si256`/`vld1q_u8` — the
+//!   AArch64 `vld1q_u8` has no alignment requirement), so arbitrary
+//!   sub-slices are fine.
+//! - All pointer arithmetic stays inside `src`/`dst`: the vector loop
+//!   covers `len - len % LANE` bytes and the remainder is handled by a
+//!   safe scalar tail loop over the 256-entry product row.
+//! - `src` and `dst` never alias (`&[u8]` vs `&mut [u8]` guarantees it).
+
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use crate::kernels::MulTable;
+
+/// One runtime-detected SIMD kernel: a name plus `dst = c*src` and
+/// `dst ^= c*src` slice routines driven by a [`MulTable`]'s nibble
+/// tables.
+///
+/// Values of this type only exist for kernels the host CPU can run
+/// (see [`available_simd_kernels`]), which is what makes the safe
+/// [`SimdKernel::mul_slice`]/[`SimdKernel::mul_slice_xor`] wrappers
+/// sound.
+#[derive(Clone, Copy)]
+pub struct SimdKernel {
+    name: &'static str,
+    mul: unsafe fn(&MulTable, &[u8], &mut [u8]),
+    mul_xor: unsafe fn(&MulTable, &[u8], &mut [u8]),
+}
+
+impl std::fmt::Debug for SimdKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimdKernel")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl SimdKernel {
+    /// The kernel's name (`"ssse3"`, `"avx2"`, or `"neon"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `dst[i] = c * src[i]` for the table's constant, any length and
+    /// alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_slice(&self, table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        // SAFETY: this SimdKernel was constructed only after runtime
+        // feature detection confirmed the instruction set is available.
+        unsafe { (self.mul)(table, src, dst) }
+    }
+
+    /// `dst[i] ^= c * src[i]` for the table's constant, any length and
+    /// alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn mul_slice_xor(&self, table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        // SAFETY: as above — construction implies the feature is present.
+        unsafe { (self.mul_xor)(table, src, dst) }
+    }
+}
+
+/// Every SIMD kernel the host CPU supports, best first. Detection runs
+/// once; the result is independent of the `CHAMELEON_GF_KERNEL` override
+/// so differential tests can always drive every host-capable path.
+pub fn available_simd_kernels() -> &'static [SimdKernel] {
+    static KERNELS: OnceLock<Vec<SimdKernel>> = OnceLock::new();
+    KERNELS.get_or_init(detect)
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+fn detect() -> Vec<SimdKernel> {
+    let mut kernels = Vec::new();
+    if is_x86_feature_detected!("avx2") {
+        kernels.push(SimdKernel {
+            name: "avx2",
+            mul: x86::mul_slice_avx2_entry,
+            mul_xor: x86::mul_slice_xor_avx2_entry,
+        });
+    }
+    if is_x86_feature_detected!("ssse3") {
+        kernels.push(SimdKernel {
+            name: "ssse3",
+            mul: x86::mul_slice_ssse3_entry,
+            mul_xor: x86::mul_slice_xor_ssse3_entry,
+        });
+    }
+    kernels
+}
+
+#[cfg(target_arch = "aarch64")]
+fn detect() -> Vec<SimdKernel> {
+    let mut kernels = Vec::new();
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        kernels.push(SimdKernel {
+            name: "neon",
+            mul: arm::mul_slice_neon_entry,
+            mul_xor: arm::mul_slice_xor_neon_entry,
+        });
+    }
+    kernels
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "x86", target_arch = "aarch64")))]
+fn detect() -> Vec<SimdKernel> {
+    Vec::new()
+}
+
+/// What `CHAMELEON_GF_KERNEL` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KernelChoice {
+    /// No (or empty) override: pick the best available kernel.
+    Auto,
+    /// Force the portable split/wide-table fallback.
+    Scalar,
+    /// Force the named SIMD kernel, if the host has it.
+    Named(&'static str),
+}
+
+/// Parses a `CHAMELEON_GF_KERNEL` value. Unknown names are reported as
+/// `Err` so the caller can warn and fall back to auto-detection.
+pub(crate) fn parse_kernel_choice(value: &str) -> Result<KernelChoice, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(KernelChoice::Auto),
+        // `scalar` forces the portable non-SIMD path; `split` and `wide`
+        // are accepted aliases since that is the code path they land on.
+        "scalar" | "split" | "wide" => Ok(KernelChoice::Scalar),
+        "ssse3" => Ok(KernelChoice::Named("ssse3")),
+        "avx2" => Ok(KernelChoice::Named("avx2")),
+        "neon" => Ok(KernelChoice::Named("neon")),
+        other => Err(format!(
+            "unknown CHAMELEON_GF_KERNEL value `{other}` \
+             (expected scalar|ssse3|avx2|neon)"
+        )),
+    }
+}
+
+/// The kernel the bulk entry points dispatch to, selected once per
+/// process: the best available SIMD kernel, or `None` (portable
+/// split/wide-table fallback) when the host has none or
+/// `CHAMELEON_GF_KERNEL=scalar` forces it.
+pub fn active() -> Option<&'static SimdKernel> {
+    static ACTIVE: OnceLock<Option<&'static SimdKernel>> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let available = available_simd_kernels();
+        let choice = match std::env::var("CHAMELEON_GF_KERNEL") {
+            Ok(v) => parse_kernel_choice(&v).unwrap_or_else(|msg| {
+                eprintln!("chameleon-gf: {msg}; falling back to auto-detection");
+                KernelChoice::Auto
+            }),
+            Err(_) => KernelChoice::Auto,
+        };
+        match choice {
+            KernelChoice::Scalar => None,
+            KernelChoice::Auto => available.first(),
+            KernelChoice::Named(name) => {
+                if let Some(k) = available.iter().find(|k| k.name == name) {
+                    Some(k)
+                } else {
+                    eprintln!(
+                        "chameleon-gf: CHAMELEON_GF_KERNEL={name} is not available \
+                         on this CPU; falling back to auto-detection"
+                    );
+                    available.first()
+                }
+            }
+        }
+    })
+}
+
+/// Name of the kernel the bulk GF entry points are dispatching to:
+/// `"avx2"`, `"ssse3"`, or `"neon"` when a SIMD kernel is active, else
+/// `"scalar"` (the portable split/wide-table path). Observability
+/// surfaces (CLI profile output, experiment CSVs) record this so
+/// measured numbers are attributable to a code path.
+pub fn active_kernel() -> &'static str {
+    active().map_or("scalar", |k| k.name)
+}
+
+/// Scalar tail after the vector loop: one product-row lookup per byte.
+#[inline(always)]
+fn row_tail(table: &MulTable, src: &[u8], dst: &mut [u8], done: usize) {
+    for (d, &s) in dst[done..].iter_mut().zip(&src[done..]) {
+        *d = table.mul(s);
+    }
+}
+
+/// XOR-accumulating scalar tail.
+#[inline(always)]
+fn row_tail_xor(table: &MulTable, src: &[u8], dst: &mut [u8], done: usize) {
+    for (d, &s) in dst[done..].iter_mut().zip(&src[done..]) {
+        *d ^= table.mul(s);
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+mod x86 {
+    //! SSSE3 / AVX2 nibble-shuffle kernels.
+    //!
+    //! SAFETY (whole module): every `#[target_feature]` function here is
+    //! called only through the `*_entry` trampolines, which in turn are
+    //! reachable only via [`super::SimdKernel`] values built after the
+    //! matching `is_x86_feature_detected!` check. All loads/stores are
+    //! the unaligned (`loadu`/`storeu`) variants, and all offsets stay
+    //! within the slice bounds established by the exact-length loops.
+
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use super::{row_tail, row_tail_xor};
+    use crate::kernels::MulTable;
+
+    /// Plain-`unsafe fn` trampoline so the kernel can live in a fn
+    /// pointer (a `#[target_feature]` fn cannot be coerced directly).
+    pub(super) unsafe fn mul_slice_ssse3_entry(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        unsafe { mul_slice_ssse3(t, src, dst) }
+    }
+
+    pub(super) unsafe fn mul_slice_xor_ssse3_entry(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        unsafe { mul_slice_xor_ssse3(t, src, dst) }
+    }
+
+    pub(super) unsafe fn mul_slice_avx2_entry(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        unsafe { mul_slice_avx2(t, src, dst) }
+    }
+
+    pub(super) unsafe fn mul_slice_xor_avx2_entry(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        unsafe { mul_slice_xor_avx2(t, src, dst) }
+    }
+
+    /// 16 GF multiplies per step: two `PSHUFB` nibble lookups + XOR.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_slice_ssse3(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (lo, hi) = table.nibble_tables();
+        let lo_v = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_v = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let blocks = src.len() / 16;
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..blocks {
+            let s = _mm_loadu_si128(sp.add(i * 16).cast());
+            let l = _mm_shuffle_epi8(lo_v, _mm_and_si128(s, mask));
+            let h = _mm_shuffle_epi8(hi_v, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            _mm_storeu_si128(dp.add(i * 16).cast(), _mm_xor_si128(l, h));
+        }
+        row_tail(table, src, dst, blocks * 16);
+    }
+
+    /// `dst ^= c*src`, 16 bytes per step.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_slice_xor_ssse3(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (lo, hi) = table.nibble_tables();
+        let lo_v = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_v = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let blocks = src.len() / 16;
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..blocks {
+            let s = _mm_loadu_si128(sp.add(i * 16).cast());
+            let l = _mm_shuffle_epi8(lo_v, _mm_and_si128(s, mask));
+            let h = _mm_shuffle_epi8(hi_v, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            let d = _mm_loadu_si128(dp.add(i * 16).cast());
+            let prod = _mm_xor_si128(l, h);
+            _mm_storeu_si128(dp.add(i * 16).cast(), _mm_xor_si128(d, prod));
+        }
+        row_tail_xor(table, src, dst, blocks * 16);
+    }
+
+    /// 32 GF multiplies per step: the nibble tables are broadcast into
+    /// both 128-bit lanes (`VPSHUFB` shuffles within lanes, which is
+    /// exactly what a 16-entry table lookup wants).
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_slice_avx2(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (lo, hi) = table.nibble_tables();
+        let lo_v = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_v = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let blocks = src.len() / 32;
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..blocks {
+            let s = _mm256_loadu_si256(sp.add(i * 32).cast());
+            let l = _mm256_shuffle_epi8(lo_v, _mm256_and_si256(s, mask));
+            let h = _mm256_shuffle_epi8(hi_v, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            _mm256_storeu_si256(dp.add(i * 32).cast(), _mm256_xor_si256(l, h));
+        }
+        row_tail(table, src, dst, blocks * 32);
+    }
+
+    /// `dst ^= c*src`, 32 bytes per step.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_slice_xor_avx2(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (lo, hi) = table.nibble_tables();
+        let lo_v = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_v = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let blocks = src.len() / 32;
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..blocks {
+            let s = _mm256_loadu_si256(sp.add(i * 32).cast());
+            let l = _mm256_shuffle_epi8(lo_v, _mm256_and_si256(s, mask));
+            let h = _mm256_shuffle_epi8(hi_v, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            let d = _mm256_loadu_si256(dp.add(i * 32).cast());
+            let prod = _mm256_xor_si256(l, h);
+            _mm256_storeu_si256(dp.add(i * 32).cast(), _mm256_xor_si256(d, prod));
+        }
+        row_tail_xor(table, src, dst, blocks * 32);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    //! NEON `TBL` kernels.
+    //!
+    //! SAFETY (whole module): reachable only through [`super::SimdKernel`]
+    //! values built after `is_aarch64_feature_detected!("neon")` passed
+    //! (NEON is mandatory on AArch64, but the check keeps the argument
+    //! local). `vld1q_u8`/`vst1q_u8` have no alignment requirements and
+    //! all offsets stay inside the slices.
+
+    use std::arch::aarch64::*;
+
+    use super::{row_tail, row_tail_xor};
+    use crate::kernels::MulTable;
+
+    pub(super) unsafe fn mul_slice_neon_entry(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        unsafe { mul_slice_neon(t, src, dst) }
+    }
+
+    pub(super) unsafe fn mul_slice_xor_neon_entry(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        unsafe { mul_slice_xor_neon(t, src, dst) }
+    }
+
+    /// 16 GF multiplies per step: two `vqtbl1q_u8` nibble lookups + XOR.
+    /// The high nibble comes from a plain per-byte shift (`vshrq_n_u8`),
+    /// no mask needed.
+    #[target_feature(enable = "neon")]
+    unsafe fn mul_slice_neon(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (lo, hi) = table.nibble_tables();
+        let lo_v = vld1q_u8(lo.as_ptr());
+        let hi_v = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let blocks = src.len() / 16;
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..blocks {
+            let s = vld1q_u8(sp.add(i * 16));
+            let l = vqtbl1q_u8(lo_v, vandq_u8(s, mask));
+            let h = vqtbl1q_u8(hi_v, vshrq_n_u8(s, 4));
+            vst1q_u8(dp.add(i * 16), veorq_u8(l, h));
+        }
+        row_tail(table, src, dst, blocks * 16);
+    }
+
+    /// `dst ^= c*src`, 16 bytes per step.
+    #[target_feature(enable = "neon")]
+    unsafe fn mul_slice_xor_neon(table: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (lo, hi) = table.nibble_tables();
+        let lo_v = vld1q_u8(lo.as_ptr());
+        let hi_v = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0F);
+        let blocks = src.len() / 16;
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for i in 0..blocks {
+            let s = vld1q_u8(sp.add(i * 16));
+            let l = vqtbl1q_u8(lo_v, vandq_u8(s, mask));
+            let h = vqtbl1q_u8(hi_v, vshrq_n_u8(s, 4));
+            let d = vld1q_u8(dp.add(i * 16));
+            vst1q_u8(dp.add(i * 16), veorq_u8(d, veorq_u8(l, h)));
+        }
+        row_tail_xor(table, src, dst, blocks * 16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Gf256;
+    use crate::kernels::scalar;
+
+    #[test]
+    fn parse_choices() {
+        assert_eq!(parse_kernel_choice(""), Ok(KernelChoice::Auto));
+        assert_eq!(parse_kernel_choice("auto"), Ok(KernelChoice::Auto));
+        assert_eq!(parse_kernel_choice("scalar"), Ok(KernelChoice::Scalar));
+        assert_eq!(parse_kernel_choice("split"), Ok(KernelChoice::Scalar));
+        assert_eq!(parse_kernel_choice("wide"), Ok(KernelChoice::Scalar));
+        assert_eq!(
+            parse_kernel_choice(" AVX2 "),
+            Ok(KernelChoice::Named("avx2"))
+        );
+        assert_eq!(
+            parse_kernel_choice("SSSE3"),
+            Ok(KernelChoice::Named("ssse3"))
+        );
+        assert_eq!(parse_kernel_choice("neon"), Ok(KernelChoice::Named("neon")));
+        assert!(parse_kernel_choice("sse9").is_err());
+    }
+
+    #[test]
+    fn active_kernel_name_is_consistent_with_active() {
+        match active() {
+            Some(k) => assert_eq!(active_kernel(), k.name()),
+            None => assert_eq!(active_kernel(), "scalar"),
+        }
+    }
+
+    #[test]
+    fn every_available_kernel_matches_scalar_on_edge_lengths() {
+        // Lengths straddle the 16- and 32-byte lanes, including 0 and
+        // lengths that leave 1..=31-byte tails.
+        let lens = [
+            0usize, 1, 5, 15, 16, 17, 31, 32, 33, 47, 63, 64, 65, 255, 1021,
+        ];
+        for kernel in available_simd_kernels() {
+            for c in [0u8, 1, 2, 0x1D, 0x53, 0x8E, 0xFF] {
+                let c = Gf256::new(c);
+                let table = MulTable::new(c);
+                for &len in &lens {
+                    let src: Vec<u8> = (0..len).map(|i| (i * 41 + 3) as u8).collect();
+                    let init: Vec<u8> = (0..len).map(|i| (i * 97 + 13) as u8).collect();
+                    let (mut fast, mut slow) = (vec![0u8; len], vec![0u8; len]);
+                    kernel.mul_slice(&table, &src, &mut fast);
+                    scalar::mul_slice(c, &src, &mut slow);
+                    assert_eq!(fast, slow, "{} mul len={len} c={c}", kernel.name());
+                    let (mut facc, mut sacc) = (init.clone(), init.clone());
+                    kernel.mul_slice_xor(&table, &src, &mut facc);
+                    scalar::mul_slice_xor(c, &src, &mut sacc);
+                    assert_eq!(facc, sacc, "{} mul_xor len={len} c={c}", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_subslices_match_scalar() {
+        // Carve sub-slices at every offset 0..16 out of a shared buffer so
+        // the vector loops see genuinely misaligned pointers.
+        let backing: Vec<u8> = (0..512).map(|i| (i * 29 + 7) as u8).collect();
+        for kernel in available_simd_kernels() {
+            let table = MulTable::new(Gf256::new(0xB7));
+            for off in 0..16usize {
+                let src = &backing[off..off + 121];
+                let (mut fast, mut slow) = (vec![0u8; 121], vec![0u8; 121]);
+                kernel.mul_slice(&table, src, &mut fast);
+                scalar::mul_slice(Gf256::new(0xB7), src, &mut slow);
+                assert_eq!(fast, slow, "{} offset={off}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let Some(kernel) = available_simd_kernels().first() else {
+            panic!("length mismatch"); // keep the contract on SIMD-less hosts
+        };
+        let table = MulTable::new(Gf256::new(3));
+        let src = [0u8; 8];
+        let mut dst = [0u8; 9];
+        kernel.mul_slice(&table, &src, &mut dst);
+    }
+}

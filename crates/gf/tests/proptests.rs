@@ -3,8 +3,9 @@
 //! scalar reference.
 
 use chameleon_gf::{
-    add_assign_slice, mul_add_slice, mul_slice, mul_slice_split, mul_slice_with,
-    mul_slice_xor_split, mul_slice_xor_with, scalar, xor_slice, Gf256, Matrix, MulTable,
+    add_assign_slice, available_simd_kernels, mul_add_slice, mul_slice, mul_slice_split,
+    mul_slice_with, mul_slice_with_portable, mul_slice_xor_split, mul_slice_xor_with,
+    mul_slice_xor_with_portable, scalar, xor_slice, Gf256, Matrix, MulTable,
 };
 use proptest::prelude::*;
 
@@ -203,6 +204,87 @@ proptest! {
     }
 }
 
+// SIMD differential suite: every kernel the host exposes must be
+// byte-identical to the scalar reference on arbitrary buffers. Lengths
+// run to 4 KiB so multi-lane bodies plus odd tails are exercised, and
+// the buffers are re-sliced at every offset 0..16 so no alignment
+// assumption survives (the kernels use unaligned loads only). Fewer
+// cases than the default because each case sweeps all kernels × 17
+// offsets.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_kernels_match_scalar_at_all_offsets(
+        c in elem(),
+        data in proptest::collection::vec(any::<u8>(), 0..=4096),
+        init in any::<u8>(),
+    ) {
+        let table = MulTable::new(c);
+        let acc0: Vec<u8> = data.iter().map(|&b| b.wrapping_mul(31).wrapping_add(init)).collect();
+        for kernel in available_simd_kernels() {
+            for off in 0..=16usize.min(data.len()) {
+                let src = &data[off..];
+                let mut fast = vec![0u8; src.len()];
+                let mut slow = vec![0u8; src.len()];
+                kernel.mul_slice(&table, src, &mut fast);
+                scalar::mul_slice(c, src, &mut slow);
+                prop_assert_eq!(&fast, &slow, "{} mul off={}", kernel.name(), off);
+                let mut facc = acc0[off..].to_vec();
+                let mut sacc = acc0[off..].to_vec();
+                kernel.mul_slice_xor(&table, src, &mut facc);
+                scalar::mul_slice_xor(c, src, &mut sacc);
+                prop_assert_eq!(&facc, &sacc, "{} mul_xor off={}", kernel.name(), off);
+            }
+        }
+    }
+
+    // The portable entry points must stay equivalent too — they are the
+    // pinned-path baseline for benches and the CHAMELEON_GF_KERNEL=scalar
+    // escape hatch.
+    #[test]
+    fn portable_entry_points_match_scalar(
+        c in elem(),
+        wide in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..=4096),
+    ) {
+        let table = MulTable::new(c);
+        if wide {
+            table.ensure_wide();
+        }
+        let mut fast = vec![0u8; data.len()];
+        let mut slow = vec![0u8; data.len()];
+        mul_slice_with_portable(&table, &data, &mut fast);
+        scalar::mul_slice(c, &data, &mut slow);
+        prop_assert_eq!(&fast, &slow, "portable mul wide={}", wide);
+        let mut facc = data.clone();
+        let mut sacc = data.clone();
+        mul_slice_xor_with_portable(&table, &data, &mut facc);
+        scalar::mul_slice_xor(c, &data, &mut sacc);
+        prop_assert_eq!(facc, sacc, "portable mul_xor wide={}", wide);
+    }
+
+    // The public dispatcher (whatever path it picks on this host) agrees
+    // with scalar on the same arbitrary buffers.
+    #[test]
+    fn dispatched_kernels_match_scalar(
+        c in elem(),
+        data in proptest::collection::vec(any::<u8>(), 0..=4096),
+    ) {
+        let table = MulTable::new(c);
+        let mut fast = vec![0u8; data.len()];
+        let mut slow = vec![0u8; data.len()];
+        mul_slice_with(&table, &data, &mut fast);
+        scalar::mul_slice(c, &data, &mut slow);
+        prop_assert_eq!(&fast, &slow, "dispatch mul");
+        let mut facc = data.clone();
+        let mut sacc = data.clone();
+        mul_slice_xor_with(&table, &data, &mut facc);
+        scalar::mul_slice_xor(c, &data, &mut sacc);
+        prop_assert_eq!(facc, sacc);
+    }
+}
+
 /// Exhaustive (not sampled): every one of the 256 field constants, on a
 /// buffer whose length is not a multiple of the 8- or 16-byte unrolls.
 #[test]
@@ -226,5 +308,15 @@ fn every_constant_matches_scalar_on_unaligned_buffer() {
         mul_slice_xor_with(&table, &data, &mut facc);
         scalar::mul_slice_xor(c, &data, &mut sacc);
         assert_eq!(facc, sacc, "wide mul_xor c={c}");
+        for kernel in available_simd_kernels() {
+            let (mut fast3, mut slow3) = (vec![0u8; len], vec![0u8; len]);
+            kernel.mul_slice(&table, &data, &mut fast3);
+            scalar::mul_slice(c, &data, &mut slow3);
+            assert_eq!(fast3, slow3, "{} mul c={c}", kernel.name());
+            let (mut facc3, mut sacc3) = (init.clone(), init.clone());
+            kernel.mul_slice_xor(&table, &data, &mut facc3);
+            scalar::mul_slice_xor(c, &data, &mut sacc3);
+            assert_eq!(facc3, sacc3, "{} mul_xor c={c}", kernel.name());
+        }
     }
 }
