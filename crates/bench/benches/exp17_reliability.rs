@@ -1,0 +1,7 @@
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp17`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the orchestrated failure campaigns it runs.
+
+fn main() {
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp17::run);
+}

@@ -27,6 +27,7 @@ pub mod exp13;
 pub mod exp14;
 pub mod exp15;
 pub mod exp16;
+pub mod exp17;
 pub mod fig02;
 pub mod fig04;
 pub mod fig05;
@@ -48,7 +49,7 @@ pub struct Experiment {
 }
 
 /// Every experiment and figure study, in evaluation order.
-pub const ALL: [Experiment; 20] = [
+pub const ALL: [Experiment; 21] = [
     Experiment {
         name: "fig02_reliability",
         title: "Fig. 2: data-loss probability vs repair throughput",
@@ -148,6 +149,11 @@ pub const ALL: [Experiment; 20] = [
         name: "exp16_scalability",
         title: "Exp#16: full-node repair at 20-1000 storage nodes",
         run: exp16::run,
+    },
+    Experiment {
+        name: "exp17_reliability",
+        title: "Exp#17: measured MTTDL under continuous failure campaigns",
+        run: exp17::run,
     },
 ];
 

@@ -2,7 +2,10 @@
 
 use chameleon_cluster::{Cluster, ForegroundDriver, ForegroundReport};
 use chameleon_codes::ErasureCode;
-use chameleon_core::{RepairContext, RepairDriver, RepairOutcome};
+use chameleon_core::{
+    Orchestrator, OrchestratorConfig, OrchestratorReport, RepairContext, RepairDriver,
+    RepairOutcome,
+};
 use chameleon_simnet::{EngineProfile, FaultPlan, Monitor, Simulator, TraceSink};
 use chameleon_traces::{TraceKind, Workload};
 
@@ -149,8 +152,9 @@ impl RunOutput {
 
     /// Renders the run's observability record as JSONL: every flow
     /// lifecycle event in admission order, then one `span` line per
-    /// repaired chunk in completion order, then the engine `profile`
-    /// footer. `None` if the run was not traced.
+    /// repaired chunk in completion order, then one `given_up` line per
+    /// abandoned chunk, then the engine `profile` footer. `None` if the
+    /// run was not traced.
     ///
     /// The rendering is a pure function of the (deterministic) simulation,
     /// so grid runs produce byte-identical traces at any `--jobs` count —
@@ -163,9 +167,90 @@ impl RunOutput {
             out.push_str(&span.to_json_line());
             out.push('\n');
         }
+        for given_up in &self.outcome.given_up_chunks {
+            out.push_str(&given_up.to_json_line());
+            out.push('\n');
+        }
         out.push_str(&self.sim.profile().to_json_line());
         out.push('\n');
         Some(out)
+    }
+}
+
+/// Result of an orchestrated campaign run: the campaign-level report and
+/// ledger on top of the usual per-run output.
+#[derive(Debug, Clone)]
+pub struct OrchestratedRunOutput {
+    /// Campaign-level summary (ledger totals, data-loss events, budget
+    /// accounting).
+    pub report: OrchestratorReport,
+    /// The underlying repair/foreground/simulator result.
+    pub run: RunOutput,
+    /// The repair ledger rendered as JSONL (data-loss events first, then
+    /// one line per ledger entry).
+    pub ledger_jsonl: String,
+}
+
+/// Runs a continuous repair campaign driven entirely by a fault stream:
+/// no initial victims — every repaired chunk was lost by a scheduled
+/// crash, admitted by the [`Orchestrator`], and dispatched to the inner
+/// driver under its queue and budget policies.
+///
+/// # Panics
+///
+/// Panics if the campaign or foreground never quiesces (simulation bug).
+pub fn run_orchestrated(
+    code: Arc<dyn ErasureCode>,
+    cfg: chameleon_cluster::ClusterConfig,
+    mut make_driver: impl FnMut(RepairContext) -> Box<dyn RepairDriver>,
+    orch_config: OrchestratorConfig,
+    fg: Option<FgSpec>,
+    faults: &FaultPlan,
+    trace: bool,
+) -> OrchestratedRunOutput {
+    let cluster = Cluster::new(cfg).expect("valid cluster config");
+    let ctx = RepairContext::new(cluster, code);
+    let mut sim = ctx.cluster.build_simulator();
+    sim.set_trace_enabled(trace);
+    let mut injector = faults.inject(&mut sim);
+
+    let mut fg_driver = fg.map(|spec| {
+        let mut d = ForegroundDriver::new(spec.workloads(), spec.requests_per_client);
+        d.start(&ctx.cluster, &mut sim);
+        d
+    });
+
+    let driver = make_driver(ctx.clone());
+    let mut orchestrator = Orchestrator::new(ctx.clone(), driver, orch_config);
+
+    while let Some(ev) = sim.next_event() {
+        if let Some(fault) = injector.on_event(&mut sim, &ev) {
+            orchestrator.on_fault(&mut sim, &fault);
+            continue;
+        }
+        if orchestrator.on_event(&mut sim, &ev) {
+            continue;
+        }
+        if let Some(fgd) = fg_driver.as_mut() {
+            fgd.on_event(&ctx.cluster, &mut sim, &ev);
+        }
+    }
+    assert!(
+        orchestrator.is_done(),
+        "orchestrated campaign did not quiesce"
+    );
+    if let Some(fgd) = &fg_driver {
+        assert!(fgd.is_done(), "foreground did not finish");
+    }
+
+    OrchestratedRunOutput {
+        report: orchestrator.report(),
+        ledger_jsonl: orchestrator.ledger_jsonl(),
+        run: RunOutput {
+            outcome: orchestrator.outcome(&sim),
+            fg_report: fg_driver.map(|d| d.report(&sim)),
+            sim: SimSummary::capture(sim),
+        },
     }
 }
 

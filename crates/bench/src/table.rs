@@ -79,6 +79,21 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Writes a pre-rendered JSONL document under `results/<name>.jsonl`.
+/// Errors are reported, not fatal, like [`write_csv`].
+pub fn write_jsonl(name: &str, jsonl: &str) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    match fs::write(&path, jsonl) {
+        Ok(()) => println!("(jsonl written to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Writes a pre-rendered JSON document under `results/<name>.json`.
 /// Errors are reported, not fatal, like [`write_csv`].
 pub fn write_json(name: &str, json: &str) {

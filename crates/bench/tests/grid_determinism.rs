@@ -7,7 +7,7 @@
 //! (the control grid fixes the crash window for the faulted grid). All
 //! run at a tiny scale so the whole suite stays in seconds.
 
-use chameleon_bench::experiments::{exp02, exp08, exp11, exp15, exp16};
+use chameleon_bench::experiments::{exp02, exp08, exp11, exp15, exp16, exp17};
 use chameleon_bench::table::csv_string;
 use chameleon_bench::{run_specs, AlgoKind, FgSpec, RunSpec, Scale};
 use chameleon_codes::{ErasureCode, ReedSolomon};
@@ -162,6 +162,59 @@ fn exp15_rows_are_identical_across_job_counts() {
         assert_eq!(
             sequential, parallel,
             "exp15 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// Exp#17 exercises the orchestrated failure campaigns: both persisted
+/// artifacts — the CSV rows *and* the repair-ledger JSONL — must be
+/// byte-identical at any `--jobs` count, because the ledger is part of
+/// the recorded experiment output (CI uploads it as an artifact).
+#[test]
+fn exp17_rows_and_ledger_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = [
+        "algorithm",
+        "queue",
+        "budget",
+        "seed",
+        "crashes",
+        "enqueued",
+        "dispatched",
+        "repaired",
+        "restored",
+        "quarantined",
+        "lost_chunks",
+        "resurrected",
+        "loss_events",
+        "first_loss_s",
+        "repair_mbps",
+        "p99_ms",
+        "negotiations",
+        "budget_mbps",
+        "end_secs",
+    ];
+    let (rows, ledger) = exp17::artifacts(&scale, 1);
+    let sequential = csv_string(&headers, &rows);
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    assert!(
+        ledger.lines().count() > 18,
+        "expected a populated ledger, got {} lines",
+        ledger.lines().count()
+    );
+    for jobs in [4, 8] {
+        let (rows, parallel_ledger) = exp17::artifacts(&scale, jobs);
+        assert_eq!(
+            sequential,
+            csv_string(&headers, &rows),
+            "exp17 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            ledger, parallel_ledger,
+            "exp17 ledger JSONL diverged between --jobs 1 and --jobs {jobs}"
         );
     }
 }

@@ -29,6 +29,24 @@ COMMANDS:
                                  (flow events + repair spans +
                                  engine profile) to this path       (default off)
 
+    orchestrate   Run a continuous multi-failure repair campaign under the
+                  cluster-wide orchestrator (admission control + repair ledger)
+                    --code       rs:K,M | lrc:K,L,M | butterfly   (default rs:4,2)
+                    --algo       as repair                        (default chameleon)
+                    --duration   fault-injection horizon in s     (default 90)
+                    --mttf       mean time to failure per node, s (default 150)
+                    --recover    crashed nodes return after this
+                                 many seconds (0 = never)         (default 30)
+                    --policy     fifo | priority                  (default priority)
+                    --budget     unlimited | MB/s fixed rate |
+                                 negotiated[:HEADROOM,FLOOR_MBPS] (default unlimited)
+                    --max-in-flight  concurrent chunk repairs     (default 8)
+                    --chunks, --clients, --requests, --gbps, --disk-mbps,
+                    --chunk-mb, --seed as repair
+                    --ledger     write the repair ledger (data-loss
+                                 events + per-chunk terminal states)
+                                 as JSONL to this path            (default off)
+
     sweep         Run an algorithm x seed grid in parallel worker threads
                     --algos      comma list (as --algo above)   (default cr,ppr,ecpipe,chameleon)
                     --seeds      seeds per algorithm            (default 3)

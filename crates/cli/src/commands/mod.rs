@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod help;
+pub mod orchestrate;
 pub mod plan;
 pub mod reliability;
 pub mod repair;

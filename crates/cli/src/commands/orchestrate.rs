@@ -1,0 +1,264 @@
+//! The `orchestrate` subcommand: a continuous multi-failure repair
+//! campaign from the command line.
+//!
+//! Unlike `repair`, nothing is failed up front: a seeded Poisson stream
+//! of node crashes (with optional recovery) plays against the
+//! cluster-wide [`Orchestrator`], which queues every lost chunk, admits
+//! repairs under a bandwidth budget, and records the campaign in a
+//! persistent ledger — including stripes that cross the data-loss
+//! threshold. The final report is the measured reliability of the
+//! configuration: repairs, quarantines, losses, and time to first loss.
+
+use chameleon_cluster::{Cluster, ClusterConfig, ForegroundDriver, PlacementStrategy};
+use chameleon_core::{BudgetPolicy, Orchestrator, OrchestratorConfig, QueuePolicy, RepairContext};
+use chameleon_simnet::{FaultPlan, NodeCaps};
+use chameleon_traces::{Workload, YcsbA};
+
+use crate::args::{parse_code, Flags};
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&[
+        "code",
+        "algo",
+        "duration",
+        "mttf",
+        "recover",
+        "policy",
+        "budget",
+        "max-in-flight",
+        "chunks",
+        "clients",
+        "requests",
+        "gbps",
+        "disk-mbps",
+        "chunk-mb",
+        "seed",
+        "ledger",
+    ])?;
+    let code = parse_code(&flags.str_or("code", "rs:4,2"))?;
+    let algo = flags.str_or("algo", "chameleon");
+    let duration: f64 = flags.num_or("duration", 90.0)?;
+    let mttf: f64 = flags.num_or("mttf", 150.0)?;
+    let recover: f64 = flags.num_or("recover", 30.0)?;
+    let policy = flags.str_or("policy", "priority");
+    let budget_spec = flags.str_or("budget", "unlimited");
+    let max_in_flight: usize = flags.num_or("max-in-flight", 8)?;
+    let chunks: usize = flags.num_or("chunks", 20)?;
+    let clients: usize = flags.num_or("clients", 0)?;
+    let requests: usize = flags.num_or("requests", 4000)?;
+    let gbps: f64 = flags.num_or("gbps", 10.0)?;
+    let disk_mbps: f64 = flags.num_or("disk-mbps", 500.0)?;
+    let chunk_mb: u64 = flags.num_or("chunk-mb", 64)?;
+    let seed: u64 = flags.num_or("seed", 7)?;
+    let ledger_path = flags.str_or("ledger", "");
+
+    if !duration.is_finite() || duration <= 0.0 || !mttf.is_finite() || mttf <= 0.0 {
+        return Err("--duration and --mttf must be positive seconds".into());
+    }
+    let queue = match policy.as_str() {
+        "fifo" => QueuePolicy::Fifo,
+        "priority" => QueuePolicy::RedundancyPriority,
+        other => return Err(format!("unknown --policy `{other}` (fifo | priority)")),
+    };
+    let budget = parse_budget(&budget_spec)?;
+
+    let storage_nodes = 20.max(code.n() + 1);
+    let cfg = ClusterConfig {
+        storage_nodes,
+        clients: clients.max(1),
+        node_caps: NodeCaps::symmetric(gbps * 1e9 / 8.0, disk_mbps * 1e6),
+        chunk_size: chunk_mb << 20,
+        slice_size: (1u64 << 20).min(chunk_mb << 20),
+        stripe_width: code.n(),
+        stripes: (chunks * storage_nodes).div_ceil(code.n()),
+        placement: PlacementStrategy::Random(seed),
+        monitor_window_secs: 15.0,
+    };
+    let cluster = Cluster::new(cfg).map_err(|e| e.to_string())?;
+    let candidates: Vec<usize> = (0..storage_nodes).collect();
+    let faults = FaultPlan::seeded_poisson(
+        seed,
+        &candidates,
+        mttf,
+        (0.0, duration),
+        (recover > 0.0).then_some(recover),
+    );
+    println!(
+        "cluster: {storage_nodes} nodes, {gbps} Gb/s links, {disk_mbps} MB/s disks, \
+         code {}",
+        code.name()
+    );
+    println!(
+        "campaign: {} crashes over {duration:.0}s (MTTF {mttf:.0}s/node, {}), \
+         {policy} queue, {budget_spec} budget, {max_in_flight} in flight",
+        faults
+            .specs()
+            .iter()
+            .filter(|s| matches!(s, chameleon_simnet::FaultSpec::Crash { .. }))
+            .count(),
+        if recover > 0.0 {
+            format!("recovery after {recover:.0}s")
+        } else {
+            "no recovery".to_string()
+        }
+    );
+
+    let ctx = RepairContext::new(cluster, code);
+    let mut sim = ctx.cluster.build_simulator();
+    let mut injector = faults.inject(&mut sim);
+
+    let mut fg = if clients > 0 {
+        let workloads: Vec<Box<dyn Workload>> = (0..clients)
+            .map(|i| Box::new(YcsbA::new(seed + i as u64)) as Box<dyn Workload>)
+            .collect();
+        let mut d = ForegroundDriver::new(workloads, requests);
+        d.start(&ctx.cluster, &mut sim);
+        Some(d)
+    } else {
+        None
+    };
+
+    let driver = super::repair::make_driver(&algo, ctx.clone(), seed)?;
+    let mut orchestrator = Orchestrator::new(
+        ctx.clone(),
+        driver,
+        OrchestratorConfig {
+            queue,
+            budget,
+            max_in_flight,
+            window_secs: 15.0,
+        },
+    );
+    while let Some(ev) = sim.next_event() {
+        if let Some(fault) = injector.on_event(&mut sim, &ev) {
+            orchestrator.on_fault(&mut sim, &fault);
+            continue;
+        }
+        if orchestrator.on_event(&mut sim, &ev) {
+            continue;
+        }
+        if let Some(fgd) = fg.as_mut() {
+            fgd.on_event(&ctx.cluster, &mut sim, &ev);
+        }
+    }
+    if !orchestrator.is_done() {
+        return Err("campaign did not quiesce (simulation bug)".into());
+    }
+
+    let report = orchestrator.report();
+    let outcome = orchestrator.outcome(&sim);
+    println!(
+        "\ncampaign: {} / {} queue / {} budget",
+        report.algorithm, report.queue_policy, report.budget_policy
+    );
+    println!("  enqueued        : {}", report.enqueued);
+    println!("  dispatched      : {}", report.dispatched);
+    println!("  repaired        : {}", report.repaired);
+    println!("  restored        : {}", report.restored);
+    println!("  quarantined     : {}", report.quarantined);
+    println!("  lost chunks     : {}", report.lost_chunks);
+    println!("  resurrected     : {}", report.resurrected);
+    println!(
+        "  data loss       : {} stripe event(s){}",
+        report.data_loss_events,
+        report
+            .first_loss_secs
+            .map_or(String::new(), |t| format!(", first at {t:.2} s"))
+    );
+    if report.negotiations > 0 {
+        println!(
+            "  budget          : {} renegotiations, mean {:.1} MB/s",
+            report.negotiations,
+            report.mean_budget_rate / 1e6
+        );
+    }
+    println!(
+        "  repair traffic  : {:.1} MB admitted",
+        report.tokens_spent / 1e6
+    );
+    println!(
+        "  throughput      : {:.1} MB/s over {:.2} s",
+        outcome.throughput() / 1e6,
+        sim.now().as_secs()
+    );
+    if let Some(fgd) = fg {
+        let fg_report = fgd.report(&sim);
+        println!("\nforeground ({clients} YCSB-A clients):");
+        println!("  requests        : {}", fg_report.completed);
+        println!("  P99 latency     : {:.2} ms", fg_report.p99_latency * 1e3);
+    }
+
+    if !ledger_path.is_empty() {
+        let jsonl = orchestrator.ledger_jsonl();
+        let lines = jsonl.lines().count();
+        std::fs::write(&ledger_path, &jsonl)
+            .map_err(|e| format!("cannot write --ledger file `{ledger_path}`: {e}"))?;
+        println!("ledger: {lines} records -> {ledger_path}");
+    }
+    Ok(())
+}
+
+/// Parses `--budget`: `unlimited`, `negotiated[:HEADROOM,FLOOR_MBPS]`, or
+/// a fixed rate in MB/s.
+fn parse_budget(spec: &str) -> Result<BudgetPolicy, String> {
+    if spec == "unlimited" {
+        return Ok(BudgetPolicy::Unlimited);
+    }
+    if spec == "negotiated" {
+        return Ok(BudgetPolicy::Negotiated {
+            headroom: 0.02,
+            floor: 200e6,
+        });
+    }
+    if let Some(params) = spec.strip_prefix("negotiated:") {
+        let (headroom, floor) = params
+            .split_once(',')
+            .ok_or_else(|| format!("invalid --budget `{spec}` (negotiated:HEADROOM,FLOOR_MBPS)"))?;
+        let headroom: f64 = headroom
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid headroom in --budget `{spec}`"))?;
+        let floor: f64 = floor
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid floor in --budget `{spec}`"))?;
+        return Ok(BudgetPolicy::Negotiated {
+            headroom,
+            floor: floor * 1e6,
+        });
+    }
+    let mbps: f64 = spec
+        .parse()
+        .map_err(|_| format!("invalid --budget `{spec}` (unlimited | negotiated | MB/s)"))?;
+    if !mbps.is_finite() || mbps <= 0.0 {
+        return Err("--budget fixed rate must be positive MB/s".into());
+    }
+    Ok(BudgetPolicy::Fixed(mbps * 1e6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_budget_specs() {
+        assert_eq!(parse_budget("unlimited").unwrap(), BudgetPolicy::Unlimited);
+        assert_eq!(parse_budget("400").unwrap(), BudgetPolicy::Fixed(400e6));
+        assert_eq!(
+            parse_budget("negotiated:0.5,100").unwrap(),
+            BudgetPolicy::Negotiated {
+                headroom: 0.5,
+                floor: 100e6
+            }
+        );
+        assert!(matches!(
+            parse_budget("negotiated").unwrap(),
+            BudgetPolicy::Negotiated { .. }
+        ));
+        assert!(parse_budget("-3").is_err());
+        assert!(parse_budget("nonsense").is_err());
+        assert!(parse_budget("negotiated:x").is_err());
+    }
+}

@@ -188,20 +188,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
             jsonl.push_str(&span.to_json_line());
             jsonl.push('\n');
         }
+        for given_up in &outcome.given_up_chunks {
+            jsonl.push_str(&given_up.to_json_line());
+            jsonl.push('\n');
+        }
         jsonl.push_str(&profile.to_json_line());
         jsonl.push('\n');
         std::fs::write(&trace_path, &jsonl)
             .map_err(|e| format!("cannot write --trace file `{trace_path}`: {e}"))?;
         println!(
-            "trace: {} flow events + {} spans + profile -> {trace_path}",
+            "trace: {} flow events + {} spans + {} given up + profile -> {trace_path}",
             flow_events,
-            outcome.spans.len()
+            outcome.spans.len(),
+            outcome.given_up_chunks.len()
         );
     }
     Ok(())
 }
 
-fn make_driver(algo: &str, ctx: RepairContext, seed: u64) -> Result<Box<dyn RepairDriver>, String> {
+/// Builds a repair driver by algorithm name (shared with `orchestrate`).
+pub(crate) fn make_driver(
+    algo: &str,
+    ctx: RepairContext,
+    seed: u64,
+) -> Result<Box<dyn RepairDriver>, String> {
     Ok(match algo {
         "cr" => Box::new(StaticRepairDriver::new(ctx, PlanShape::Star, seed)),
         "ppr" => Box::new(StaticRepairDriver::new(ctx, PlanShape::Tree, seed)),

@@ -1,11 +1,13 @@
 //! The `trace` subcommand: summarize a `--trace` JSONL file.
 //!
-//! Reads the flow-lifecycle events, repair-span records, and the engine
-//! profile footer written by `repair --trace` / `sweep --trace`, and
-//! prints per-class event counts, delivered bytes, abort causes, span
-//! latency percentiles, and the engine counters. The parser is a small
-//! key extractor over the repo's own flat JSONL schema (one object per
-//! line, no nesting) — deliberately not a general JSON parser.
+//! Reads the flow-lifecycle events, repair-span records, given-up chunk
+//! records, and the engine profile footer written by `repair --trace` /
+//! `sweep --trace` — plus the repair-ledger and data-loss records written
+//! by `orchestrate --ledger` — and prints per-class event counts,
+//! delivered bytes, abort causes, span latency percentiles, ledger state
+//! tallies, and the engine counters. The parser is a small key extractor
+//! over the repo's own flat JSONL schema (one object per line, no
+//! nesting) — deliberately not a general JSON parser.
 
 use std::collections::BTreeMap;
 
@@ -58,6 +60,11 @@ struct TraceSummary {
     abort_causes: BTreeMap<String, usize>,
     span_secs: Vec<f64>,
     span_retries: usize,
+    given_up: usize,
+    /// Terminal-state tallies from `orchestrate` ledger records.
+    ledger_states: BTreeMap<String, usize>,
+    data_loss_events: usize,
+    campaign_runs: usize,
     first_at: f64,
     last_at: f64,
     /// Engine counters summed over every profile footer (a sweep trace
@@ -114,6 +121,19 @@ fn summarize(text: &str) -> Result<TraceSummary, String> {
                     s.span_retries += 1;
                 }
             }
+            "given_up" => s.given_up += 1,
+            "ledger" => {
+                let state = json_str(line, "state").unwrap_or("unknown");
+                *s.ledger_states.entry(state.to_string()).or_default() += 1;
+            }
+            "data_loss" => {
+                s.data_loss_events += 1;
+                if let Some(t) = json_num(line, "t") {
+                    s.first_at = s.first_at.min(t);
+                    s.last_at = s.last_at.max(t);
+                }
+            }
+            "run" => s.campaign_runs += 1,
             "profile" => {
                 s.profile_runs += 1;
                 for key in PROFILE_KEYS {
@@ -158,6 +178,29 @@ impl TraceSummary {
                 "  repair spans    : {} chunks, p50/p95/p99 {:.3} / {:.3} / {:.3} s \
                  (max {:.3}), {} retried\n",
                 lat.count, lat.p50, lat.p95, lat.p99, lat.max, self.span_retries
+            ));
+        }
+        if self.given_up > 0 {
+            out.push_str(&format!("  given up        : {} chunks\n", self.given_up));
+        }
+        if !self.ledger_states.is_empty() {
+            let states = self
+                .ledger_states
+                .iter()
+                .map(|(state, n)| format!("{state}={n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let runs = if self.campaign_runs > 0 {
+                format!(" over {} campaign(s)", self.campaign_runs)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("  repair ledger   : {states}{runs}\n"));
+        }
+        if self.data_loss_events > 0 {
+            out.push_str(&format!(
+                "  data loss       : {} stripe event(s)\n",
+                self.data_loss_events
             ));
         }
         if self.profile_runs > 0 {
@@ -232,9 +275,14 @@ mod tests {
 {\"at\":0,\"flow\":2,\"class\":\"client\",\"src\":1,\"dst\":4,\"event\":\"admitted\",\"bytes\":50}\n\
 {\"at\":1,\"flow\":2,\"class\":\"client\",\"src\":1,\"dst\":4,\"event\":\"aborted\",\"cause\":\"node_failure\",\"remaining\":25}\n\
 {\"event\":\"span\",\"stripe\":0,\"chunk\":1,\"start\":0.5,\"end\":2,\"attempts\":2}\n\
+{\"event\":\"given_up\",\"stripe\":3,\"chunk\":0,\"attempts\":5}\n\
+{\"event\":\"run\",\"label\":\"priority/CR/seed1\"}\n\
+{\"event\":\"data_loss\",\"stripe\":7,\"t\":3.5,\"erasures\":3}\n\
+{\"event\":\"ledger\",\"stripe\":0,\"chunk\":1,\"state\":\"repaired\",\"attempts\":1,\"enqueued\":0.5,\"updated\":2,\"requeues\":0}\n\
+{\"event\":\"ledger\",\"stripe\":7,\"chunk\":2,\"state\":\"lost\",\"attempts\":0,\"enqueued\":3.5,\"updated\":3.5,\"requeues\":0}\n\
 {\"event\":\"profile\",\"events\":10,\"flow_completions\":1,\"flow_aborts\":1,\"timer_fires\":0,\"solves\":4,\"full_solves\":1,\"incremental_solves\":3,\"dirty_groups\":5,\"solver_rounds\":6,\"heap_rebuilds\":1,\"timers_scheduled\":0,\"timers_cancelled\":0}\n";
         let s = summarize(text).unwrap();
-        assert_eq!(s.lines, 6);
+        assert_eq!(s.lines, 11);
         let repair = s.classes["repair"];
         assert_eq!(
             (repair.admitted, repair.completed, repair.aborted),
@@ -249,7 +297,12 @@ mod tests {
         assert_eq!(s.abort_causes["node_failure"], 1);
         assert_eq!(s.span_secs, vec![1.5]);
         assert_eq!(s.span_retries, 1);
-        assert_eq!((s.first_at, s.last_at), (0.0, 2.0));
+        assert_eq!(s.given_up, 1);
+        assert_eq!(s.campaign_runs, 1);
+        assert_eq!(s.data_loss_events, 1);
+        assert_eq!(s.ledger_states["repaired"], 1);
+        assert_eq!(s.ledger_states["lost"], 1);
+        assert_eq!((s.first_at, s.last_at), (0.0, 3.5));
         assert_eq!(s.profile_runs, 1);
         assert_eq!(s.profile["solver_rounds"], 6.0);
         assert_eq!(s.profile["full_solves"], 1.0);
@@ -258,6 +311,12 @@ mod tests {
         let rendered = s.render("t.jsonl");
         assert!(rendered.contains("repair spans"), "{rendered}");
         assert!(rendered.contains("engine profile"), "{rendered}");
+        assert!(rendered.contains("given up"), "{rendered}");
+        assert!(
+            rendered.contains("lost=1, repaired=1") && rendered.contains("over 1 campaign(s)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("1 stripe event(s)"), "{rendered}");
     }
 
     #[test]

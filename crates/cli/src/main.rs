@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chameleonec repair   --code rs:10,4 --algo chameleon --clients 4
+//! chameleonec orchestrate --duration 90 --mttf 150 --policy priority
 //! chameleonec sweep    --algos cr,chameleon --seeds 5 --jobs 4
 //! chameleonec plan     --code rs:4,2 --algo chameleon
 //! chameleonec trace    --file out.jsonl
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "repair" => commands::repair::run(rest),
+        "orchestrate" => commands::orchestrate::run(rest),
         "sweep" => commands::sweep::run(rest),
         "plan" => commands::plan::run(rest),
         "trace" => commands::trace_cmd::run(rest),

@@ -1,0 +1,113 @@
+//! Cross-check of the closed-form reliability model (§II-B) against the
+//! seeded Poisson failure generator the orchestrated campaigns run on.
+//!
+//! The model says: during a repair window `tau`, each of the `k + m - 1`
+//! surviving stripe peers fails with probability
+//! `f = 1 - exp(-tau / theta)`, and data is lost when `m` or more of
+//! them fail. `FaultPlan::seeded_poisson` over a peer pool with no
+//! recovery is exactly that process (superposed exponential lifetimes,
+//! each node crashing at most once), so the Monte-Carlo loss fraction it
+//! produces must land inside a tolerance band around the closed form.
+//! This ties the measured-MTTDL experiment (exp17) to the analytical
+//! curve it is compared against.
+
+use chameleon_cluster::reliability::ReliabilityModel;
+use chameleon_simnet::{FaultPlan, FaultSpec};
+
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Counts distinct crashed nodes in a plan.
+fn crashed_nodes(plan: &FaultPlan) -> usize {
+    let mut nodes: Vec<usize> = plan
+        .specs()
+        .iter()
+        .filter_map(|s| match s {
+            FaultSpec::Crash { node, .. } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes.len()
+}
+
+#[test]
+fn poisson_generator_matches_the_closed_form_loss_probability() {
+    // RS(4,2): 5 surviving peers, loss at >= 2 additional failures.
+    // theta = 1000 s and tau = 300 s make the loss probability large
+    // enough (~0.39) that a few thousand trials pin it down tightly.
+    let theta_secs = 1000.0;
+    let tau_secs = 300.0;
+    let model = ReliabilityModel {
+        k: 4,
+        m: 2,
+        node_capacity_bytes: 300e9,
+        node_lifetime_years: theta_secs / SECONDS_PER_YEAR,
+    };
+    // 1 GB/s over 300 GB gives exactly the tau above, so the closed form
+    // is evaluated through the same public API exp17 uses.
+    let throughput = model.node_capacity_bytes / tau_secs;
+    assert_eq!(model.repair_duration_secs(throughput), tau_secs);
+    let expected = model.data_loss_probability(throughput);
+    assert!(
+        (0.2..0.6).contains(&expected),
+        "test wants a mid-range probability, got {expected}"
+    );
+
+    let peers: Vec<usize> = (0..model.k + model.m - 1).collect();
+    let trials = 4000usize;
+    let mut losses = 0usize;
+    for seed in 0..trials as u64 {
+        let plan = FaultPlan::seeded_poisson(
+            0xC0DE_0000 + seed,
+            &peers,
+            theta_secs,
+            (0.0, tau_secs),
+            None,
+        );
+        if crashed_nodes(&plan) >= model.m {
+            losses += 1;
+        }
+    }
+    let measured = losses as f64 / trials as f64;
+    // Three-sigma band for a binomial proportion at 4000 trials:
+    // sigma = sqrt(p (1-p) / n) ~ 0.0077.
+    let sigma = (expected * (1.0 - expected) / trials as f64).sqrt();
+    let tolerance = 3.0 * sigma;
+    assert!(
+        (measured - expected).abs() <= tolerance,
+        "measured loss fraction {measured:.4} departs from closed form \
+         {expected:.4} by more than {tolerance:.4}"
+    );
+}
+
+#[test]
+fn generator_single_failure_probability_matches_the_exponential_model() {
+    // One node, window tau: the crash probability must be
+    // 1 - exp(-tau/theta), the model's per-node term.
+    let theta_secs = 1000.0;
+    let tau_secs = 250.0;
+    let model = ReliabilityModel {
+        k: 4,
+        m: 2,
+        node_capacity_bytes: 1.0,
+        node_lifetime_years: theta_secs / SECONDS_PER_YEAR,
+    };
+    let expected = model.node_failure_probability(tau_secs);
+    let trials = 4000usize;
+    let mut crashed = 0usize;
+    for seed in 0..trials as u64 {
+        let plan =
+            FaultPlan::seeded_poisson(0xFEED_0000 + seed, &[0], theta_secs, (0.0, tau_secs), None);
+        if crashed_nodes(&plan) >= 1 {
+            crashed += 1;
+        }
+    }
+    let measured = crashed as f64 / trials as f64;
+    let sigma = (expected * (1.0 - expected) / trials as f64).sqrt();
+    assert!(
+        (measured - expected).abs() <= 3.0 * sigma,
+        "measured crash fraction {measured:.4} departs from 1-exp(-tau/theta) \
+         = {expected:.4}"
+    );
+}

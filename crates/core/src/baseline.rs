@@ -10,7 +10,8 @@ use crate::coding::{CodingStats, PlanCoder};
 use crate::context::RepairContext;
 use crate::error::RepairError;
 use crate::exec::{ExecStatus, PlanExecutor};
-use crate::metrics::{RepairOutcome, RepairSpan};
+use crate::metrics::{GivenUpChunk, RepairOutcome, RepairSpan};
+use crate::plan::RepairPlan;
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::select::SourceSelector;
 use crate::{cr, ecpipe, ppr, RepairDriver};
@@ -86,6 +87,9 @@ pub struct StaticRepairDriver {
     retry_timers: HashMap<TimerId, ChunkId>,
     stall_timer: Option<TimerId>,
     errors: Vec<RepairError>,
+    /// When true, crash faults update the failure view but do not enqueue
+    /// the crashed node's chunks — an orchestrator owns admission.
+    external_admission: bool,
 }
 
 impl std::fmt::Debug for StaticRepairDriver {
@@ -121,6 +125,7 @@ impl StaticRepairDriver {
         boosted: bool,
     ) -> Self {
         let coder = PlanCoder::new(ctx.chunk_size());
+        let policy = ctx.recovery;
         StaticRepairDriver {
             ctx,
             shape,
@@ -139,12 +144,13 @@ impl StaticRepairDriver {
             skipped: 0,
             started_at: None,
             finished_at: None,
-            policy: RecoveryPolicy::default(),
+            policy,
             recovery: RecoveryStats::default(),
             attempts: HashMap::new(),
             retry_timers: HashMap::new(),
             stall_timer: None,
             errors: Vec::new(),
+            external_admission: false,
         }
     }
 
@@ -201,6 +207,7 @@ impl StaticRepairDriver {
                 Ok(s) => s,
                 Err(_) => {
                     self.skipped += 1;
+                    self.errors.push(RepairError::Unrepairable { chunk });
                     continue;
                 }
             };
@@ -211,6 +218,7 @@ impl StaticRepairDriver {
             };
             let Ok(plan) = plan else {
                 self.skipped += 1;
+                self.errors.push(RepairError::Unrepairable { chunk });
                 continue;
             };
             self.stripe_destinations
@@ -377,6 +385,19 @@ impl RepairDriver for StaticRepairDriver {
                             dests.swap_remove(pos);
                         }
                     }
+                    // The repaired chunk now lives on its destination:
+                    // record the relocation so later failure accounting
+                    // (cascading crashes, redundancy counts) sees it.
+                    let dest = exec.plan().destination();
+                    if !self
+                        .ctx
+                        .cluster
+                        .placement()
+                        .stripe_nodes(chunk.stripe)
+                        .contains(&dest)
+                    {
+                        let _ = self.ctx.cluster.apply_repair(chunk, dest);
+                    }
                     self.fill_slots(sim);
                     return true;
                 }
@@ -398,11 +419,11 @@ impl RepairDriver for StaticRepairDriver {
                     && self.ctx.cluster.fail_node(node).is_ok() =>
             {
                 // Everything the crashed node held is newly lost;
-                // queue it behind the current campaign. In-flight
-                // attempts using the node fail over via their abort
-                // notifications.
+                // queue it behind the current campaign (unless an
+                // orchestrator owns admission). In-flight attempts using
+                // the node fail over via their abort notifications.
                 let lost = self.ctx.cluster.placement().chunks_on(node);
-                if !lost.is_empty() {
+                if !self.external_admission && !lost.is_empty() {
                     self.start(sim, lost);
                 }
             }
@@ -434,8 +455,47 @@ impl RepairDriver for StaticRepairDriver {
             spans: self.spans.clone(),
             coding: self.coding,
             recovery: self.recovery,
+            given_up_chunks: given_up_from_errors(&self.errors),
         }
     }
+
+    fn spans(&self) -> &[RepairSpan] {
+        &self.spans
+    }
+
+    fn errors(&self) -> &[RepairError] {
+        &self.errors
+    }
+
+    fn completed_plans(&self) -> &[RepairPlan] {
+        &self.completed_plans
+    }
+
+    fn set_external_admission(&mut self, external: bool) {
+        self.external_admission = external;
+    }
+}
+
+/// Extracts the terminal give-up records from a driver's error log:
+/// retries-exhausted chunks keep their attempt count, unrepairable chunks
+/// report zero attempts.
+pub(crate) fn given_up_from_errors(errors: &[RepairError]) -> Vec<GivenUpChunk> {
+    errors
+        .iter()
+        .filter_map(|e| match *e {
+            RepairError::RetriesExhausted { chunk, attempts } => Some(GivenUpChunk {
+                stripe: chunk.stripe,
+                index: chunk.index,
+                attempts,
+            }),
+            RepairError::Unrepairable { chunk } => Some(GivenUpChunk {
+                stripe: chunk.stripe,
+                index: chunk.index,
+                attempts: 0,
+            }),
+            _ => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]

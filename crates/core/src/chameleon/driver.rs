@@ -157,6 +157,9 @@ pub struct ChameleonDriver {
     retry_timers: HashMap<TimerId, ChunkId>,
     stall_timer: Option<TimerId>,
     errors: Vec<RepairError>,
+    /// When true, crash faults update the failure view but do not enqueue
+    /// the crashed node's chunks — an orchestrator owns admission.
+    external_admission: bool,
 }
 
 impl std::fmt::Debug for ChameleonDriver {
@@ -171,9 +174,11 @@ impl std::fmt::Debug for ChameleonDriver {
 }
 
 impl ChameleonDriver {
-    /// Creates a driver.
+    /// Creates a driver. The retry/backoff policy comes from the context
+    /// ([`RepairContext::recovery`]); [`Self::with_policy`] overrides it.
     pub fn new(ctx: RepairContext, config: ChameleonConfig) -> Self {
         let coder = PlanCoder::new(ctx.chunk_size());
+        let policy = ctx.recovery;
         ChameleonDriver {
             ctx,
             config,
@@ -194,12 +199,13 @@ impl ChameleonDriver {
             started_at: None,
             finished_at: None,
             stats: ChameleonStats::default(),
-            policy: RecoveryPolicy::default(),
+            policy,
             recovery: RecoveryStats::default(),
             attempts: HashMap::new(),
             retry_timers: HashMap::new(),
             stall_timer: None,
             errors: Vec::new(),
+            external_admission: false,
         }
     }
 
@@ -325,6 +331,7 @@ impl ChameleonDriver {
                 Err(SelectError::Unrepairable) => {
                     self.stats.plan_compute_secs += compute_start.elapsed().as_secs_f64();
                     self.skipped += 1;
+                    self.errors.push(RepairError::Unrepairable { chunk });
                     continue;
                 }
                 Err(SelectError::NoDestination) => {
@@ -344,6 +351,7 @@ impl ChameleonDriver {
                     self.stats.plan_compute_secs += compute_start.elapsed().as_secs_f64();
                     let Ok(plan) = plan else {
                         self.skipped += 1;
+                        self.errors.push(RepairError::Unrepairable { chunk });
                         continue;
                     };
                     state = probe;
@@ -565,6 +573,19 @@ impl ChameleonDriver {
                 dests.swap_remove(pos);
             }
         }
+        // The repaired chunk now lives on its destination: record the
+        // relocation so later failure accounting (cascading crashes,
+        // redundancy counts) sees it.
+        let dest = a.exec.plan().destination();
+        if !self
+            .ctx
+            .cluster
+            .placement()
+            .stripe_nodes(chunk.stripe)
+            .contains(&dest)
+        {
+            let _ = self.ctx.cluster.apply_repair(chunk, dest);
+        }
         // Opportunistic wake-up of postponed chunks (§III-C): capacity has
         // just been released.
         for other in &mut self.active {
@@ -682,11 +703,11 @@ impl RepairDriver for ChameleonDriver {
                     && self.ctx.cluster.fail_node(node).is_ok() =>
             {
                 // Everything the crashed node held is newly lost;
-                // queue it behind the current campaign. In-flight
-                // attempts using the node fail over via their abort
-                // notifications.
+                // queue it behind the current campaign (unless an
+                // orchestrator owns admission). In-flight attempts using
+                // the node fail over via their abort notifications.
                 let lost = self.ctx.cluster.placement().chunks_on(node);
-                if !lost.is_empty() {
+                if !self.external_admission && !lost.is_empty() {
                     self.start(sim, lost);
                 }
             }
@@ -719,7 +740,24 @@ impl RepairDriver for ChameleonDriver {
             spans: self.spans.clone(),
             coding: self.coding,
             recovery: self.recovery,
+            given_up_chunks: crate::baseline::given_up_from_errors(&self.errors),
         }
+    }
+
+    fn spans(&self) -> &[RepairSpan] {
+        &self.spans
+    }
+
+    fn errors(&self) -> &[RepairError] {
+        &self.errors
+    }
+
+    fn completed_plans(&self) -> &[crate::plan::RepairPlan] {
+        &self.completed_plans
+    }
+
+    fn set_external_admission(&mut self, external: bool) {
+        self.external_admission = external;
     }
 }
 

@@ -5,6 +5,8 @@ use std::sync::Arc;
 use chameleon_cluster::Cluster;
 use chameleon_codes::ErasureCode;
 
+use crate::recovery::RecoveryPolicy;
+
 /// Which node resource pair a scheduler balances against: the network links
 /// (the paper's default) or the storage bandwidth (ChameleonEC-IO, §III-D
 /// and Exp#12).
@@ -26,6 +28,10 @@ pub struct RepairContext {
     pub cluster: Cluster,
     /// The erasure code protecting the stripes.
     pub code: Arc<dyn ErasureCode>,
+    /// The retry/backoff policy every driver built on this context uses —
+    /// one shared policy, so an orchestrator and its inner driver agree on
+    /// when a chunk is given up.
+    pub recovery: RecoveryPolicy,
 }
 
 impl std::fmt::Debug for RepairContext {
@@ -50,7 +56,17 @@ impl RepairContext {
             code.n(),
             "cluster stripe width must equal the code's n"
         );
-        RepairContext { cluster, code }
+        RepairContext {
+            cluster,
+            code,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Replaces the shared retry/backoff policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Chunk size in bytes.

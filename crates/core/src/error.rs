@@ -25,6 +25,15 @@ pub enum RepairError {
         /// The node that failed, when known.
         node: Option<NodeId>,
     },
+    /// A chunk was skipped without an attempt: source selection or plan
+    /// construction failed terminally (too many erasures, or nowhere to
+    /// put the result). Unlike [`RepairError::Select`], this identifies
+    /// the chunk — orchestration needs every admitted chunk to surface in
+    /// exactly one terminal record (span, retries-exhausted, or this).
+    Unrepairable {
+        /// The chunk that could not be dispatched.
+        chunk: ChunkId,
+    },
     /// A chunk exhausted its retry budget and was given up.
     RetriesExhausted {
         /// The abandoned chunk.
@@ -55,6 +64,11 @@ impl std::fmt::Display for RepairError {
                     chunk.stripe, chunk.index
                 ),
             },
+            RepairError::Unrepairable { chunk } => write!(
+                f,
+                "stripe {} chunk {} is unrepairable (skipped without an attempt)",
+                chunk.stripe, chunk.index
+            ),
             RepairError::RetriesExhausted { chunk, attempts } => write!(
                 f,
                 "gave up on stripe {} chunk {} after {attempts} attempts",

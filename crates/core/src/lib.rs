@@ -43,6 +43,7 @@ pub mod ecpipe;
 mod error;
 mod exec;
 mod metrics;
+pub mod orchestrator;
 mod plan;
 pub mod ppr;
 pub mod recovery;
@@ -53,7 +54,11 @@ pub use coding::{CodingStats, PlanCoder};
 pub use context::{RepairContext, Resources};
 pub use error::RepairError;
 pub use exec::{ExecStatus, PlanExecutor};
-pub use metrics::{LinkLoadStats, RepairOutcome, RepairSpan};
+pub use metrics::{GivenUpChunk, LinkLoadStats, RepairOutcome, RepairSpan};
+pub use orchestrator::{
+    BudgetPolicy, DataLossEvent, LedgerEntry, LedgerState, Orchestrator, OrchestratorConfig,
+    OrchestratorReport, QueuePolicy,
+};
 pub use plan::{Participant, PlanError, RepairPlan};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use select::{SelectError, Selection, SourcePick, SourceSelector};
@@ -95,6 +100,24 @@ pub trait RepairDriver: Send {
 
     /// The outcome so far (final once [`RepairDriver::is_done`]).
     fn outcome(&self, sim: &Simulator) -> RepairOutcome;
+
+    /// Completed repair spans so far, in completion order. An orchestrator
+    /// harvests these incrementally: `spans()[i]` describes the same
+    /// repair as `completed_plans()[i]`.
+    fn spans(&self) -> &[RepairSpan];
+
+    /// Every recoverable failure recorded so far, in occurrence order.
+    fn errors(&self) -> &[RepairError];
+
+    /// The plan of every completed chunk repair, index-aligned with
+    /// [`RepairDriver::spans`].
+    fn completed_plans(&self) -> &[RepairPlan];
+
+    /// When `true`, crash faults only update the driver's failure view —
+    /// the crashed node's chunks are *not* self-enqueued, because an
+    /// external orchestrator owns admission and will call
+    /// [`RepairDriver::start`] with the work it admits.
+    fn set_external_admission(&mut self, external: bool);
 }
 
 // Send-bound audit: the parallel experiment grid moves contexts across

@@ -48,6 +48,32 @@ impl RepairSpan {
     }
 }
 
+/// One chunk the driver abandoned: either its retry budget ran out or it
+/// was unrepairable at dispatch time. Surfaced in the trace JSONL so
+/// quarantined stripes are visible in `trace summarize` output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GivenUpChunk {
+    /// Stripe of the abandoned chunk.
+    pub stripe: usize,
+    /// Chunk index within the stripe.
+    pub index: usize,
+    /// Dispatch attempts made before giving up (0 = skipped without an
+    /// attempt, i.e. unrepairable at selection time).
+    pub attempts: u32,
+}
+
+impl GivenUpChunk {
+    /// Renders the record as one JSON line, schema-compatible with the
+    /// flow trace and span lines:
+    /// `{"event":"given_up","stripe":S,"chunk":I,"attempts":N}`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"event\":\"given_up\",\"stripe\":{},\"chunk\":{},\"attempts\":{}}}",
+            self.stripe, self.index, self.attempts
+        )
+    }
+}
+
 /// Summary of a repair campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepairOutcome {
@@ -74,6 +100,10 @@ pub struct RepairOutcome {
     /// flows, wasted repair bytes, and chunks given up. All zero in a
     /// fault-free run.
     pub recovery: RecoveryStats,
+    /// Identity of every chunk the driver abandoned (retries exhausted or
+    /// unrepairable), in the order it was given up. Empty in a fault-free
+    /// run.
+    pub given_up_chunks: Vec<GivenUpChunk>,
 }
 
 impl RepairOutcome {
@@ -196,6 +226,7 @@ mod tests {
             spans: vec![],
             coding: CodingStats::default(),
             recovery: RecoveryStats::default(),
+            given_up_chunks: vec![],
         };
         assert_eq!(outcome.throughput(), 50.0);
         assert_eq!(outcome.mean_chunk_secs(), 3.0);
@@ -217,6 +248,7 @@ mod tests {
             spans: vec![],
             coding: CodingStats::default(),
             recovery: RecoveryStats::default(),
+            given_up_chunks: vec![],
         };
         assert_eq!(outcome.throughput(), 0.0);
     }

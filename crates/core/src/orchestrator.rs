@@ -1,0 +1,1154 @@
+//! Cluster-wide repair orchestration: a long-running campaign manager
+//! that consumes a continuous failure stream (e.g.
+//! `chameleon_simnet::FaultPlan::seeded_poisson`) and drives a
+//! [`RepairDriver`] through it with explicit admission control.
+//!
+//! The orchestrator owns three things the per-campaign drivers do not:
+//!
+//! 1. **A live repair queue.** Chunks lost by crashes are not handed to
+//!    the driver immediately; they enter a priority queue keyed by the
+//!    residual redundancy of their stripe ([`QueuePolicy`]), and at most
+//!    [`OrchestratorConfig::max_in_flight`] chunks are dispatched at a
+//!    time.
+//! 2. **A repair-bandwidth budget.** Admission spends from a token
+//!    bucket ([`BudgetPolicy`]): fixed-rate, or renegotiated each
+//!    monitor window from observed foreground traffic so repair only
+//!    takes the headroom the foreground leaves (the paper's
+//!    low-interference goal applied at the campaign level).
+//! 3. **A persistent repair ledger.** Every chunk the stream ever loses
+//!    gets a [`LedgerEntry`] tracking its state machine
+//!    ([`LedgerState`]): queued → in-flight → repaired, quarantined
+//!    after the driver exhausts its retry budget, restored when its
+//!    node returns before repair, and lost when its stripe's live
+//!    redundancy hits zero — each such transition to lost is a recorded
+//!    [`DataLossEvent`], the raw material for the measured-MTTDL
+//!    experiment (exp17).
+//!
+//! The driver runs with external admission
+//! ([`RepairDriver::set_external_admission`]): crash faults update its
+//! failure view but the orchestrator alone decides what is repaired
+//! when.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use chameleon_cluster::ChunkId;
+use chameleon_simnet::{Event, FaultEvent, ResourceKind, Simulator, TimerId, Traffic};
+
+use crate::context::RepairContext;
+use crate::error::RepairError;
+use crate::metrics::RepairOutcome;
+use crate::RepairDriver;
+
+/// Timer key for the token-bucket wake-up timer.
+const WAKE_TIMER_KEY: u64 = 0x0BCE;
+
+/// How the live repair queue orders chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Strict arrival order.
+    Fifo,
+    /// Stripes with the least residual redundancy first (a stripe one
+    /// erasure from data loss jumps the whole queue); arrival order
+    /// breaks ties.
+    RedundancyPriority,
+}
+
+impl QueuePolicy {
+    /// Short label for reports and CSV cells.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::RedundancyPriority => "priority",
+        }
+    }
+}
+
+/// How repair bandwidth is budgeted at admission time.
+///
+/// The budget is spent in *repair read bytes*: admitting one chunk costs
+/// `k × chunk_size` (the data a conventional repair moves), so a rate of
+/// `r` bytes/s admits roughly `r / (k × chunk_size)` chunks per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetPolicy {
+    /// No pacing: admit as fast as `max_in_flight` allows.
+    Unlimited,
+    /// A fixed token rate in bytes/s.
+    Fixed(f64),
+    /// Renegotiated from [`chameleon_simnet::Monitor`] feedback once per
+    /// window: `rate = max(floor, headroom × (uplink capacity −
+    /// observed foreground rate))` over the alive storage nodes.
+    Negotiated {
+        /// Fraction of the measured idle capacity repair may take.
+        headroom: f64,
+        /// Minimum rate in bytes/s, so repair never fully starves.
+        floor: f64,
+    },
+}
+
+impl BudgetPolicy {
+    /// Short label for reports and CSV cells.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetPolicy::Unlimited => "unlimited",
+            BudgetPolicy::Fixed(_) => "fixed",
+            BudgetPolicy::Negotiated { .. } => "negotiated",
+        }
+    }
+}
+
+/// Tunables of the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrchestratorConfig {
+    /// Queue ordering policy.
+    pub queue: QueuePolicy,
+    /// Repair-bandwidth budget policy.
+    pub budget: BudgetPolicy,
+    /// Upper bound on concurrently dispatched chunks.
+    pub max_in_flight: usize,
+    /// Budget renegotiation period and token-bucket horizon in seconds
+    /// (the bucket holds at most two windows of tokens).
+    pub window_secs: f64,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            queue: QueuePolicy::RedundancyPriority,
+            budget: BudgetPolicy::Unlimited,
+            max_in_flight: 8,
+            window_secs: 15.0,
+        }
+    }
+}
+
+/// Lifecycle state of one chunk in the repair ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerState {
+    /// Waiting in the repair queue.
+    Queued,
+    /// Dispatched to the driver, not yet resolved.
+    InFlight,
+    /// Successfully repaired (possibly after resurrection from
+    /// [`LedgerState::Lost`] — see [`OrchestratorReport::resurrected`]).
+    Repaired,
+    /// The driver gave the chunk up (retries exhausted or unrepairable);
+    /// the orchestrator will not re-admit it.
+    Quarantined,
+    /// The chunk's node recovered before the repair ran; nothing to do.
+    Restored,
+    /// The chunk's stripe dropped below `k` live chunks: unreadable until
+    /// enough nodes return.
+    Lost,
+}
+
+impl LedgerState {
+    /// Short label for JSONL records.
+    pub fn label(self) -> &'static str {
+        match self {
+            LedgerState::Queued => "queued",
+            LedgerState::InFlight => "in_flight",
+            LedgerState::Repaired => "repaired",
+            LedgerState::Quarantined => "quarantined",
+            LedgerState::Restored => "restored",
+            LedgerState::Lost => "lost",
+        }
+    }
+
+    /// Whether the campaign can end with a chunk in this state.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, LedgerState::Queued | LedgerState::InFlight)
+    }
+}
+
+/// Per-chunk record in the repair ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerEntry {
+    /// Current lifecycle state.
+    pub state: LedgerState,
+    /// Dispatch attempts observed so far (from driver feedback).
+    pub attempts: u32,
+    /// Simulated second the chunk first entered the ledger.
+    pub enqueued_secs: f64,
+    /// Simulated second of the last state change.
+    pub updated_secs: f64,
+    /// Times the chunk re-entered the queue after a terminal-looking
+    /// state (repaired chunk lost again, lost stripe revived).
+    pub requeues: u32,
+}
+
+/// One stripe crossing the data-loss threshold: more erasures than the
+/// code tolerates, so the stripe is unreadable at this instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataLossEvent {
+    /// The stripe that became unreadable.
+    pub stripe: usize,
+    /// Simulated second of the crossing.
+    pub at_secs: f64,
+    /// Erasure count at the crossing (always `> m`).
+    pub erasures: usize,
+}
+
+impl DataLossEvent {
+    /// Renders the event as one JSON line, schema-compatible with the
+    /// flow trace / span / ledger lines:
+    /// `{"event":"data_loss","stripe":S,"t":T,"erasures":E}`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"event\":\"data_loss\",\"stripe\":{},\"t\":{},\"erasures\":{}}}",
+            self.stripe, self.at_secs, self.erasures
+        )
+    }
+}
+
+/// Campaign-level summary of an orchestrated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchestratorReport {
+    /// Inner repair algorithm name.
+    pub algorithm: String,
+    /// Queue policy label.
+    pub queue_policy: String,
+    /// Budget policy label.
+    pub budget_policy: String,
+    /// Ledger admissions: new entries plus re-queues.
+    pub enqueued: usize,
+    /// Chunks dispatched to the driver.
+    pub dispatched: usize,
+    /// Successful chunk repairs harvested from the driver (a chunk lost
+    /// and repaired twice counts twice).
+    pub chunk_repairs: usize,
+    /// Ledger entries that ended repaired.
+    pub repaired: usize,
+    /// Ledger entries that ended quarantined.
+    pub quarantined: usize,
+    /// Ledger entries that ended restored (node returned before repair).
+    pub restored: usize,
+    /// Ledger entries that ended lost.
+    pub lost_chunks: usize,
+    /// Lost → repaired transitions (stripe revived by recoveries, then
+    /// repaired after all).
+    pub resurrected: usize,
+    /// Stripes that crossed the data-loss threshold at least once.
+    pub data_loss_events: usize,
+    /// Simulated second of the first data-loss event — the measured
+    /// time-to-data-loss of this run (`None` = no loss).
+    pub first_loss_secs: Option<f64>,
+    /// Budget renegotiations performed (0 unless
+    /// [`BudgetPolicy::Negotiated`]).
+    pub negotiations: usize,
+    /// Mean negotiated/fixed budget rate in bytes/s (0 for unlimited).
+    pub mean_budget_rate: f64,
+    /// Total repair read bytes admitted (`dispatched × k × chunk_size`).
+    pub tokens_spent: f64,
+}
+
+/// The campaign manager. Feed it faults via [`Orchestrator::on_fault`]
+/// and simulator events via [`Orchestrator::on_event`], exactly like a
+/// [`RepairDriver`]; it forwards to the inner driver and runs admission
+/// around it.
+pub struct Orchestrator {
+    /// The orchestrator's own failure/placement view, kept in lockstep
+    /// with the driver's (both apply the same faults and the same
+    /// repair relocations).
+    view: RepairContext,
+    driver: Box<dyn RepairDriver>,
+    config: OrchestratorConfig,
+    /// Live queue ordered by (priority key, arrival seq, chunk).
+    queue: BTreeSet<(u32, u64, ChunkId)>,
+    /// Chunk → its current (key, seq) in `queue`.
+    queue_index: HashMap<ChunkId, (u32, u64)>,
+    ledger: BTreeMap<ChunkId, LedgerEntry>,
+    /// Chunks dispatched to the driver and not yet terminally resolved
+    /// (span, retries-exhausted, or unrepairable).
+    in_flight: BTreeSet<ChunkId>,
+    /// Stripes currently past the data-loss threshold.
+    lost_stripes: BTreeSet<usize>,
+    data_loss_events: Vec<DataLossEvent>,
+    dispatch_log: Vec<ChunkId>,
+    /// Harvest cursor into the driver's span/plan logs.
+    spans_seen: usize,
+    /// Harvest cursor into the driver's error log.
+    errors_seen: usize,
+    seq: u64,
+    tokens: f64,
+    rate: f64,
+    last_refill: f64,
+    last_negotiation: f64,
+    wake_timer: Option<TimerId>,
+    admitted: usize,
+    resurrected: usize,
+    repairs_harvested: usize,
+    negotiations: usize,
+    rate_sum: f64,
+    tokens_spent: f64,
+}
+
+impl std::fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("algorithm", &self.driver.name())
+            .field("queued", &self.queue.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("ledger", &self.ledger.len())
+            .field("lost_stripes", &self.lost_stripes.len())
+            .finish()
+    }
+}
+
+impl Orchestrator {
+    /// Wraps a driver in a campaign manager. The driver switches to
+    /// external admission: it no longer self-enqueues crashed nodes'
+    /// chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_in_flight` is zero or `window_secs` is not
+    /// positive.
+    pub fn new(
+        view: RepairContext,
+        mut driver: Box<dyn RepairDriver>,
+        config: OrchestratorConfig,
+    ) -> Self {
+        assert!(config.max_in_flight > 0, "max_in_flight must be positive");
+        assert!(
+            config.window_secs > 0.0 && config.window_secs.is_finite(),
+            "window_secs must be positive"
+        );
+        driver.set_external_admission(true);
+        let rate = match config.budget {
+            BudgetPolicy::Unlimited => f64::INFINITY,
+            BudgetPolicy::Fixed(r) => r.max(1.0),
+            BudgetPolicy::Negotiated { floor, .. } => floor.max(1.0),
+        };
+        let cost = view.code.k() as f64 * view.chunk_size() as f64;
+        // Prime the bucket with one window's allowance (at least one
+        // chunk) so the campaign does not idle at t = 0.
+        let tokens = if rate.is_finite() {
+            (rate * config.window_secs).max(cost)
+        } else {
+            0.0
+        };
+        Orchestrator {
+            view,
+            driver,
+            config,
+            queue: BTreeSet::new(),
+            queue_index: HashMap::new(),
+            ledger: BTreeMap::new(),
+            in_flight: BTreeSet::new(),
+            lost_stripes: BTreeSet::new(),
+            data_loss_events: Vec::new(),
+            dispatch_log: Vec::new(),
+            spans_seen: 0,
+            errors_seen: 0,
+            seq: 0,
+            tokens,
+            rate,
+            last_refill: 0.0,
+            last_negotiation: 0.0,
+            wake_timer: None,
+            admitted: 0,
+            resurrected: 0,
+            repairs_harvested: 0,
+            negotiations: 0,
+            rate_sum: 0.0,
+            tokens_spent: 0.0,
+        }
+    }
+
+    /// Repair read bytes one admission costs.
+    fn chunk_cost(&self) -> f64 {
+        self.view.code.k() as f64 * self.view.chunk_size() as f64
+    }
+
+    /// Erasure count of a stripe in the orchestrator's view.
+    fn stripe_erasures(&self, stripe: usize) -> usize {
+        let width = self.view.cluster.config().stripe_width;
+        width - self.view.cluster.alive_chunk_indices(stripe).len()
+    }
+
+    /// Queue priority key of a stripe (lower = dispatched earlier).
+    fn stripe_key(&self, stripe: usize) -> u32 {
+        match self.config.queue {
+            QueuePolicy::Fifo => 0,
+            QueuePolicy::RedundancyPriority => {
+                let m = self.view.code.fault_tolerance();
+                m.saturating_sub(self.stripe_erasures(stripe)) as u32
+            }
+        }
+    }
+
+    fn push_queue(&mut self, chunk: ChunkId) {
+        let key = self.stripe_key(chunk.stripe);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.insert((key, seq, chunk));
+        self.queue_index.insert(chunk, (key, seq));
+    }
+
+    fn drop_from_queue(&mut self, chunk: ChunkId) {
+        if let Some((key, seq)) = self.queue_index.remove(&chunk) {
+            self.queue.remove(&(key, seq, chunk));
+        }
+    }
+
+    /// Recomputes the priority key of every queued chunk of the given
+    /// stripes (their erasure counts changed).
+    fn rekey_stripes(&mut self, stripes: &BTreeSet<usize>) {
+        if self.config.queue == QueuePolicy::Fifo || stripes.is_empty() {
+            return;
+        }
+        let affected: Vec<(ChunkId, (u32, u64))> = self
+            .queue_index
+            .iter()
+            .filter(|(c, _)| stripes.contains(&c.stripe))
+            .map(|(c, ks)| (*c, *ks))
+            .collect();
+        for (chunk, (key, seq)) in affected {
+            let new_key = self.stripe_key(chunk.stripe);
+            if new_key != key {
+                self.queue.remove(&(key, seq, chunk));
+                self.queue.insert((new_key, seq, chunk));
+                self.queue_index.insert(chunk, (new_key, seq));
+            }
+        }
+    }
+
+    /// Accrues tokens at the current rate (capped at two windows, but
+    /// never below one chunk so every configuration makes progress).
+    fn refill(&mut self, now: f64) {
+        if self.rate.is_finite() {
+            let cap = (self.rate * self.config.window_secs * 2.0).max(self.chunk_cost());
+            self.tokens = (self.tokens + self.rate * (now - self.last_refill)).min(cap);
+        }
+        self.last_refill = now;
+    }
+
+    /// Renegotiates the token rate from monitor feedback, at most once
+    /// per window.
+    fn negotiate(&mut self, sim: &Simulator) {
+        let BudgetPolicy::Negotiated { headroom, floor } = self.config.budget else {
+            return;
+        };
+        let now = sim.now().as_secs();
+        if self.negotiations > 0 && now - self.last_negotiation < self.config.window_secs {
+            return;
+        }
+        // Settle tokens accrued at the old rate before switching.
+        self.refill(now);
+        let monitor = sim.monitor();
+        let mut capacity = 0.0;
+        let mut foreground = 0.0;
+        // The last *complete* window is the freshest full observation;
+        // the current (partial) window under-reports rates.
+        let complete = monitor.window_count().checked_sub(2);
+        for node in self.view.cluster.alive_storage_nodes() {
+            capacity += sim.capacity(node, ResourceKind::Uplink);
+            if let Some(w) = complete {
+                foreground += monitor
+                    .usage(w, node, ResourceKind::Uplink, Traffic::Foreground)
+                    .rate();
+            }
+        }
+        self.rate = (headroom * (capacity - foreground)).max(floor).max(1.0);
+        self.negotiations += 1;
+        self.rate_sum += self.rate;
+        self.last_negotiation = now;
+    }
+
+    /// Admits queued chunks while slots and tokens allow, dispatching
+    /// them to the driver as one batch; schedules a wake-up when
+    /// token-starved with work still queued.
+    fn pump(&mut self, sim: &mut Simulator) {
+        self.negotiate(sim);
+        let now = sim.now().as_secs();
+        self.refill(now);
+        let cost = self.chunk_cost();
+        let mut batch: Vec<ChunkId> = Vec::new();
+        while self.in_flight.len() + batch.len() < self.config.max_in_flight {
+            let Some(&(key, seq, chunk)) = self.queue.iter().next() else {
+                break;
+            };
+            if self.rate.is_finite() && self.tokens < cost {
+                break;
+            }
+            self.queue.remove(&(key, seq, chunk));
+            self.queue_index.remove(&chunk);
+            let node = self.view.cluster.placement().node_of(chunk);
+            let entry = self
+                .ledger
+                .get_mut(&chunk)
+                .expect("queued chunk has a ledger entry");
+            if self.view.cluster.is_alive(node) {
+                // The node came back while the chunk waited; nothing to
+                // repair.
+                entry.state = LedgerState::Restored;
+                entry.updated_secs = now;
+                continue;
+            }
+            if self.rate.is_finite() {
+                self.tokens -= cost;
+            }
+            self.tokens_spent += cost;
+            entry.state = LedgerState::InFlight;
+            entry.updated_secs = now;
+            self.in_flight.insert(chunk);
+            self.dispatch_log.push(chunk);
+            batch.push(chunk);
+        }
+        if !batch.is_empty() {
+            self.driver.start(sim, batch);
+        }
+        if let Some(t) = self.wake_timer.take() {
+            sim.cancel_timer(t);
+        }
+        if !self.queue.is_empty()
+            && self.in_flight.len() < self.config.max_in_flight
+            && self.rate.is_finite()
+            && self.tokens < cost
+        {
+            let delay = ((cost - self.tokens) / self.rate).clamp(1e-3, self.config.window_secs);
+            self.wake_timer = Some(sim.schedule_in(delay, WAKE_TIMER_KEY));
+        }
+    }
+
+    /// Pulls new terminal records (spans, give-ups) out of the driver
+    /// and applies them to the ledger.
+    fn harvest(&mut self, sim: &Simulator) {
+        let now = sim.now().as_secs();
+        let mut repaired_stripes: BTreeSet<usize> = BTreeSet::new();
+        let spans = self.driver.spans();
+        let plans = self.driver.completed_plans();
+        let n = spans.len().min(plans.len());
+        for i in self.spans_seen..n {
+            let span = spans[i];
+            let chunk = plans[i].chunk();
+            let dest = plans[i].destination();
+            self.in_flight.remove(&chunk);
+            self.repairs_harvested += 1;
+            if let Some(entry) = self.ledger.get_mut(&chunk) {
+                if entry.state == LedgerState::Lost {
+                    // The stripe was revived by recoveries and the
+                    // retried repair went through after all. The
+                    // data-loss event stays on record as historical
+                    // fact.
+                    self.resurrected += 1;
+                }
+                entry.state = LedgerState::Repaired;
+                entry.attempts = span.attempts;
+                entry.updated_secs = span.finished_secs;
+            }
+            // Mirror the driver's relocation so the erasure counts the
+            // queue keys on stay in lockstep.
+            if !self
+                .view
+                .cluster
+                .placement()
+                .stripe_nodes(chunk.stripe)
+                .contains(&dest)
+            {
+                let _ = self.view.cluster.apply_repair(chunk, dest);
+            }
+            repaired_stripes.insert(chunk.stripe);
+        }
+        self.spans_seen = n;
+        let errors = self.driver.errors();
+        for error in errors.iter().skip(self.errors_seen) {
+            match *error {
+                RepairError::RetriesExhausted { chunk, attempts } => {
+                    self.in_flight.remove(&chunk);
+                    if let Some(entry) = self.ledger.get_mut(&chunk) {
+                        if entry.state != LedgerState::Lost {
+                            entry.state = LedgerState::Quarantined;
+                        }
+                        entry.attempts = attempts;
+                        entry.updated_secs = now;
+                    }
+                }
+                RepairError::Unrepairable { chunk } => {
+                    self.in_flight.remove(&chunk);
+                    if let Some(entry) = self.ledger.get_mut(&chunk) {
+                        if entry.state != LedgerState::Lost {
+                            entry.state = LedgerState::Quarantined;
+                        }
+                        entry.updated_secs = now;
+                    }
+                }
+                RepairError::HelperLost { chunk, .. } => {
+                    if let Some(entry) = self.ledger.get_mut(&chunk) {
+                        entry.attempts += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.errors_seen = errors.len();
+        self.rekey_stripes(&repaired_stripes);
+    }
+
+    fn handle_crash(&mut self, sim: &mut Simulator, node: usize) {
+        let now = sim.now().as_secs();
+        let lost = self.view.cluster.placement().chunks_on(node);
+        let stripes: BTreeSet<usize> = lost.iter().map(|c| c.stripe).collect();
+        let m = self.view.code.fault_tolerance();
+        for &stripe in &stripes {
+            if self.lost_stripes.contains(&stripe) {
+                continue;
+            }
+            let erasures = self.stripe_erasures(stripe);
+            if erasures > m {
+                self.lost_stripes.insert(stripe);
+                self.data_loss_events.push(DataLossEvent {
+                    stripe,
+                    at_secs: now,
+                    erasures,
+                });
+                // Every tracked, non-terminal chunk of the stripe is now
+                // unreadable. Queued ones leave the queue; in-flight
+                // ones stay with the driver, which aborts and gives
+                // them up — or resurrects them if nodes return.
+                let lo = ChunkId { stripe, index: 0 };
+                let hi = ChunkId {
+                    stripe,
+                    index: usize::MAX,
+                };
+                let marked: Vec<ChunkId> = self
+                    .ledger
+                    .range(lo..=hi)
+                    .filter(|(_, e)| matches!(e.state, LedgerState::Queued | LedgerState::InFlight))
+                    .map(|(c, _)| *c)
+                    .collect();
+                for chunk in marked {
+                    self.drop_from_queue(chunk);
+                    let entry = self.ledger.get_mut(&chunk).expect("marked entry exists");
+                    entry.state = LedgerState::Lost;
+                    entry.updated_secs = now;
+                }
+            }
+        }
+        for chunk in lost {
+            let stripe_lost = self.lost_stripes.contains(&chunk.stripe);
+            match self.ledger.get(&chunk).map(|e| e.state) {
+                None => {
+                    self.admitted += 1;
+                    let state = if stripe_lost {
+                        LedgerState::Lost
+                    } else {
+                        LedgerState::Queued
+                    };
+                    self.ledger.insert(
+                        chunk,
+                        LedgerEntry {
+                            state,
+                            attempts: 0,
+                            enqueued_secs: now,
+                            updated_secs: now,
+                            requeues: 0,
+                        },
+                    );
+                    if !stripe_lost {
+                        self.push_queue(chunk);
+                    }
+                }
+                // A chunk repaired onto this node (or restored with it
+                // earlier) is lost again.
+                Some(LedgerState::Repaired) | Some(LedgerState::Restored) => {
+                    self.admitted += 1;
+                    let entry = self.ledger.get_mut(&chunk).expect("entry exists");
+                    entry.requeues += 1;
+                    entry.updated_secs = now;
+                    entry.state = if stripe_lost {
+                        LedgerState::Lost
+                    } else {
+                        LedgerState::Queued
+                    };
+                    if !stripe_lost {
+                        self.push_queue(chunk);
+                    }
+                }
+                // Queued / in-flight / lost chunks are already tracked;
+                // quarantined is terminal.
+                _ => {}
+            }
+        }
+        self.rekey_stripes(&stripes);
+        self.pump(sim);
+    }
+
+    fn handle_recover(&mut self, sim: &mut Simulator, node: usize) {
+        let now = sim.now().as_secs();
+        let back = self.view.cluster.placement().chunks_on(node);
+        let stripes: BTreeSet<usize> = back.iter().map(|c| c.stripe).collect();
+        for chunk in back {
+            let Some(state) = self.ledger.get(&chunk).map(|e| e.state) else {
+                continue;
+            };
+            let restored = match state {
+                LedgerState::Queued => {
+                    self.drop_from_queue(chunk);
+                    true
+                }
+                // A lost chunk whose own node returned is readable again
+                // (unless the driver still owns an attempt on it — then
+                // the harvest decides).
+                LedgerState::Lost => !self.in_flight.contains(&chunk),
+                _ => false,
+            };
+            if restored {
+                let entry = self.ledger.get_mut(&chunk).expect("entry exists");
+                entry.state = LedgerState::Restored;
+                entry.updated_secs = now;
+            }
+        }
+        let m = self.view.code.fault_tolerance();
+        for &stripe in &stripes {
+            if !self.lost_stripes.contains(&stripe) || self.stripe_erasures(stripe) > m {
+                continue;
+            }
+            // The stripe is readable again: re-queue its lost chunks
+            // whose nodes are still down (and are not still owned by
+            // the driver).
+            self.lost_stripes.remove(&stripe);
+            let lo = ChunkId { stripe, index: 0 };
+            let hi = ChunkId {
+                stripe,
+                index: usize::MAX,
+            };
+            let revive: Vec<ChunkId> = self
+                .ledger
+                .range(lo..=hi)
+                .filter(|(c, e)| e.state == LedgerState::Lost && !self.in_flight.contains(*c))
+                .map(|(c, _)| *c)
+                .collect();
+            for chunk in revive {
+                let alive = self
+                    .view
+                    .cluster
+                    .is_alive(self.view.cluster.placement().node_of(chunk));
+                let entry = self.ledger.get_mut(&chunk).expect("entry exists");
+                entry.updated_secs = now;
+                if alive {
+                    entry.state = LedgerState::Restored;
+                } else {
+                    entry.state = LedgerState::Queued;
+                    entry.requeues += 1;
+                    self.admitted += 1;
+                    self.push_queue(chunk);
+                }
+            }
+        }
+        self.rekey_stripes(&stripes);
+        self.pump(sim);
+    }
+
+    /// Applies an injected fault: updates the orchestrator's view,
+    /// forwards to the driver, and runs loss detection and admission.
+    pub fn on_fault(&mut self, sim: &mut Simulator, fault: &FaultEvent) {
+        match *fault {
+            FaultEvent::Crash { node }
+                if node < self.view.cluster.storage_nodes() && self.view.cluster.is_alive(node) =>
+            {
+                let _ = self.view.cluster.fail_node(node);
+                self.driver.on_fault(sim, fault);
+                self.handle_crash(sim, node);
+            }
+            FaultEvent::Recover { node }
+                if node < self.view.cluster.storage_nodes()
+                    && !self.view.cluster.is_alive(node) =>
+            {
+                self.view.cluster.heal_node(node);
+                self.driver.on_fault(sim, fault);
+                self.handle_recover(sim, node);
+            }
+            _ => self.driver.on_fault(sim, fault),
+        }
+    }
+
+    /// Handles a simulator event; returns `true` if it belonged to the
+    /// orchestrator or its driver.
+    pub fn on_event(&mut self, sim: &mut Simulator, event: &Event) -> bool {
+        if let Event::Timer { id, .. } = event {
+            if Some(*id) == self.wake_timer {
+                self.wake_timer = None;
+                self.pump(sim);
+                return true;
+            }
+        }
+        let handled = self.driver.on_event(sim, event);
+        if handled {
+            self.harvest(sim);
+            self.pump(sim);
+        }
+        handled
+    }
+
+    /// Whether the campaign has quiesced: nothing queued, nothing in
+    /// flight, and the driver is idle.
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty() && self.driver.is_done()
+    }
+
+    /// The inner driver's repair outcome.
+    pub fn outcome(&self, sim: &Simulator) -> RepairOutcome {
+        self.driver.outcome(sim)
+    }
+
+    /// The repair ledger, keyed by chunk.
+    pub fn ledger(&self) -> &BTreeMap<ChunkId, LedgerEntry> {
+        &self.ledger
+    }
+
+    /// Every data-loss threshold crossing, in time order.
+    pub fn data_loss_events(&self) -> &[DataLossEvent] {
+        &self.data_loss_events
+    }
+
+    /// Chunks in dispatch order — the admission decisions actually made.
+    pub fn dispatch_log(&self) -> &[ChunkId] {
+        &self.dispatch_log
+    }
+
+    /// Campaign-level summary.
+    pub fn report(&self) -> OrchestratorReport {
+        let mut repaired = 0;
+        let mut quarantined = 0;
+        let mut restored = 0;
+        let mut lost_chunks = 0;
+        for entry in self.ledger.values() {
+            match entry.state {
+                LedgerState::Repaired => repaired += 1,
+                LedgerState::Quarantined => quarantined += 1,
+                LedgerState::Restored => restored += 1,
+                LedgerState::Lost => lost_chunks += 1,
+                _ => {}
+            }
+        }
+        OrchestratorReport {
+            algorithm: self.driver.name(),
+            queue_policy: self.config.queue.label().to_string(),
+            budget_policy: self.config.budget.label().to_string(),
+            enqueued: self.admitted,
+            dispatched: self.dispatch_log.len(),
+            chunk_repairs: self.repairs_harvested,
+            repaired,
+            quarantined,
+            restored,
+            lost_chunks,
+            resurrected: self.resurrected,
+            data_loss_events: self.data_loss_events.len(),
+            first_loss_secs: self.data_loss_events.first().map(|e| e.at_secs),
+            negotiations: self.negotiations,
+            mean_budget_rate: if self.negotiations > 0 {
+                self.rate_sum / self.negotiations as f64
+            } else if self.rate.is_finite() {
+                self.rate
+            } else {
+                0.0
+            },
+            tokens_spent: self.tokens_spent,
+        }
+    }
+
+    /// Renders the campaign as JSONL: every data-loss event (time
+    /// order), then every ledger entry (chunk order), schema-compatible
+    /// with the flow-trace / span / given-up lines so all can share one
+    /// `.jsonl` file.
+    pub fn ledger_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.data_loss_events {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        for (chunk, entry) in &self.ledger {
+            out.push_str(&format!(
+                "{{\"event\":\"ledger\",\"stripe\":{},\"chunk\":{},\"state\":\"{}\",\"attempts\":{},\"enqueued\":{},\"updated\":{},\"requeues\":{}}}\n",
+                chunk.stripe,
+                chunk.index,
+                entry.state.label(),
+                entry.attempts,
+                entry.enqueued_secs,
+                entry.updated_secs,
+                entry.requeues
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{PlanShape, StaticRepairDriver};
+    use chameleon_cluster::{Cluster, ClusterConfig};
+    use chameleon_codes::ReedSolomon;
+    use chameleon_simnet::{FaultPlan, FaultSpec, NodeId};
+    use std::sync::Arc;
+
+    fn ctx_rs42() -> RepairContext {
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()))
+    }
+
+    fn run_campaign(
+        queue: QueuePolicy,
+        budget: BudgetPolicy,
+        plan: &FaultPlan,
+    ) -> (Orchestrator, Simulator) {
+        let ctx = ctx_rs42();
+        let mut sim = ctx.cluster.build_simulator();
+        let driver = Box::new(StaticRepairDriver::new(ctx.clone(), PlanShape::Star, 7));
+        let mut orch = Orchestrator::new(
+            ctx,
+            driver,
+            OrchestratorConfig {
+                queue,
+                budget,
+                max_in_flight: 4,
+                window_secs: 5.0,
+            },
+        );
+        let mut injector = plan.inject(&mut sim);
+        while let Some(ev) = sim.next_event() {
+            if let Some(fault) = injector.on_event(&mut sim, &ev) {
+                orch.on_fault(&mut sim, &fault);
+                continue;
+            }
+            orch.on_event(&mut sim, &ev);
+        }
+        (orch, sim)
+    }
+
+    #[test]
+    fn poisson_campaign_completes_and_ledger_reconciles_with_the_engine() {
+        let candidates: Vec<NodeId> = (0..20).collect();
+        let plan = FaultPlan::seeded_poisson(7, &candidates, 120.0, (0.0, 30.0), Some(15.0));
+        let (orch, sim) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Unlimited,
+            &plan,
+        );
+        assert!(orch.is_done(), "campaign did not quiesce: {orch:?}");
+        let outcome = orch.outcome(&sim);
+        let report = orch.report();
+        assert!(report.enqueued > 0, "the stream lost no chunks at all");
+        // Exact reconciliation against engine-delivered bytes: every
+        // harvested span is one chunk of real repair writes.
+        assert_eq!(report.chunk_repairs, outcome.chunks_repaired);
+        assert_eq!(
+            outcome.repaired_bytes,
+            report.chunk_repairs as f64 * (4u64 << 20) as f64
+        );
+        assert_eq!(report.dispatched, outcome.chunks_total);
+        // Every ledger entry ended in a terminal state, and the terminal
+        // states partition the ledger.
+        let mut terminal = 0;
+        for (chunk, entry) in orch.ledger() {
+            assert!(
+                entry.state.is_terminal(),
+                "stripe {} chunk {} ended {:?}",
+                chunk.stripe,
+                chunk.index,
+                entry.state
+            );
+            terminal += 1;
+        }
+        assert_eq!(
+            terminal,
+            report.repaired + report.quarantined + report.restored + report.lost_chunks
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_ledgers() {
+        let candidates: Vec<NodeId> = (0..20).collect();
+        let plan = FaultPlan::seeded_poisson(11, &candidates, 100.0, (0.0, 25.0), Some(10.0));
+        let (a, _) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Fixed(200e6),
+            &plan,
+        );
+        let (b, _) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Fixed(200e6),
+            &plan,
+        );
+        assert_eq!(a.ledger_jsonl(), b.ledger_jsonl());
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.dispatch_log(), b.dispatch_log());
+    }
+
+    #[test]
+    fn overwhelming_a_stripe_records_a_data_loss_event_and_still_quiesces() {
+        let ctx = ctx_rs42();
+        let victims: Vec<NodeId> = ctx.cluster.placement().stripe_nodes(0)[..3].to_vec();
+        let plan = FaultPlan::new(
+            victims
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| FaultSpec::Crash {
+                    node,
+                    at_secs: 0.01 + i as f64 * 0.01,
+                })
+                .collect(),
+        );
+        let (orch, _) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Unlimited,
+            &plan,
+        );
+        assert!(orch.is_done(), "campaign did not quiesce: {orch:?}");
+        let report = orch.report();
+        assert!(
+            orch.data_loss_events().iter().any(|e| e.stripe == 0),
+            "stripe 0 lost 3 of 6 chunks under RS(4,2) but no loss was recorded"
+        );
+        assert_eq!(report.first_loss_secs, Some(0.03));
+        assert!(report.lost_chunks > 0);
+        // Stripes with <= 2 erasures still got repaired around the loss.
+        assert!(report.repaired > 0);
+        // Lost entries really are unreadable stripes in the final view.
+        for (chunk, entry) in orch.ledger() {
+            if entry.state == LedgerState::Lost {
+                assert!(orch
+                    .data_loss_events()
+                    .iter()
+                    .any(|e| e.stripe == chunk.stripe));
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_restores_queued_chunks_and_revives_lost_stripes() {
+        let ctx = ctx_rs42();
+        let victims: Vec<NodeId> = ctx.cluster.placement().stripe_nodes(0)[..3].to_vec();
+        let mut specs: Vec<FaultSpec> = victims
+            .iter()
+            .map(|&node| FaultSpec::Crash {
+                node,
+                at_secs: 0.01,
+            })
+            .collect();
+        // One of the three returns: the stripe drops back to two
+        // erasures and becomes repairable again.
+        specs.push(FaultSpec::Recover {
+            node: victims[2],
+            at_secs: 5.0,
+        });
+        let plan = FaultPlan::new(specs);
+        let (orch, _) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Unlimited,
+            &plan,
+        );
+        assert!(orch.is_done(), "campaign did not quiesce: {orch:?}");
+        let report = orch.report();
+        assert!(orch.data_loss_events().iter().any(|e| e.stripe == 0));
+        // After the recovery no chunk of stripe 0 may end lost.
+        for (chunk, entry) in orch.ledger() {
+            if chunk.stripe == 0 {
+                assert_ne!(
+                    entry.state,
+                    LedgerState::Lost,
+                    "stripe 0 chunk {} stayed lost after the stripe was revived",
+                    chunk.index
+                );
+            }
+        }
+        assert!(report.restored > 0, "the recovered node restored nothing");
+    }
+
+    #[test]
+    fn queue_policies_order_dispatch_differently_under_multiple_failures() {
+        let ctx = ctx_rs42();
+        let nodes = ctx.cluster.placement().stripe_nodes(0);
+        let (a, b) = (nodes[0], nodes[1]);
+        // A warm-up crash of a node outside stripe 0 fills both repair
+        // slots, so when a and b crash together the queue holds stripe
+        // 0's two chunks at two erasures — priority pops them first,
+        // FIFO leaves them at their arrival positions.
+        let c = (0..ctx.cluster.storage_nodes())
+            .find(|n| !nodes.contains(n))
+            .expect("a node outside stripe 0 exists");
+        let plan = FaultPlan::new(vec![
+            FaultSpec::Crash {
+                node: c,
+                at_secs: 0.005,
+            },
+            FaultSpec::Crash {
+                node: a,
+                at_secs: 0.01,
+            },
+            FaultSpec::Crash {
+                node: b,
+                at_secs: 0.01,
+            },
+        ]);
+        let run = |queue| {
+            let ctx = ctx_rs42();
+            let mut sim = ctx.cluster.build_simulator();
+            let driver = Box::new(StaticRepairDriver::new(ctx.clone(), PlanShape::Star, 7));
+            let mut orch = Orchestrator::new(
+                ctx,
+                driver,
+                OrchestratorConfig {
+                    queue,
+                    budget: BudgetPolicy::Unlimited,
+                    max_in_flight: 2,
+                    window_secs: 5.0,
+                },
+            );
+            let mut injector = plan.inject(&mut sim);
+            while let Some(ev) = sim.next_event() {
+                if let Some(fault) = injector.on_event(&mut sim, &ev) {
+                    orch.on_fault(&mut sim, &fault);
+                    continue;
+                }
+                orch.on_event(&mut sim, &ev);
+            }
+            orch
+        };
+        let fifo = run(QueuePolicy::Fifo);
+        let prio = run(QueuePolicy::RedundancyPriority);
+        assert!(fifo.is_done() && prio.is_done());
+        assert_ne!(
+            fifo.dispatch_log(),
+            prio.dispatch_log(),
+            "priority ordering never deviated from arrival order"
+        );
+        // Under priority, stripe 0's two chunks (the only two-erasure
+        // stripe work at that moment) are dispatched before the
+        // single-erasure backlog that arrived with them.
+        let pos = |orch: &Orchestrator, index: usize| {
+            orch.dispatch_log()
+                .iter()
+                .position(|ch| ch.stripe == 0 && ch.index == index)
+        };
+        if let (Some(p1), Some(f1)) = (pos(&prio, 1), pos(&fifo, 1)) {
+            assert!(
+                p1 < f1,
+                "stripe 0's second chunk was not promoted: prio pos {p1}, fifo pos {f1}"
+            );
+        }
+    }
+
+    #[test]
+    fn negotiated_budget_renegotiates_each_window() {
+        let candidates: Vec<NodeId> = (0..20).collect();
+        let plan = FaultPlan::seeded_poisson(3, &candidates, 200.0, (0.0, 20.0), Some(10.0));
+        let (orch, _) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Negotiated {
+                headroom: 0.5,
+                floor: 10e6,
+            },
+            &plan,
+        );
+        assert!(orch.is_done());
+        let report = orch.report();
+        assert!(report.negotiations >= 1);
+        assert!(report.mean_budget_rate >= 10e6);
+        assert_eq!(
+            report.tokens_spent,
+            report.dispatched as f64 * 4.0 * (4u64 << 20) as f64
+        );
+    }
+}

@@ -421,6 +421,114 @@ impl FaultPlan {
         picks
     }
 
+    /// Generates a continuous crash stream: node lifetimes are i.i.d.
+    /// exponential with mean `mttf_secs`, so crashes among the *currently
+    /// up* nodes form a Poisson process of rate `up_count / mttf_secs`
+    /// (superposition of per-node clocks). Each crash strikes a
+    /// seeded-uniform victim among the up nodes; with `recover_after =
+    /// Some(r)` the victim rejoins the pool `r` seconds later (repairing
+    /// its data is the orchestrator's job — the generator only models
+    /// node availability). Without recovery the pool drains and the
+    /// stream stops once every candidate is down.
+    ///
+    /// Generation is event-driven over `[window.0, window.1)`: after every
+    /// pool change the next interarrival is redrawn at the new aggregate
+    /// rate, which is distribution-preserving because the exponential is
+    /// memoryless. Fully determined by the arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty, `mttf_secs` is not positive and
+    /// finite, or the window is not an ordered pair of finite,
+    /// non-negative times.
+    pub fn seeded_poisson(
+        seed: u64,
+        candidates: &[NodeId],
+        mttf_secs: f64,
+        window: (f64, f64),
+        recover_after: Option<f64>,
+    ) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "poisson stream needs at least one candidate node"
+        );
+        assert!(
+            mttf_secs.is_finite() && mttf_secs > 0.0,
+            "mttf must be positive and finite"
+        );
+        assert!(
+            window.0.is_finite() && window.1.is_finite() && 0.0 <= window.0 && window.0 <= window.1,
+            "bad fault window {window:?}"
+        );
+        if let Some(after) = recover_after {
+            assert!(
+                after.is_finite() && after > 0.0,
+                "recover_after must be positive and finite"
+            );
+        }
+        let mut state = seed ^ 0xFA17_FA17_FA17_FA17;
+        // Sorted up-pool: candidate order must not leak into the stream.
+        let mut up: Vec<NodeId> = candidates.to_vec();
+        up.sort_unstable();
+        up.dedup();
+        // Pending recoveries, ascending by (time, node).
+        let mut pending: Vec<(f64, NodeId)> = Vec::new();
+        let mut specs = Vec::new();
+        let mut t = window.0;
+        loop {
+            if up.is_empty() {
+                // Everything is down: jump to the next recovery, or stop.
+                let Some(&(rt, _)) = pending.first() else {
+                    break;
+                };
+                if rt >= window.1 {
+                    break;
+                }
+                t = rt;
+                let (_, node) = pending.remove(0);
+                let pos = up.partition_point(|&n| n < node);
+                up.insert(pos, node);
+                continue;
+            }
+            let rate = up.len() as f64 / mttf_secs;
+            let dt = -(1.0 - unit(splitmix64(&mut state))).ln() / rate;
+            let t_next = t + dt;
+            // A recovery before the drawn crash changes the aggregate
+            // rate; advance to it and redraw (valid by memorylessness).
+            if let Some(&(rt, node)) = pending.first() {
+                if rt <= t_next {
+                    t = rt;
+                    pending.remove(0);
+                    let pos = up.partition_point(|&n| n < node);
+                    up.insert(pos, node);
+                    continue;
+                }
+            }
+            if t_next >= window.1 {
+                break;
+            }
+            t = t_next;
+            let i = (splitmix64(&mut state) % up.len() as u64) as usize;
+            let node = up.remove(i);
+            specs.push(FaultSpec::Crash { node, at_secs: t });
+            if let Some(after) = recover_after {
+                let rt = t + after;
+                specs.push(FaultSpec::Recover { node, at_secs: rt });
+                let pos = pending.partition_point(|&(pt, pn)| (pt, pn) < (rt, node));
+                pending.insert(pos, (rt, node));
+            }
+        }
+        FaultPlan::new(specs)
+    }
+
+    /// Merges two plans into one schedule (re-sorted by fire time) — used
+    /// to interleave a generated stream with hand-written specs.
+    pub fn merge(&self, other: &FaultPlan) -> Self {
+        let mut specs = self.specs.clone();
+        specs.extend(other.specs.iter().copied());
+        FaultPlan::new(specs)
+    }
+
     /// Parses a comma-separated list of [`FaultSpec::parse`] forms, e.g.
     /// `crash:3@1.5,slow:5@2x0.25+10,recover:3@20`.
     ///
@@ -741,6 +849,112 @@ mod tests {
         // A different seed produces a different plan.
         let c = FaultPlan::seeded_crashes(43, &candidates, 4, (1.0, 9.0), Some(5.0));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_respects_the_pool() {
+        let candidates: Vec<NodeId> = (0..8).collect();
+        let a = FaultPlan::seeded_poisson(0xD00D, &candidates, 50.0, (0.0, 200.0), Some(20.0));
+        let b = FaultPlan::seeded_poisson(0xD00D, &candidates, 50.0, (0.0, 200.0), Some(20.0));
+        assert_eq!(a, b, "same arguments must generate the same stream");
+        let c = FaultPlan::seeded_poisson(0xBEEF, &candidates, 50.0, (0.0, 200.0), Some(20.0));
+        assert_ne!(a, c, "a different seed must generate a different stream");
+        // Candidate order must not change the stream.
+        let mut reversed = candidates.clone();
+        reversed.reverse();
+        let d = FaultPlan::seeded_poisson(0xD00D, &reversed, 50.0, (0.0, 200.0), Some(20.0));
+        assert_eq!(a, d);
+        // Every crash strikes an *up* candidate inside the window, and no
+        // node crashes again before its scheduled recovery.
+        let mut down: Vec<NodeId> = Vec::new();
+        let mut crashes = 0;
+        for s in a.specs() {
+            match *s {
+                FaultSpec::Crash { node, at_secs } => {
+                    assert!((0.0..200.0).contains(&at_secs));
+                    assert!(candidates.contains(&node));
+                    assert!(!down.contains(&node), "node {node} crashed while down");
+                    down.push(node);
+                    crashes += 1;
+                }
+                FaultSpec::Recover { node, .. } => {
+                    down.retain(|&n| n != node);
+                }
+                _ => panic!("unexpected spec {s:?}"),
+            }
+        }
+        assert!(
+            crashes > 4,
+            "expected a dense stream, got {crashes} crashes"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_matches_the_configured_mttf() {
+        // 10 nodes, θ = 100 s, quick recovery: the pool is almost always
+        // full, so the aggregate rate is ≈ 10/100 = 0.1 crashes/s and a
+        // 10 000 s window should see ~1 000 crashes. The bound is wide
+        // enough (±4 σ ≈ ±127 plus the small downtime bias) to be
+        // deterministic in practice for any reasonable generator.
+        let candidates: Vec<NodeId> = (0..10).collect();
+        let plan =
+            FaultPlan::seeded_poisson(0x90155, &candidates, 100.0, (0.0, 10_000.0), Some(1.0));
+        let crash_times: Vec<f64> = plan
+            .specs()
+            .iter()
+            .filter_map(|s| match *s {
+                FaultSpec::Crash { at_secs, .. } => Some(at_secs),
+                _ => None,
+            })
+            .collect();
+        let n = crash_times.len();
+        assert!((850..=1150).contains(&n), "expected ~1000 crashes, got {n}");
+        let mean_gap = 10_000.0 / n as f64;
+        assert!(
+            (8.5..=11.5).contains(&mean_gap),
+            "mean interarrival {mean_gap:.2}s, expected ≈10s"
+        );
+    }
+
+    #[test]
+    fn poisson_without_recovery_drains_the_pool_and_stops() {
+        let candidates: Vec<NodeId> = vec![2, 5, 7];
+        // Tiny MTTF relative to the window: every node crashes, once.
+        let plan = FaultPlan::seeded_poisson(1, &candidates, 0.5, (0.0, 1_000.0), None);
+        let crashed: Vec<NodeId> = plan.specs().iter().map(|s| s.node()).collect();
+        assert_eq!(plan.specs().len(), 3);
+        let mut uniq = crashed.clone();
+        uniq.sort_unstable();
+        assert_eq!(uniq, candidates, "each candidate crashes exactly once");
+    }
+
+    #[test]
+    fn poisson_merges_with_handwritten_schedules_in_fire_order() {
+        let candidates: Vec<NodeId> = (0..6).collect();
+        let stream = FaultPlan::seeded_poisson(9, &candidates, 20.0, (5.0, 60.0), Some(10.0));
+        let hand = FaultPlan::parse_list("slow:1@2x0.25+10,crash:4@0.5").unwrap();
+        let merged = stream.merge(&hand);
+        assert_eq!(
+            merged.specs().len(),
+            stream.specs().len() + hand.specs().len()
+        );
+        // Re-sorted globally: the handwritten t=0.5 crash leads, and times
+        // never decrease.
+        assert_eq!(
+            merged.specs()[0],
+            FaultSpec::Crash {
+                node: 4,
+                at_secs: 0.5
+            }
+        );
+        for pair in merged.specs().windows(2) {
+            assert!(pair[0].at_secs() <= pair[1].at_secs());
+        }
+        assert!(merged
+            .specs()
+            .iter()
+            .any(|s| matches!(s, FaultSpec::Slowdown { node: 1, .. })));
+        assert_eq!(merged.first_crash_secs(), Some(0.5));
     }
 
     #[test]
