@@ -197,17 +197,13 @@ fn bench_plan_generation(c: &mut Criterion) {
             stripes: 64,
             placement: PlacementStrategy::Random(1),
             monitor_window_secs: 15.0,
+            topology: chameleon_cluster::TopologySpec::Flat,
         };
         let cluster = Cluster::new(cfg).unwrap();
         let ctx = RepairContext::new(cluster, code);
         group.bench_function(format!("dispatch_and_plan_{nodes}_nodes"), |b| {
             b.iter(|| {
-                let mut phase = PhaseState {
-                    t_up: vec![0.0; nodes],
-                    t_down: vec![0.0; nodes],
-                    b_up: vec![1e9; nodes],
-                    b_down: vec![1e9; nodes],
-                };
+                let mut phase = PhaseState::flat(vec![1e9; nodes], vec![1e9; nodes]);
                 let chunk = ChunkId {
                     stripe: 0,
                     index: 0,

@@ -1,0 +1,7 @@
+//! Thin wrapper: the experiment lives in `chameleon_bench::experiments::exp18`
+//! so the `suite` binary and the grid determinism tests can call it too.
+//! See that module's docs for the rack/spine oversubscription sweep it runs.
+
+fn main() {
+    chameleon_bench::experiments::bench_main(chameleon_bench::experiments::exp18::run);
+}

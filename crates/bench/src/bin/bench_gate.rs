@@ -4,6 +4,10 @@
 //! - `results/BENCH_simnet.json` vs `results/BENCH_simnet.baseline.json`
 //!   at the gate point (20 nodes, 10k flows), >20% drop of indexed
 //!   events/sec fails. Run `cargo bench --bench simnet_throughput` first.
+//! - the same document's oversubscribed-spine point (1000 nodes, 25
+//!   racks, 1:4 spine, 100k flows) must clear an absolute 500 ev/s floor
+//!   — no baseline, the floor proves the dirty-set closure does not
+//!   conduct through unsaturated spine cells.
 //! - `results/BENCH_gf.json` vs `results/BENCH_gf.baseline.json` at the
 //!   active GF kernel's 1 MiB `mul_slice_xor` point, >30% drop fails.
 //!   Run `cargo bench --bench gf_throughput` first.
@@ -49,7 +53,8 @@ fn main() {
         })
     };
 
-    let simnet = match gate::check(&read(&current), &read(&baseline)) {
+    let current_json = read(&current);
+    let simnet = match gate::check(&current_json, &read(&baseline)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench_gate: {e}");
@@ -57,6 +62,15 @@ fn main() {
         }
     };
     println!("{}", simnet.render());
+
+    let spine = match gate::check_spine(&current_json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", spine.render_spine());
 
     let gf = match gate::check_gf(&read(&gf_current), &read(&gf_baseline)) {
         Ok(r) => r,
@@ -68,6 +82,15 @@ fn main() {
     println!("{}", gf.render_gf());
 
     let mut failed = false;
+    if !spine.pass() {
+        eprintln!(
+            "bench_gate: the oversubscribed-spine point fell below the absolute \
+             {:.0} ev/s floor — the incremental solver is likely conducting its \
+             dirty-set closure through unsaturated spine cells",
+            gate::SPINE_MIN_EVENTS_PER_SEC
+        );
+        failed = true;
+    }
     if !simnet.pass() {
         eprintln!(
             "bench_gate: indexed events/sec regressed more than {:.0}% at the gate point; \

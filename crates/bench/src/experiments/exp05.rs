@@ -31,6 +31,7 @@ fn plan_time_secs(nodes: usize, chunks: usize) -> f64 {
         stripes: chunks, // one failed chunk per stripe
         placement: PlacementStrategy::Random(1),
         monitor_window_secs: 15.0,
+        topology: chameleon_cluster::TopologySpec::Flat,
     };
     // Plan the repair of chunk 0 of every stripe (the failed chunk's node
     // is excluded as a source by repair_requirement; no explicit failure
@@ -39,12 +40,10 @@ fn plan_time_secs(nodes: usize, chunks: usize) -> f64 {
     let ctx = RepairContext::new(cluster, code);
 
     // A synthetic residual-bandwidth profile (varied, as after monitoring).
-    let mut phase = PhaseState {
-        t_up: vec![0.0; nodes],
-        t_down: vec![0.0; nodes],
-        b_up: (0..nodes).map(|i| 4e8 + (i % 17) as f64 * 5e7).collect(),
-        b_down: (0..nodes).map(|i| 4e8 + (i % 13) as f64 * 5e7).collect(),
-    };
+    let mut phase = PhaseState::flat(
+        (0..nodes).map(|i| 4e8 + (i % 17) as f64 * 5e7).collect(),
+        (0..nodes).map(|i| 4e8 + (i % 13) as f64 * 5e7).collect(),
+    );
 
     let start = Instant::now();
     for stripe in 0..chunks {

@@ -28,6 +28,7 @@ pub mod exp14;
 pub mod exp15;
 pub mod exp16;
 pub mod exp17;
+pub mod exp18;
 pub mod fig02;
 pub mod fig04;
 pub mod fig05;
@@ -49,7 +50,7 @@ pub struct Experiment {
 }
 
 /// Every experiment and figure study, in evaluation order.
-pub const ALL: [Experiment; 21] = [
+pub const ALL: [Experiment; 22] = [
     Experiment {
         name: "fig02_reliability",
         title: "Fig. 2: data-loss probability vs repair throughput",
@@ -154,6 +155,11 @@ pub const ALL: [Experiment; 21] = [
         name: "exp17_reliability",
         title: "Exp#17: measured MTTDL under continuous failure campaigns",
         run: exp17::run,
+    },
+    Experiment {
+        name: "exp18_topology",
+        title: "Exp#18: repair vs rack/spine oversubscription ratio",
+        run: exp18::run,
     },
 ];
 

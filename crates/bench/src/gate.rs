@@ -29,6 +29,13 @@ pub const MAX_REGRESSION: f64 = 0.20;
 pub const GF_GATE_LEN: u64 = 1 << 20;
 /// Largest tolerated drop of the active GF kernel's MB/s vs the baseline.
 pub const GF_MAX_REGRESSION: f64 = 0.30;
+/// Absolute floor for the oversubscribed-spine 1000-node sweep point
+/// (events/sec). Unlike the relative gates, this one needs no committed
+/// baseline: it exists to prove the incremental solver's dirty-set
+/// closure does not conduct through unsaturated spine cells — a
+/// conducting spine turns every completion into a cluster-wide solve and
+/// lands orders of magnitude below this floor, on any runner.
+pub const SPINE_MIN_EVENTS_PER_SEC: f64 = 500.0;
 
 /// Extracts the indexed events/sec of one sweep point from a
 /// `BENCH_simnet` JSON document.
@@ -41,10 +48,32 @@ pub fn extract_events_per_sec(json: &str, nodes: u64, flows: u64) -> Option<f64>
     let nodes_pat = format!("\"nodes\": {nodes},");
     let flows_pat = format!("\"flows\": {flows},");
     for line in json.lines() {
+        // Racked levels (the spine gate point) are a different sweep;
+        // they share node/flow counts with flat levels but must never
+        // satisfy a flat lookup.
+        if line.contains("\"topology\":") {
+            continue;
+        }
         if !line.contains(&flows_pat) {
             continue;
         }
         if line.contains("\"nodes\":") && !line.contains(&nodes_pat) {
+            continue;
+        }
+        let pat = "\"indexed_events_per_sec\": ";
+        let start = line.find(pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        return rest[..end].trim().parse().ok();
+    }
+    None
+}
+
+/// Extracts the indexed events/sec of the oversubscribed-spine sweep
+/// point — the level line carrying `"topology": "spine"`.
+pub fn extract_spine_events_per_sec(json: &str) -> Option<f64> {
+    for line in json.lines() {
+        if !line.contains("\"topology\": \"spine\"") {
             continue;
         }
         let pat = "\"indexed_events_per_sec\": ";
@@ -114,6 +143,17 @@ impl GateReport {
         )
     }
 
+    /// Human verdict for the oversubscribed-spine floor gate.
+    pub fn render_spine(&self) -> String {
+        format!(
+            "bench-gate @ 1000 nodes / 25 racks / 1:4 spine / 1.5k flows: \
+             current {:.1} ev/s vs absolute floor {:.1} ev/s -> {}",
+            self.current,
+            self.baseline,
+            if self.pass() { "PASS" } else { "FAIL" }
+        )
+    }
+
     /// Human verdict for the GF kernel gate.
     pub fn render_gf(&self) -> String {
         format!(
@@ -144,6 +184,19 @@ pub fn check(current_json: &str, baseline_json: &str) -> Result<GateReport, Stri
         baseline,
         current,
         max_regression: MAX_REGRESSION,
+    })
+}
+
+/// Holds the fresh `BENCH_simnet` JSON's oversubscribed-spine point to
+/// the absolute [`SPINE_MIN_EVENTS_PER_SEC`] floor. No baseline document
+/// is involved; a missing point is a loud error, not a silent pass.
+pub fn check_spine(current_json: &str) -> Result<GateReport, String> {
+    let current = extract_spine_events_per_sec(current_json)
+        .ok_or("current run has no oversubscribed-spine point")?;
+    Ok(GateReport {
+        baseline: SPINE_MIN_EVENTS_PER_SEC,
+        current,
+        max_regression: 0.0,
     })
 }
 
@@ -232,6 +285,49 @@ mod tests {
         assert!(!check(&edge_fail, &baseline).unwrap().pass());
         let edge_pass = doc(&[(20, 10_000, 4_001.0)]);
         assert!(check(&edge_pass, &baseline).unwrap().pass());
+    }
+
+    #[test]
+    fn spine_levels_never_satisfy_flat_lookups() {
+        // A document carrying both the flat 1000-node point and the
+        // racked spine point at the same node/flow counts: the flat
+        // lookup must return the flat number, the spine lookup the
+        // spine number, regardless of line order.
+        let json = "{\n  \"bench\": \"simnet_throughput\",\n  \"levels\": [\n\
+             {\"topology\": \"spine\", \"nodes\": 1000, \"flows\": 100000, \
+              \"indexed_events_per_sec\": 800.5},\n\
+             {\"nodes\": 1000, \"flows\": 100000, \"indexed_events_per_sec\": 1200.0, \
+              \"reference_events_per_sec\": 10.0, \"speedup\": 120.0}\n  ]\n}\n";
+        assert_eq!(extract_events_per_sec(json, 1_000, 100_000), Some(1200.0));
+        assert_eq!(extract_spine_events_per_sec(json), Some(800.5));
+        // Smoke documents carry no flat 1000-node point at all.
+        let smoke = "{\"levels\": [{\"topology\": \"spine\", \"nodes\": 1000, \
+             \"flows\": 100000, \"indexed_events_per_sec\": 777.0}]}";
+        assert_eq!(extract_events_per_sec(smoke, 1_000, 100_000), None);
+        assert_eq!(extract_spine_events_per_sec(smoke), Some(777.0));
+    }
+
+    #[test]
+    fn spine_gate_is_an_absolute_floor() {
+        let at = |ev: f64| {
+            format!(
+                "{{\"levels\": [{{\"topology\": \"spine\", \"nodes\": 1000, \
+                 \"flows\": 100000, \"indexed_events_per_sec\": {ev}}}]}}"
+            )
+        };
+        let pass = check_spine(&at(SPINE_MIN_EVENTS_PER_SEC)).unwrap();
+        assert!(pass.pass(), "{}", pass.render_spine());
+        let fast = check_spine(&at(50_000.0)).unwrap();
+        assert!(fast.pass());
+        let slow = check_spine(&at(SPINE_MIN_EVENTS_PER_SEC - 1.0)).unwrap();
+        assert!(!slow.pass());
+        assert!(
+            slow.render_spine().contains("FAIL"),
+            "{}",
+            slow.render_spine()
+        );
+        // A document with no spine point is a loud error.
+        assert!(check_spine("{\"levels\": []}").is_err());
     }
 
     fn gf_doc(points: &[(&str, bool, u64, f64)]) -> String {

@@ -124,6 +124,7 @@ impl Scale {
             stripes,
             placement: chameleon_cluster::PlacementStrategy::Random(0xC0DE),
             monitor_window_secs: 15.0,
+            topology: chameleon_cluster::TopologySpec::Flat,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! (the control grid fixes the crash window for the faulted grid). All
 //! run at a tiny scale so the whole suite stays in seconds.
 
-use chameleon_bench::experiments::{exp02, exp08, exp11, exp15, exp16, exp17};
+use chameleon_bench::experiments::{exp02, exp08, exp11, exp15, exp16, exp17, exp18};
 use chameleon_bench::table::csv_string;
 use chameleon_bench::{run_specs, AlgoKind, FgSpec, RunSpec, Scale};
 use chameleon_codes::{ErasureCode, ReedSolomon};
@@ -215,6 +215,76 @@ fn exp17_rows_and_ledger_are_identical_across_job_counts() {
         assert_eq!(
             ledger, parallel_ledger,
             "exp17 ledger JSONL diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// Exp#18 exercises the rack/spine fabric sweep: link resources join the
+/// solver's constraint rows, and the per-link monitor totals land in the
+/// CSV, so both must be scheduling-invariant.
+#[test]
+fn exp18_rows_are_identical_across_job_counts() {
+    let scale = tiny();
+    let headers = [
+        "fabric",
+        "algorithm",
+        "repair_mbps",
+        "chunks",
+        "p99_ms",
+        "cross_rack_repair_mb",
+        "cross_rack_fg_mb",
+        "chunk_p50_s",
+        "chunk_p99_s",
+    ];
+    let sequential = csv_string(&headers, &exp18::csv_rows(&scale, 1));
+    assert!(
+        sequential.lines().count() > 4,
+        "expected a non-trivial grid, got:\n{sequential}"
+    );
+    for jobs in [4, 8] {
+        let parallel = csv_string(&headers, &exp18::csv_rows(&scale, jobs));
+        assert_eq!(
+            sequential, parallel,
+            "exp18 CSV diverged between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// The differential oracle of the topology work: Exp#18's flat rows use
+/// exactly Exp#8's one-failure specs, so the repair numbers must
+/// reproduce that CSV bit-identically. The racked fabrics are *not*
+/// expected to match flat — rack-aware helper selection changes the
+/// repair plans as soon as racks > 1 — but their ToR links must observe
+/// real cross-rack bytes, which flat rows (no link cells) never carry.
+#[test]
+fn exp18_flat_rows_reproduce_exp08_bitwise() {
+    let scale = tiny();
+    let e08 = exp08::csv_rows(&scale, 4);
+    let e18 = exp18::csv_rows(&scale, 4);
+    let one_failure: Vec<&Vec<String>> = e08.iter().filter(|r| r[0] == "1").collect();
+    let fabric_rows =
+        |name: &str| -> Vec<&Vec<String>> { e18.iter().filter(|r| r[0] == name).collect() };
+    let flat = fabric_rows("flat");
+    let nonblocking = fabric_rows("1:1");
+    assert_eq!(flat.len(), one_failure.len());
+    assert_eq!(nonblocking.len(), one_failure.len());
+    for ((f, nb), e) in flat.iter().zip(&nonblocking).zip(&one_failure) {
+        // algorithm, repair_mbps, chunks / chunk p50 and p99.
+        assert_eq!(
+            f[1..4],
+            e[1..4],
+            "flat row diverged from exp08: {f:?} vs {e:?}"
+        );
+        assert_eq!(f[7], e[4], "flat chunk p50 diverged from exp08");
+        assert_eq!(f[8], e[6], "flat chunk p99 diverged from exp08");
+        // Flat clusters compile no link cells, so cross-rack is zero...
+        assert_eq!(f[5], "0.0", "flat rows must carry no cross-rack bytes");
+        assert_eq!(f[6], "0.0", "flat rows must carry no cross-rack fg bytes");
+        // ...while the racked fabric observes real bytes on its ToRs.
+        let cross: f64 = nb[5].parse().unwrap();
+        assert!(
+            cross > 0.0,
+            "1:1 fabric saw no cross-rack repair bytes: {nb:?}"
         );
     }
 }

@@ -9,7 +9,9 @@
 //! threshold. The final report is the measured reliability of the
 //! configuration: repairs, quarantines, losses, and time to first loss.
 
-use chameleon_cluster::{Cluster, ClusterConfig, ForegroundDriver, PlacementStrategy};
+use chameleon_cluster::{
+    Cluster, ClusterConfig, ForegroundDriver, PlacementStrategy, TopologySpec,
+};
 use chameleon_core::{BudgetPolicy, Orchestrator, OrchestratorConfig, QueuePolicy, RepairContext};
 use chameleon_simnet::{FaultPlan, NodeCaps};
 use chameleon_traces::{Workload, YcsbA};
@@ -36,6 +38,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "chunk-mb",
         "seed",
         "ledger",
+        "topology",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:4,2"))?;
     let algo = flags.str_or("algo", "chameleon");
@@ -53,6 +56,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let chunk_mb: u64 = flags.num_or("chunk-mb", 64)?;
     let seed: u64 = flags.num_or("seed", 7)?;
     let ledger_path = flags.str_or("ledger", "");
+    let topology = TopologySpec::parse(&flags.str_or("topology", "flat"))?;
 
     if !duration.is_finite() || duration <= 0.0 || !mttf.is_finite() || mttf <= 0.0 {
         return Err("--duration and --mttf must be positive seconds".into());
@@ -75,6 +79,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         stripes: (chunks * storage_nodes).div_ceil(code.n()),
         placement: PlacementStrategy::Random(seed),
         monitor_window_secs: 15.0,
+        topology,
     };
     let cluster = Cluster::new(cfg).map_err(|e| e.to_string())?;
     let candidates: Vec<usize> = (0..storage_nodes).collect();

@@ -1,7 +1,7 @@
 //! The `plan` subcommand: show the tunable plan ChameleonEC builds for one
 //! chunk, as an ASCII tree.
 
-use chameleon_cluster::{ChunkId, Cluster, ClusterConfig, PlacementStrategy};
+use chameleon_cluster::{ChunkId, Cluster, ClusterConfig, PlacementStrategy, TopologySpec};
 use chameleon_core::chameleon::{dispatch_chunk, establish_plan, PhaseState};
 use chameleon_core::{RepairContext, RepairPlan};
 use chameleon_simnet::{NodeCaps, NodeId};
@@ -27,6 +27,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         stripes: 4,
         placement: PlacementStrategy::Random(seed),
         monitor_window_secs: 15.0,
+        topology: TopologySpec::Flat,
     };
     let cluster = Cluster::new(cfg).map_err(|e| e.to_string())?;
     let ctx = RepairContext::new(cluster, code);
@@ -41,16 +42,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
     let base = gbps * 1e9 / 8.0;
-    let mut phase = PhaseState {
-        t_up: vec![0.0; storage_nodes],
-        t_down: vec![0.0; storage_nodes],
-        b_up: (0..storage_nodes)
+    let mut phase = PhaseState::flat(
+        (0..storage_nodes)
             .map(|_| base * (0.2 + 0.8 * next()))
             .collect(),
-        b_down: (0..storage_nodes)
+        (0..storage_nodes)
             .map(|_| base * (0.2 + 0.8 * next()))
             .collect(),
-    };
+    );
 
     let chunk = ChunkId {
         stripe: 0,

@@ -1,6 +1,8 @@
 //! The `repair` subcommand: a full experiment run from the command line.
 
-use chameleon_cluster::{Cluster, ClusterConfig, ForegroundDriver, PlacementStrategy};
+use chameleon_cluster::{
+    Cluster, ClusterConfig, ForegroundDriver, PlacementStrategy, TopologySpec,
+};
 use chameleon_core::baseline::{PlanShape, StaticRepairDriver};
 use chameleon_core::chameleon::{ChameleonConfig, ChameleonDriver};
 use chameleon_core::{RepairContext, RepairDriver};
@@ -25,6 +27,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "seed",
         "faults",
         "trace",
+        "topology",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
     let algo = flags.str_or("algo", "chameleon");
@@ -37,6 +40,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let chunk_mb: u64 = flags.num_or("chunk-mb", 64)?;
     let seed: u64 = flags.num_or("seed", 7)?;
     let trace_path = flags.str_or("trace", "");
+    let topology = TopologySpec::parse(&flags.str_or("topology", "flat"))?;
     let faults = match flags.str_or("faults", "") {
         s if s.is_empty() => None,
         s => Some(FaultPlan::parse_list(&s)?),
@@ -61,6 +65,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         stripes: (chunks * storage_nodes).div_ceil(code.n()),
         placement: PlacementStrategy::Random(seed),
         monitor_window_secs: 15.0,
+        topology,
     };
     let mut cluster = Cluster::new(cfg).map_err(|e| e.to_string())?;
     let victims: Vec<usize> = (0..failures).collect();
@@ -163,6 +168,34 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("  P99 latency     : {:.2} ms", report.p99_latency * 1e3);
     }
 
+    if let Some(topo) = sim.topology() {
+        if topo.rack_count() > 1 {
+            let topo = topo.clone();
+            let cross = |tag| {
+                (0..topo.rack_count())
+                    .map(|r| sim.monitor().link_total_bytes(topo.tor_up_link(r), tag))
+                    .sum::<f64>()
+            };
+            println!(
+                "\nfabric ({} racks{}):",
+                topo.rack_count(),
+                if topo.spine_link().is_some() {
+                    ", oversubscribed spine"
+                } else {
+                    ", non-blocking core"
+                }
+            );
+            println!(
+                "  cross-rack repair bytes     : {:.1} MB",
+                cross(chameleon_simnet::Traffic::Repair) / 1e6
+            );
+            println!(
+                "  cross-rack foreground bytes : {:.1} MB",
+                cross(chameleon_simnet::Traffic::Foreground) / 1e6
+            );
+        }
+    }
+
     let profile = sim.profile();
     println!(
         "\nengine: {} events, {} solves ({} full, {} incremental, {} dirty groups, \
@@ -224,4 +257,37 @@ pub(crate) fn make_driver(
         "etrp" => Box::new(ChameleonDriver::new(ctx, ChameleonConfig::etrp_only())),
         other => return Err(format!("unknown algorithm `{other}`")),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(args: &[&str]) -> Result<(), String> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected_before_the_run_starts() {
+        for faults in [
+            "crash:1@-1",
+            "crash:1@NaN",
+            "recover:1@inf",
+            "slow:2@1x-0.5+5",
+            "disk:2@1x0.5+NaN",
+            "wat:1@1",
+        ] {
+            let err = run_with(&["--faults", faults]).unwrap_err();
+            assert!(
+                err.contains("bad fault spec"),
+                "--faults {faults} must fail cleanly, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_topology_flag_is_rejected() {
+        assert!(run_with(&["--topology", "racked:0,4"]).is_err());
+        assert!(run_with(&["--topology", "mesh"]).is_err());
+    }
 }

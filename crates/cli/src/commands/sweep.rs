@@ -19,6 +19,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.ensure_known(&[
         "code", "algos", "seeds", "clients", "requests", "chunks", "jobs", "faults", "trace",
+        "topology",
     ])?;
     let code = parse_code(&flags.str_or("code", "rs:10,4"))?;
     let algos = parse_algos(&flags.str_or("algos", "cr,ppr,ecpipe,chameleon"))?;
@@ -39,11 +40,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let trace_path = flags.str_or("trace", "");
 
+    let topology = chameleon_cluster::TopologySpec::parse(&flags.str_or("topology", "flat"))?;
+
     let mut scale = Scale::small();
     scale.chunks_per_node = chunks;
     scale.clients = clients;
     scale.requests_per_client = requests;
-    let cfg = scale.cluster_config(code.n());
+    let mut cfg = scale.cluster_config(code.n());
+    cfg.topology = topology;
 
     let mut cells = Vec::new();
     let mut specs = Vec::new();

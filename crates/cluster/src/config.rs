@@ -2,9 +2,132 @@
 
 use std::collections::BTreeSet;
 
-use chameleon_simnet::{NodeCaps, NodeId, SimConfig, Simulator};
+use chameleon_simnet::{NodeCaps, NodeId, ResourceKind, SimConfig, Simulator, Topology};
 
 use crate::placement::{ChunkId, Placement, PlacementStrategy};
+
+/// How the cluster's nodes are wired into a network fabric.
+///
+/// `Flat` reproduces the historical rackless simulator byte-for-byte: only
+/// per-node resources constrain flows. `Racked` compiles to a
+/// [`Topology`]: nodes are assigned round-robin (`node % racks`) to racks
+/// joined by ToR links sized for the rack's aggregate node bandwidth
+/// (non-blocking at the edge) and — when `oversub > 1` — a spine carrying
+/// `Σ ToR uplink / oversub`, the warehouse-fabric oversubscription the
+/// paper's repair traffic competes against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// No fabric: only per-node resources bind (historical behavior).
+    Flat,
+    /// `racks` racks with non-blocking ToR links and a spine
+    /// oversubscribed by `oversub` (`<= 1.0` models a non-blocking core).
+    Racked {
+        /// Number of racks (nodes are assigned round-robin).
+        racks: usize,
+        /// Spine oversubscription ratio: spine capacity is the sum of ToR
+        /// uplink capacities divided by this. Values `<= 1.0` compile to a
+        /// non-blocking core (no spine constraint at all).
+        oversub: f64,
+    },
+}
+
+impl TopologySpec {
+    /// The paper-testbed preset: 3 racks, non-blocking core. Rack
+    /// boundaries become observable (cross-rack bytes are accounted on the
+    /// ToR links) without changing any flow's rate.
+    pub fn paper() -> Self {
+        TopologySpec::Racked {
+            racks: 3,
+            oversub: 1.0,
+        }
+    }
+
+    /// The oversubscribed preset: 3 racks behind a 1:4 oversubscribed
+    /// spine — cross-rack repair traffic contends for a quarter of the
+    /// aggregate edge bandwidth.
+    pub fn oversub() -> Self {
+        TopologySpec::Racked {
+            racks: 3,
+            oversub: 4.0,
+        }
+    }
+
+    /// Parses a CLI topology argument: `flat`, `paper`, `oversub`, or
+    /// `racked:R,RATIO` (e.g. `racked:5,2.5`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names or malformed
+    /// parameters.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "flat" => return Ok(TopologySpec::Flat),
+            "paper" => return Ok(TopologySpec::paper()),
+            "oversub" => return Ok(TopologySpec::oversub()),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("racked:") {
+            let (racks, ratio) = rest
+                .split_once(',')
+                .ok_or_else(|| format!("expected racked:R,RATIO, got `{s}`"))?;
+            let racks: usize = racks
+                .parse()
+                .map_err(|_| format!("bad rack count `{racks}`"))?;
+            let oversub: f64 = ratio
+                .parse()
+                .map_err(|_| format!("bad oversubscription ratio `{ratio}`"))?;
+            if racks == 0 {
+                return Err("rack count must be positive".into());
+            }
+            if !oversub.is_finite() || oversub <= 0.0 {
+                return Err(format!(
+                    "oversubscription ratio must be positive and finite, got {oversub}"
+                ));
+            }
+            return Ok(TopologySpec::Racked { racks, oversub });
+        }
+        Err(format!(
+            "unknown topology `{s}` (expected flat, paper, oversub, or racked:R,RATIO)"
+        ))
+    }
+
+    /// Number of racks the spec describes (1 for `Flat`).
+    pub fn rack_count(&self) -> usize {
+        match *self {
+            TopologySpec::Flat => 1,
+            TopologySpec::Racked { racks, .. } => racks,
+        }
+    }
+
+    /// The rack a node lands in (round-robin assignment; 0 for `Flat`).
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        node % self.rack_count()
+    }
+
+    /// Whether two nodes share a rack.
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+
+    /// Compiles the spec into a simulator [`Topology`] for `nodes` nodes
+    /// of uniform `caps` — `None` for `Flat` (the rackless engine).
+    ///
+    /// ToR links are sized for the largest rack's aggregate node bandwidth
+    /// (edge-non-blocking), so only the spine — present when
+    /// `oversub > 1.0` — can actually bind.
+    pub fn compile(&self, nodes: usize, caps: NodeCaps) -> Option<Topology> {
+        match *self {
+            TopologySpec::Flat => None,
+            TopologySpec::Racked { racks, oversub } => {
+                let per_rack = nodes.div_ceil(racks);
+                let tor_up = per_rack as f64 * caps.capacity(ResourceKind::Uplink);
+                let tor_down = per_rack as f64 * caps.capacity(ResourceKind::Downlink);
+                let spine = (oversub > 1.0).then(|| racks as f64 * tor_up / oversub);
+                Some(Topology::round_robin(nodes, racks, tor_up, tor_down, spine))
+            }
+        }
+    }
+}
 
 /// Errors from cluster construction and failure injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +176,9 @@ pub struct ClusterConfig {
     pub placement: PlacementStrategy,
     /// Bandwidth monitor window (15 s in §II-D).
     pub monitor_window_secs: f64,
+    /// Network fabric joining the nodes ([`TopologySpec::Flat`] keeps the
+    /// historical rackless behavior byte-for-byte).
+    pub topology: TopologySpec,
 }
 
 impl ClusterConfig {
@@ -74,6 +200,7 @@ impl ClusterConfig {
             stripes,
             placement: PlacementStrategy::Random(0xC0DE),
             monitor_window_secs: 15.0,
+            topology: TopologySpec::Flat,
         }
     }
 
@@ -90,6 +217,7 @@ impl ClusterConfig {
             stripes: 40,
             placement: PlacementStrategy::Random(0xC0DE),
             monitor_window_secs: 15.0,
+            topology: TopologySpec::Flat,
         }
     }
 
@@ -171,7 +299,22 @@ impl Cluster {
         Simulator::new(SimConfig {
             nodes: vec![self.config.node_caps; self.config.total_nodes()],
             monitor_window_secs: self.config.monitor_window_secs,
+            topology: self
+                .config
+                .topology
+                .compile(self.config.total_nodes(), self.config.node_caps),
         })
+    }
+
+    /// The rack a node lands in under the configured topology (0 when
+    /// flat).
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        self.config.topology.rack_of(node)
+    }
+
+    /// Whether two nodes share a rack (always `true` when flat).
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.config.topology.same_rack(a, b)
     }
 
     /// Marks a storage node failed.
@@ -342,5 +485,81 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
         let sim = cluster.build_simulator();
         assert_eq!(sim.node_count(), 24);
+    }
+
+    #[test]
+    fn topology_spec_parses_presets_and_custom() {
+        assert_eq!(TopologySpec::parse("flat").unwrap(), TopologySpec::Flat);
+        assert_eq!(TopologySpec::parse("paper").unwrap(), TopologySpec::paper());
+        assert_eq!(
+            TopologySpec::parse("oversub").unwrap(),
+            TopologySpec::oversub()
+        );
+        assert_eq!(
+            TopologySpec::parse("racked:5,2.5").unwrap(),
+            TopologySpec::Racked {
+                racks: 5,
+                oversub: 2.5
+            }
+        );
+        assert!(TopologySpec::parse("mesh").is_err());
+        assert!(TopologySpec::parse("racked:0,2").is_err());
+        assert!(TopologySpec::parse("racked:3,-1").is_err());
+        assert!(TopologySpec::parse("racked:3,NaN").is_err());
+        assert!(TopologySpec::parse("racked:3").is_err());
+    }
+
+    #[test]
+    fn flat_spec_compiles_to_no_topology() {
+        assert!(TopologySpec::Flat
+            .compile(24, NodeCaps::default())
+            .is_none());
+        let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
+        assert!(cluster.build_simulator().topology().is_none());
+    }
+
+    #[test]
+    fn racked_spec_compiles_edge_nonblocking_with_oversubscribed_spine() {
+        let caps = NodeCaps::symmetric(100.0, 50.0);
+        let spec = TopologySpec::Racked {
+            racks: 3,
+            oversub: 4.0,
+        };
+        let topo = spec.compile(24, caps).unwrap();
+        assert_eq!(topo.rack_count(), 3);
+        assert_eq!(topo.node_count(), 24);
+        // 8 nodes per rack at 100 B/s each -> 800 B/s ToR links; the spine
+        // carries a quarter of the 3-rack aggregate.
+        assert_eq!(topo.link_capacity(topo.tor_up_link(0)), 800.0);
+        assert_eq!(topo.link_capacity(topo.tor_down_link(2)), 800.0);
+        let spine = topo.spine_link().expect("oversubscribed spine");
+        assert_eq!(topo.link_capacity(spine), 600.0);
+        // Round-robin assignment is exposed through the cluster.
+        assert_eq!(spec.rack_of(0), 0);
+        assert_eq!(spec.rack_of(4), 1);
+        assert!(spec.same_rack(0, 3));
+        assert!(!spec.same_rack(0, 4));
+    }
+
+    #[test]
+    fn non_oversubscribed_racked_spec_has_no_spine() {
+        let topo = TopologySpec::paper()
+            .compile(24, NodeCaps::default())
+            .unwrap();
+        assert!(topo.spine_link().is_none());
+        assert_eq!(topo.rack_count(), 3);
+    }
+
+    #[test]
+    fn racked_cluster_builds_simulator_with_links() {
+        let mut cfg = ClusterConfig::small(6);
+        cfg.topology = TopologySpec::oversub();
+        let cluster = Cluster::new(cfg).unwrap();
+        assert_eq!(cluster.rack_of(0), 0);
+        assert_eq!(cluster.rack_of(1), 1);
+        assert!(cluster.same_rack(0, 3));
+        let sim = cluster.build_simulator();
+        assert_eq!(sim.link_count(), 7); // 3 ToR-up + 3 ToR-down + spine
+        assert_eq!(sim.topology().unwrap().rack_count(), 3);
     }
 }

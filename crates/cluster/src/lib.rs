@@ -38,7 +38,7 @@ mod placement;
 pub mod reliability;
 pub mod stats;
 
-pub use config::{Cluster, ClusterConfig, ClusterError};
+pub use config::{Cluster, ClusterConfig, ClusterError, TopologySpec};
 pub use foreground::{ForegroundDriver, ForegroundReport};
 pub use placement::{ChunkId, Placement, PlacementStrategy};
 

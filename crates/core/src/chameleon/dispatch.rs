@@ -26,6 +26,17 @@ pub struct PhaseState {
     pub b_up: Vec<f64>,
     /// Residual "downlink-side" bandwidth per node (bytes/s).
     pub b_down: Vec<f64>,
+    /// Rack of each storage node under the cluster fabric. Empty when the
+    /// fabric is flat (or the resource model is storage), in which case
+    /// every cross-rack adjustment below is a no-op.
+    pub rack_of: Vec<u32>,
+    /// Residual cross-rack bandwidth *out of* each rack: the lesser of the
+    /// rack's ToR-uplink residual and the spine residual (bytes/s). Empty
+    /// when `rack_of` is.
+    pub cross_up: Vec<f64>,
+    /// Residual cross-rack bandwidth *into* each rack (ToR downlink vs
+    /// spine). Empty when `rack_of` is.
+    pub cross_down: Vec<f64>,
 }
 
 impl PhaseState {
@@ -66,12 +77,127 @@ impl PhaseState {
             b_up.push(estimate(sim, up_kind));
             b_down.push(estimate(sim, down_kind));
         }
+        // Fabric residuals: how much cross-rack bandwidth each rack still
+        // has, bounded by the shared spine. Only the network model cares —
+        // disk bandwidth never crosses the fabric.
+        let (rack_of, cross_up, cross_down) = match (resources, sim.topology()) {
+            (Resources::Network, Some(topo)) if topo.rack_count() > 1 => {
+                let topo = topo.clone();
+                let racks = topo.rack_count();
+                let link_residual = |link: usize| {
+                    sim.link_residual_capacity(link, &other)
+                        .max(topo.link_capacity(link) * RESIDUAL_FLOOR)
+                };
+                let spine = topo.spine_link().map_or(f64::INFINITY, &link_residual);
+                let cross_up: Vec<f64> = (0..racks)
+                    .map(|r| link_residual(topo.tor_up_link(r)).min(spine))
+                    .collect();
+                let cross_down: Vec<f64> = (0..racks)
+                    .map(|r| link_residual(topo.tor_down_link(r)).min(spine))
+                    .collect();
+                let rack_of = (0..nodes).map(|n| topo.rack_of(n) as u32).collect();
+                (rack_of, cross_up, cross_down)
+            }
+            _ => (Vec::new(), Vec::new(), Vec::new()),
+        };
         PhaseState {
             t_up: vec![0.0; nodes],
             t_down: vec![0.0; nodes],
             b_up,
             b_down,
+            rack_of,
+            cross_up,
+            cross_down,
         }
+    }
+
+    /// A phase with no outstanding tasks, the given per-node residuals,
+    /// and a flat fabric (no cross-rack clamping) — the common shape for
+    /// synthetic phases in tests, benchmarks, and the `plan` subcommand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residual vectors differ in length.
+    pub fn flat(b_up: Vec<f64>, b_down: Vec<f64>) -> Self {
+        assert_eq!(b_up.len(), b_down.len(), "residual vectors must match");
+        let n = b_up.len();
+        PhaseState {
+            t_up: vec![0.0; n],
+            t_down: vec![0.0; n],
+            b_up,
+            b_down,
+            rack_of: Vec::new(),
+            cross_up: Vec::new(),
+            cross_down: Vec::new(),
+        }
+    }
+
+    /// The rack of `node`, when the fabric has more than one.
+    pub fn rack(&self, node: NodeId) -> Option<usize> {
+        self.rack_of.get(node).map(|&r| r as usize)
+    }
+
+    /// The rack holding the plurality of `nodes` (ties to the lower rack
+    /// id) — the dispatcher's guess at where a chunk's repair traffic
+    /// originates. `None` on a flat fabric.
+    pub fn majority_rack(&self, nodes: &[NodeId]) -> Option<usize> {
+        if self.rack_of.is_empty() || nodes.is_empty() {
+            return None;
+        }
+        let mut votes = vec![0usize; self.cross_up.len()];
+        for &n in nodes {
+            votes[self.rack_of[n] as usize] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(r, &v)| (v, std::cmp::Reverse(r)))
+            .map(|(r, _)| r)
+    }
+
+    /// Usable upload bandwidth of `node` for traffic headed to `to_rack`:
+    /// its uplink residual, clamped by the rack's cross-fabric residual
+    /// when the transfer leaves the rack.
+    fn effective_up(&self, node: NodeId, to_rack: Option<usize>) -> f64 {
+        match (self.rack(node), to_rack) {
+            (Some(mine), Some(to)) if mine != to => self.b_up[node].min(self.cross_up[mine]),
+            _ => self.b_up[node],
+        }
+    }
+
+    /// Usable download bandwidth of `node` for traffic arriving from
+    /// `from_rack` (clamped by the fabric when it crosses racks).
+    fn effective_down(&self, node: NodeId, from_rack: Option<usize>) -> f64 {
+        match (self.rack(node), from_rack) {
+            (Some(mine), Some(from)) if mine != from => {
+                self.b_down[node].min(self.cross_down[mine])
+            }
+            _ => self.b_down[node],
+        }
+    }
+
+    /// [`PhaseState::up_time`] for a transfer headed to `to_rack`
+    /// (`None` = rack-agnostic).
+    pub fn up_time_to(
+        &self,
+        node: NodeId,
+        extra: f64,
+        chunk_size: f64,
+        to_rack: Option<usize>,
+    ) -> f64 {
+        (self.t_up[node] + extra) * chunk_size / self.effective_up(node, to_rack)
+    }
+
+    /// [`PhaseState::down_time`] for a transfer arriving from `from_rack`
+    /// (`None` = rack-agnostic).
+    pub fn down_time_from(
+        &self,
+        node: NodeId,
+        extra: f64,
+        chunk_size: f64,
+        from_rack: Option<usize>,
+    ) -> f64 {
+        (self.t_down[node] + extra) * chunk_size / self.effective_down(node, from_rack)
     }
 
     /// Estimated time for `node` to finish its upload tasks plus `extra`
@@ -204,6 +330,24 @@ pub fn dispatch_chunk_for(
     };
 
     // --- Destination: minimum-time-first over off-stripe alive nodes. ---
+    // Where the repair traffic will mostly come from: the rack holding the
+    // plurality of surviving sources. Destinations outside it pay the
+    // cross-fabric clamp, which steers the repair into the sources' rack
+    // when the spine is the scarce resource. `None` on a flat fabric.
+    let src_rack = if resources == Resources::Network {
+        let source_nodes: Vec<NodeId> = match &requirement {
+            RepairRequirement::AnyOf { candidates, .. } => {
+                candidates.iter().map(|&i| node_of(i)).collect()
+            }
+            RepairRequirement::Exact { sources } => sources.iter().map(|&i| node_of(i)).collect(),
+            RepairRequirement::SubChunk { reads } => {
+                reads.iter().map(|r| node_of(r.chunk)).collect()
+            }
+        };
+        phase.majority_rack(&source_nodes)
+    } else {
+        None
+    };
     let stripe_nodes = placement.stripe_nodes(chunk.stripe);
     let destination = ctx
         .cluster
@@ -212,11 +356,12 @@ pub fn dispatch_chunk_for(
         .filter(|n| !stripe_nodes.contains(n) && !forbidden_destinations.contains(n))
         .min_by(|&a, &b| {
             phase
-                .down_time(a, 1.0, chunk_size)
-                .total_cmp(&phase.down_time(b, 1.0, chunk_size))
+                .down_time_from(a, 1.0, chunk_size, src_rack)
+                .total_cmp(&phase.down_time_from(b, 1.0, chunk_size, src_rack))
                 .then(a.cmp(&b))
         })
         .ok_or(SelectError::NoDestination)?;
+    let dest_rack = phase.rack(destination);
 
     // --- Sub-chunk repairs: direct transfers only (no elastic plan). ---
     if let RepairRequirement::SubChunk { reads } = &requirement {
@@ -322,19 +467,21 @@ pub fn dispatch_chunk_for(
     let mut chunk_downloads: Vec<f64> = vec![0.0; candidate_nodes.len()];
 
     for _ in 1..count {
-        // Option A: another download at the destination.
+        // Option A: another download at the destination (arriving from the
+        // sources' majority rack).
         let mut best_time = phase
             .up_time(destination, 0.0, chunk_size)
-            .max(phase.down_time(destination, 1.0, chunk_size));
+            .max(phase.down_time_from(destination, 1.0, chunk_size, src_rack));
         let mut best: Option<usize> = None; // None = destination
 
-        // Option B: a download at candidate source i (making it a relay).
+        // Option B: a download at candidate source i (making it a relay —
+        // its merged upload then heads for the destination's rack).
         for (ci, &(_, node)) in candidate_nodes.iter().enumerate() {
             let new_relay = chunk_downloads[ci] == 0.0;
             let up_extra = if new_relay { 1.0 } else { 0.0 };
             let t = phase
-                .up_time(node, up_extra, chunk_size)
-                .max(phase.down_time(node, 1.0, chunk_size));
+                .up_time_to(node, up_extra, chunk_size, dest_rack)
+                .max(phase.down_time_from(node, 1.0, chunk_size, src_rack));
             if t < best_time {
                 best_time = t;
                 best = Some(ci);
@@ -366,8 +513,8 @@ pub fn dispatch_chunk_for(
         .collect();
     pure.sort_by(|&a, &b| {
         phase
-            .up_time(candidate_nodes[a].1, 1.0, chunk_size)
-            .total_cmp(&phase.up_time(candidate_nodes[b].1, 1.0, chunk_size))
+            .up_time_to(candidate_nodes[a].1, 1.0, chunk_size, dest_rack)
+            .total_cmp(&phase.up_time_to(candidate_nodes[b].1, 1.0, chunk_size, dest_rack))
             .then(a.cmp(&b))
     });
     pure.truncate(count - relay_count);
@@ -425,12 +572,7 @@ mod tests {
 
     fn flat_phase(ctx: &RepairContext) -> PhaseState {
         let n = ctx.cluster.storage_nodes();
-        PhaseState {
-            t_up: vec![0.0; n],
-            t_down: vec![0.0; n],
-            b_up: vec![100.0; n],
-            b_down: vec![100.0; n],
-        }
+        PhaseState::flat(vec![100.0; n], vec![100.0; n])
     }
 
     #[test]
@@ -540,6 +682,74 @@ mod tests {
         let first = dispatch_chunk(&ctx, &mut phase.clone(), chunk, &[]).unwrap();
         let second = dispatch_chunk(&ctx, &mut phase, chunk, &[first.destination]).unwrap();
         assert_ne!(first.destination, second.destination);
+    }
+
+    #[test]
+    fn cross_rack_clamp_steers_destination_into_source_rack() {
+        use chameleon_cluster::TopologySpec;
+        let mut cfg = ClusterConfig::small(6);
+        cfg.topology = TopologySpec::Racked {
+            racks: 2,
+            oversub: 8.0,
+        };
+        let cluster = Cluster::new(cfg).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut phase = flat_phase(&ctx);
+        // Wire a two-rack fabric with almost no cross-rack bandwidth left:
+        // any transfer that crosses racks is ~100x slower.
+        let n = ctx.cluster.storage_nodes();
+        phase.rack_of = (0..n).map(|i| (i % 2) as u32).collect();
+        phase.cross_up = vec![1.0, 1.0];
+        phase.cross_down = vec![1.0, 1.0];
+        let chunk = ChunkId {
+            stripe: 0,
+            index: 0,
+        };
+        let a = dispatch_chunk(&ctx, &mut phase, chunk, &[]).unwrap();
+        let source_nodes: Vec<NodeId> = a.sources.iter().map(|s| s.node).collect();
+        let src_rack = phase.majority_rack(&source_nodes).unwrap();
+        assert_eq!(
+            phase.rack(a.destination),
+            Some(src_rack),
+            "destination should land in the sources' rack when the fabric is scarce"
+        );
+    }
+
+    #[test]
+    fn measure_fills_fabric_residuals_on_racked_cluster() {
+        use chameleon_cluster::TopologySpec;
+        let mut cfg = ClusterConfig::small(6);
+        cfg.topology = TopologySpec::oversub();
+        let cluster = Cluster::new(cfg).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let mut sim = ctx.cluster.build_simulator();
+        let phase = PhaseState::measure(&mut sim, &ctx, Resources::Network);
+        assert_eq!(phase.rack_of.len(), ctx.cluster.storage_nodes());
+        assert_eq!(phase.cross_up.len(), 3);
+        // Idle cluster: the residual out of rack 0 is the spine (the
+        // scarcer of ToR uplink and the oversubscribed spine).
+        let topo = sim.topology().unwrap();
+        let spine = topo.link_capacity(topo.spine_link().unwrap());
+        let tor = topo.link_capacity(topo.tor_up_link(0));
+        assert_eq!(phase.cross_up[0], spine.min(tor));
+        // The storage model never touches the fabric.
+        let disk = PhaseState::measure(&mut sim, &ctx, Resources::Storage);
+        assert!(disk.rack_of.is_empty());
+    }
+
+    #[test]
+    fn majority_rack_ties_break_low_and_flat_is_none() {
+        let ctx = ctx();
+        let mut phase = flat_phase(&ctx);
+        assert_eq!(phase.majority_rack(&[0, 1, 2]), None);
+        phase.rack_of = (0..ctx.cluster.storage_nodes())
+            .map(|i| (i % 3) as u32)
+            .collect();
+        phase.cross_up = vec![50.0; 3];
+        phase.cross_down = vec![50.0; 3];
+        assert_eq!(phase.majority_rack(&[0, 3, 1, 4, 2]), Some(0));
+        assert_eq!(phase.majority_rack(&[1, 4, 2, 5]), Some(1));
+        assert_eq!(phase.majority_rack(&[2, 1]), Some(1));
     }
 
     #[test]

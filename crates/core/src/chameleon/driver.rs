@@ -894,12 +894,7 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
         let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
         let n = ctx.cluster.storage_nodes();
-        let mut phase = PhaseState {
-            t_up: vec![0.0; n],
-            t_down: vec![0.0; n],
-            b_up: vec![100.0; n],
-            b_down: vec![100.0; n],
-        };
+        let mut phase = PhaseState::flat(vec![100.0; n], vec![100.0; n]);
         let chunk = chameleon_cluster::ChunkId {
             stripe: 0,
             index: 0,
@@ -920,12 +915,7 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::small(6)).unwrap();
         let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
         let n = ctx.cluster.storage_nodes();
-        let mut phase = PhaseState {
-            t_up: vec![0.0; n],
-            t_down: vec![0.0; n],
-            b_up: vec![100.0; n],
-            b_down: vec![100.0; n],
-        };
+        let mut phase = PhaseState::flat(vec![100.0; n], vec![100.0; n]);
         let chunk = chameleon_cluster::ChunkId {
             stripe: 0,
             index: 0,

@@ -246,13 +246,11 @@ mod tests {
         let ctx = ctx();
         let n = ctx.cluster.storage_nodes();
         for stripe in 0..ctx.cluster.placement().stripes() {
-            let mut phase = PhaseState {
-                t_up: vec![0.0; n],
-                t_down: vec![0.0; n],
+            let mut phase = PhaseState::flat(
                 // Vary bandwidth to exercise different task distributions.
-                b_up: (0..n).map(|i| 10.0 + (i * 13 % 97) as f64).collect(),
-                b_down: (0..n).map(|i| 10.0 + (i * 29 % 83) as f64).collect(),
-            };
+                (0..n).map(|i| 10.0 + (i * 13 % 97) as f64).collect(),
+                (0..n).map(|i| 10.0 + (i * 29 % 83) as f64).collect(),
+            );
             for index in 0..2 {
                 let chunk = ChunkId { stripe, index };
                 let a = dispatch_chunk(&ctx, &mut phase, chunk, &[]).unwrap();

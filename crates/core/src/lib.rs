@@ -56,8 +56,8 @@ pub use error::RepairError;
 pub use exec::{ExecStatus, PlanExecutor};
 pub use metrics::{GivenUpChunk, LinkLoadStats, RepairOutcome, RepairSpan};
 pub use orchestrator::{
-    BudgetPolicy, DataLossEvent, LedgerEntry, LedgerState, Orchestrator, OrchestratorConfig,
-    OrchestratorReport, QueuePolicy,
+    BudgetPolicy, BudgetStarvedEvent, DataLossEvent, LedgerEntry, LedgerState, Orchestrator,
+    OrchestratorConfig, OrchestratorReport, QueuePolicy,
 };
 pub use plan::{Participant, PlanError, RepairPlan};
 pub use recovery::{RecoveryPolicy, RecoveryStats};

@@ -200,6 +200,34 @@ impl DataLossEvent {
     }
 }
 
+/// One budget negotiation that could not pay for a single chunk per
+/// admission window (foreground traffic had swallowed the alive uplink
+/// capacity and the configured floor was below one chunk-cost/window).
+/// The orchestrator clamps the rate up to keep repairs trickling instead
+/// of silently stalling; this record makes the intervention auditable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetStarvedEvent {
+    /// Simulated second of the negotiation.
+    pub at_secs: f64,
+    /// The rate the policy actually negotiated (bytes/s).
+    pub negotiated_rate: f64,
+    /// The starvation floor it was clamped up to (one chunk-cost per
+    /// window, bytes/s).
+    pub clamped_rate: f64,
+}
+
+impl BudgetStarvedEvent {
+    /// Renders the event as one JSON line, schema-compatible with the
+    /// other ledger lines:
+    /// `{"event":"budget_starved","t":T,"negotiated":R,"clamped":C}`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"event\":\"budget_starved\",\"t\":{},\"negotiated\":{},\"clamped\":{}}}",
+            self.at_secs, self.negotiated_rate, self.clamped_rate
+        )
+    }
+}
+
 /// Campaign-level summary of an orchestrated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrchestratorReport {
@@ -235,6 +263,9 @@ pub struct OrchestratorReport {
     /// Budget renegotiations performed (0 unless
     /// [`BudgetPolicy::Negotiated`]).
     pub negotiations: usize,
+    /// Negotiations clamped up to the starvation floor (see
+    /// [`BudgetStarvedEvent`]).
+    pub budget_starved: usize,
     /// Mean negotiated/fixed budget rate in bytes/s (0 for unlimited).
     pub mean_budget_rate: f64,
     /// Total repair read bytes admitted (`dispatched × k × chunk_size`).
@@ -263,6 +294,7 @@ pub struct Orchestrator {
     /// Stripes currently past the data-loss threshold.
     lost_stripes: BTreeSet<usize>,
     data_loss_events: Vec<DataLossEvent>,
+    budget_starved: Vec<BudgetStarvedEvent>,
     dispatch_log: Vec<ChunkId>,
     /// Harvest cursor into the driver's span/plan logs.
     spans_seen: usize,
@@ -314,12 +346,17 @@ impl Orchestrator {
             "window_secs must be positive"
         );
         driver.set_external_admission(true);
+        let cost = view.code.k() as f64 * view.chunk_size() as f64;
         let rate = match config.budget {
             BudgetPolicy::Unlimited => f64::INFINITY,
             BudgetPolicy::Fixed(r) => r.max(1.0),
-            BudgetPolicy::Negotiated { floor, .. } => floor.max(1.0),
+            // A floor below one chunk-cost per window cannot pay for any
+            // admission within a window, so the campaign would silently
+            // stall at ~1 B/s whenever foreground traffic swallows the
+            // whole uplink. Negotiated budgets always keep at least one
+            // chunk per window flowing.
+            BudgetPolicy::Negotiated { floor, .. } => floor.max(1.0).max(cost / config.window_secs),
         };
-        let cost = view.code.k() as f64 * view.chunk_size() as f64;
         // Prime the bucket with one window's allowance (at least one
         // chunk) so the campaign does not idle at t = 0.
         let tokens = if rate.is_finite() {
@@ -337,6 +374,7 @@ impl Orchestrator {
             in_flight: BTreeSet::new(),
             lost_stripes: BTreeSet::new(),
             data_loss_events: Vec::new(),
+            budget_starved: Vec::new(),
             dispatch_log: Vec::new(),
             spans_seen: 0,
             errors_seen: 0,
@@ -449,7 +487,22 @@ impl Orchestrator {
                     .rate();
             }
         }
-        self.rate = (headroom * (capacity - foreground)).max(floor).max(1.0);
+        let negotiated = (headroom * (capacity - foreground)).max(floor).max(1.0);
+        // Starvation clamp: a rate below one chunk-cost per window admits
+        // nothing before the next renegotiation, stalling the campaign
+        // whenever foreground traffic saturates the alive uplinks. Clamp
+        // up and leave a ledger-visible note instead.
+        let starvation_floor = self.chunk_cost() / self.config.window_secs;
+        if negotiated < starvation_floor {
+            self.budget_starved.push(BudgetStarvedEvent {
+                at_secs: now,
+                negotiated_rate: negotiated,
+                clamped_rate: starvation_floor,
+            });
+            self.rate = starvation_floor;
+        } else {
+            self.rate = negotiated;
+        }
         self.negotiations += 1;
         self.rate_sum += self.rate;
         self.last_negotiation = now;
@@ -802,6 +855,12 @@ impl Orchestrator {
         &self.data_loss_events
     }
 
+    /// Every negotiation clamped up to the starvation floor, in time
+    /// order.
+    pub fn budget_starved_events(&self) -> &[BudgetStarvedEvent] {
+        &self.budget_starved
+    }
+
     /// Chunks in dispatch order — the admission decisions actually made.
     pub fn dispatch_log(&self) -> &[ChunkId] {
         &self.dispatch_log
@@ -837,6 +896,7 @@ impl Orchestrator {
             data_loss_events: self.data_loss_events.len(),
             first_loss_secs: self.data_loss_events.first().map(|e| e.at_secs),
             negotiations: self.negotiations,
+            budget_starved: self.budget_starved.len(),
             mean_budget_rate: if self.negotiations > 0 {
                 self.rate_sum / self.negotiations as f64
             } else if self.rate.is_finite() {
@@ -854,6 +914,10 @@ impl Orchestrator {
     /// `.jsonl` file.
     pub fn ledger_jsonl(&self) -> String {
         let mut out = String::new();
+        for event in &self.budget_starved {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
         for event in &self.data_loss_events {
             out.push_str(&event.to_json_line());
             out.push('\n');
@@ -1150,5 +1214,65 @@ mod tests {
             report.tokens_spent,
             report.dispatched as f64 * 4.0 * (4u64 << 20) as f64
         );
+    }
+
+    #[test]
+    fn starved_negotiated_budget_is_clamped_and_noted_instead_of_stalling() {
+        // A zero-headroom negotiation with a negligible floor used to
+        // collapse to max(floor, 1.0) = 1 B/s: with a 16 MB chunk-cost
+        // the next admission was ~16M simulated seconds away — a silent
+        // stall. The clamp must keep one chunk per window flowing and
+        // leave an auditable note.
+        let candidates: Vec<NodeId> = (0..20).collect();
+        let plan = FaultPlan::seeded_poisson(5, &candidates, 150.0, (0.0, 15.0), Some(10.0));
+        let (orch, sim) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Negotiated {
+                headroom: 0.0,
+                floor: 1.0,
+            },
+            &plan,
+        );
+        assert!(orch.is_done(), "campaign did not quiesce: {orch:?}");
+        let report = orch.report();
+        assert!(report.enqueued > 0, "the stream lost no chunks at all");
+        assert!(
+            report.repaired > 0,
+            "starved budget repaired nothing: {report:?}"
+        );
+        // Every negotiation fell below one chunk per window and was
+        // clamped; each clamp is visible in the report and the ledger.
+        assert_eq!(report.budget_starved, report.negotiations);
+        assert!(!orch.budget_starved_events().is_empty());
+        let cost = 4.0 * (4u64 << 20) as f64;
+        for e in orch.budget_starved_events() {
+            assert!(e.negotiated_rate < e.clamped_rate);
+            assert_eq!(e.clamped_rate, cost / 5.0);
+        }
+        assert!(orch.ledger_jsonl().contains("\"event\":\"budget_starved\""));
+        // The whole campaign finishes in simulated minutes, not months.
+        assert!(
+            sim.now().as_secs() < 3600.0,
+            "campaign crawled: {} s",
+            sim.now().as_secs()
+        );
+    }
+
+    #[test]
+    fn healthy_negotiated_budget_records_no_starvation() {
+        let candidates: Vec<NodeId> = (0..20).collect();
+        let plan = FaultPlan::seeded_poisson(3, &candidates, 200.0, (0.0, 20.0), Some(10.0));
+        let (orch, _) = run_campaign(
+            QueuePolicy::RedundancyPriority,
+            BudgetPolicy::Negotiated {
+                headroom: 0.5,
+                floor: 10e6,
+            },
+            &plan,
+        );
+        let report = orch.report();
+        assert!(report.negotiations >= 1);
+        assert_eq!(report.budget_starved, 0);
+        assert!(!orch.ledger_jsonl().contains("budget_starved"));
     }
 }

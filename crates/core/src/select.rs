@@ -188,6 +188,17 @@ impl SourceSelector {
                         });
                     }
                 }
+                // Rack-aware preference: helpers in the destination's rack
+                // keep repair traffic off the (possibly oversubscribed)
+                // spine. The stable sort keeps the mode's order within each
+                // group and consumes no randomness, so flat clusters are
+                // bitwise unaffected.
+                if ctx.cluster.config().topology.rack_count() > 1 {
+                    let cluster = &ctx.cluster;
+                    picks.sort_by_key(|&index| {
+                        usize::from(!cluster.same_rack(node_of(index), destination))
+                    });
+                }
                 picks
                     .into_iter()
                     .take(*count)
@@ -310,6 +321,75 @@ mod tests {
             max - min_nonzero <= 2,
             "balanced destinations skewed: {dest_hits:?}"
         );
+    }
+
+    #[test]
+    fn racked_selection_prefers_in_rack_helpers() {
+        use chameleon_cluster::TopologySpec;
+        let mut cfg = ClusterConfig::small(6);
+        cfg.topology = TopologySpec::oversub();
+        let cluster = Cluster::new(cfg).unwrap();
+        let ctx = RepairContext::new(cluster, Arc::new(ReedSolomon::new(4, 2).unwrap()));
+        let chunk = ChunkId {
+            stripe: 0,
+            index: 1,
+        };
+        // Across many seeds, every in-rack candidate must be taken before
+        // any cross-rack one.
+        for seed in 0..16 {
+            let mut sel = SourceSelector::random(seed);
+            let pick = sel.select(&ctx, chunk, &[]).unwrap();
+            let candidates: Vec<usize> = ctx
+                .cluster
+                .alive_chunk_indices(chunk.stripe)
+                .into_iter()
+                .filter(|&i| i != chunk.index)
+                .collect();
+            let in_rack_candidates = candidates
+                .iter()
+                .filter(|&&i| {
+                    let n = ctx.cluster.placement().node_of(ChunkId {
+                        stripe: chunk.stripe,
+                        index: i,
+                    });
+                    ctx.cluster.same_rack(n, pick.destination)
+                })
+                .count();
+            let in_rack_picked = pick
+                .sources
+                .iter()
+                .filter(|s| ctx.cluster.same_rack(s.node, pick.destination))
+                .count();
+            assert_eq!(
+                in_rack_picked,
+                in_rack_candidates.min(pick.sources.len()),
+                "seed {seed}: cross-rack helper chosen while an in-rack one was available"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_and_racked_random_selection_use_identical_randomness() {
+        use chameleon_cluster::TopologySpec;
+        // The rack preference is a stable re-sort: the *set* of sources may
+        // differ, but destination choice and rng consumption must match the
+        // flat run exactly (same seed -> same destination sequence).
+        let flat_ctx = ctx();
+        let mut racked_cfg = ClusterConfig::small(6);
+        racked_cfg.topology = TopologySpec::paper();
+        let racked_ctx = RepairContext::new(
+            Cluster::new(racked_cfg).unwrap(),
+            Arc::new(ReedSolomon::new(4, 2).unwrap()),
+        );
+        let mut flat_sel = SourceSelector::random(9);
+        let mut racked_sel = SourceSelector::random(9);
+        for stripe in 0..8 {
+            let chunk = ChunkId { stripe, index: 0 };
+            let a = flat_sel.select(&flat_ctx, chunk, &[]).unwrap();
+            let b = racked_sel.select(&racked_ctx, chunk, &[]).unwrap();
+            assert_eq!(a.destination, b.destination);
+            assert_eq!(a.sources.len(), b.sources.len());
+        }
     }
 
     #[test]

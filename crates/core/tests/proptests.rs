@@ -34,12 +34,7 @@ proptest! {
         let stripe = stripe % ctx.cluster.placement().stripes();
         let index = index % ctx.code.n();
         let chunk = ChunkId { stripe, index };
-        let mut phase = PhaseState {
-            t_up: vec![0.0; 20],
-            t_down: vec![0.0; 20],
-            b_up,
-            b_down,
-        };
+        let mut phase = PhaseState::flat(b_up, b_down);
         let a = dispatch_chunk(&ctx, &mut phase, chunk, &[]).expect("dispatch");
         // Task-count invariants (§III-A): k sources, downloads sum to k,
         // destination holds at least one download.

@@ -42,6 +42,7 @@ use crate::maxmin::{reference, IncrementalSolver, MaxMinSolver};
 use crate::monitor::Monitor;
 use crate::node::{NodeCaps, NodeId, ResourceKind, Traffic};
 use crate::time::SimTime;
+use crate::topology::Topology;
 use crate::trace::{AbortCause, EngineProfile, TraceEvent, TraceEventKind, TraceSink};
 
 /// Bytes below which a flow counts as finished (guards float rounding).
@@ -105,6 +106,11 @@ pub struct SimConfig {
     /// Length of the bandwidth-monitor windows, in seconds (the paper
     /// analyses 15 s windows).
     pub monitor_window_secs: f64,
+    /// Optional rack/spine fabric. `None` (the default) models the
+    /// historical rackless cluster: only per-node resources constrain
+    /// flows. When set, cross-rack flows are additionally constrained by
+    /// ToR and spine link resources (see [`Topology`]).
+    pub topology: Option<Topology>,
 }
 
 impl SimConfig {
@@ -121,7 +127,26 @@ impl SimConfig {
         SimConfig {
             nodes: vec![caps; count],
             monitor_window_secs: 15.0,
+            topology: None,
         }
+    }
+
+    /// Returns the configuration with the given fabric attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's node count disagrees with the
+    /// configuration's.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.node_count(),
+            self.nodes.len(),
+            "topology describes {} nodes but the config has {}",
+            topology.node_count(),
+            self.nodes.len()
+        );
+        self.topology = Some(topology);
+        self
     }
 }
 
@@ -197,8 +222,15 @@ pub struct Simulator {
     /// order) by `next_event` ahead of any heap event, without advancing
     /// time.
     pending_aborts: VecDeque<(u64, Traffic)>,
-    /// Flattened capacities: `caps[node * 4 + kind]`.
+    /// Flattened capacities: `caps[node * 4 + kind]` for node resources,
+    /// followed by `links` shared link capacities starting at `link_base`.
     caps: Vec<f64>,
+    /// The rack/spine fabric, if the simulation has one.
+    topology: Option<Topology>,
+    /// First link resource index (`nodes × 4`); node cells live below it.
+    link_base: usize,
+    /// Number of shared link resources (0 without a topology).
+    links: usize,
     /// The flow slab: `None` slots are free (listed in `free_slots`).
     flows: Vec<Option<Flow>>,
     /// The flow id occupying each slot (stale for free slots).
@@ -287,18 +319,43 @@ impl Simulator {
     /// Panics if the configuration has no nodes.
     pub fn new(config: SimConfig) -> Self {
         assert!(!config.nodes.is_empty(), "at least one node required");
-        let caps: Vec<f64> = config
+        if let Some(t) = &config.topology {
+            assert_eq!(
+                t.node_count(),
+                config.nodes.len(),
+                "topology describes {} nodes but the config has {}",
+                t.node_count(),
+                config.nodes.len()
+            );
+        }
+        let link_base = config.nodes.len() * KINDS;
+        let links = config.topology.as_ref().map_or(0, |t| t.link_count());
+        let mut caps: Vec<f64> = config
             .nodes
             .iter()
             .flat_map(|n| ResourceKind::ALL.map(|k| n.capacity(k)))
             .collect();
-        let monitor = Monitor::new(config.nodes.len(), config.monitor_window_secs);
-        let cells = config.nodes.len() * KINDS * TAGS;
+        if let Some(t) = &config.topology {
+            caps.extend((0..links).map(|l| t.link_capacity(l)));
+        }
+        let monitor = Monitor::new(config.nodes.len(), links, config.monitor_window_secs);
+        let cells = (config.nodes.len() * KINDS + links) * TAGS;
         let mut solver = IncrementalSolver::new();
         solver.set_capacities(&caps);
+        if links > 0 {
+            // Link resources are *soft* for the incremental dirty-set
+            // closure: a link with slack joins a sub-problem (with its
+            // out-of-closure allocation deducted) but does not conduct
+            // contention across racks, so rack-local churn stays
+            // rack-local. Saturated links conduct until slack returns.
+            solver.set_soft_base(link_base);
+        }
         Simulator {
             now: SimTime::ZERO,
             caps,
+            topology: config.topology,
+            link_base,
+            links,
             base_caps: config.nodes.clone(),
             failed_nodes: vec![false; config.nodes.len()],
             pending_aborts: VecDeque::new(),
@@ -510,6 +567,30 @@ impl Simulator {
             },
         );
         let mut flow = Flow::new(spec);
+        // Under a topology, a transfer whose source uplink and destination
+        // downlink sit in different racks also crosses shared fabric links;
+        // append their cells so the solver, class tables, and monitor all
+        // see the extra constraints. Same-rack (and disk-only) flows take
+        // no link cells and behave exactly as in the rackless engine.
+        if let Some(topo) = &self.topology {
+            let src = flow
+                .spec
+                .constraints
+                .iter()
+                .find(|&&(_, k)| k == ResourceKind::Uplink)
+                .map(|&(n, _)| n);
+            let dst = flow
+                .spec
+                .constraints
+                .iter()
+                .find(|&&(_, k)| k == ResourceKind::Downlink)
+                .map(|&(n, _)| n);
+            if let (Some(s), Some(d)) = (src, dst) {
+                for l in topo.path_links(s, d) {
+                    flow.push_cell((self.link_base + l) as u32);
+                }
+            }
+        }
         let tag = flow.spec.tag.index();
         for &c in flow.cells() {
             self.activate_cell(c as usize * TAGS + tag);
@@ -789,7 +870,12 @@ impl Simulator {
         let mut victims: Vec<u64> = Vec::new();
         for (slot, f) in self.flows.iter().enumerate() {
             let Some(f) = f else { continue };
-            if f.cells().iter().any(|&c| c as usize / KINDS == node) {
+            // Only node cells (below `link_base`) identify victims; link
+            // cells decode to no node.
+            if f.cells()
+                .iter()
+                .any(|&c| (c as usize) < self.link_base && c as usize / KINDS == node)
+            {
                 victims.push(self.slot_ids[slot]);
             }
         }
@@ -966,6 +1052,67 @@ impl Simulator {
     /// O(1): maintained incrementally on admission/retirement.
     pub fn class_flow_count(&self, node: NodeId, kind: ResourceKind, tag: Traffic) -> usize {
         self.class_count_tbl[self.cell(node, kind, tag)] as usize
+    }
+
+    /// The rack/spine fabric the simulation was configured with, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// Number of shared link resources (0 without a topology).
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// Capacity of one shared link resource, in bytes/s (link indices are
+    /// the [`Topology`] link ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_capacity(&self, link: usize) -> f64 {
+        assert!(link < self.links, "link {link} out of range");
+        self.caps[self.link_base + link]
+    }
+
+    /// Instantaneous aggregate rate of one traffic class through one
+    /// shared link resource, in bytes/s. O(1) in the indexed engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are stale (call [`Simulator::refresh`] first) or
+    /// `link` is out of range.
+    pub fn link_class_rate(&self, link: usize, tag: Traffic) -> f64 {
+        self.assert_fresh();
+        assert!(link < self.links, "link {link} out of range");
+        let cell = self.link_base + link;
+        if self.reference_mode {
+            self.flows
+                .iter()
+                .flatten()
+                .filter(|f| f.spec.tag == tag)
+                .filter(|f| f.cells().iter().any(|&c| c as usize == cell))
+                .map(|f| f.rate)
+                .sum()
+        } else {
+            self.class_rate_tbl[cell * TAGS + tag.index()].max(0.0)
+        }
+    }
+
+    /// Residual (idle) bandwidth of a shared link after subtracting the
+    /// given traffic classes — what a topology-aware tuner budgets
+    /// cross-rack repair against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are stale or `link` is out of range.
+    pub fn link_residual_capacity(&self, link: usize, subtract: &[Traffic]) -> f64 {
+        let cap = self.link_capacity(link);
+        let used: f64 = subtract
+            .iter()
+            .map(|&t| self.link_class_rate(link, t))
+            .sum();
+        (cap - used).max(0.0)
     }
 
     /// Schedules a timer to fire `delay_secs` from now, with a caller-chosen
@@ -1159,12 +1306,14 @@ impl Simulator {
                         f.remaining = (f.remaining - f.rate * dt).max(0.0);
                     }
                 }
-                // Borrow juggling: record after updating.
+                // Borrow juggling: record after updating. Recording from
+                // the packed cells (not the spec constraints) covers link
+                // cells too, identically to the indexed engine.
                 for f in self.flows.iter().flatten() {
                     if f.rate > 0.0 {
-                        for &(node, kind) in &f.spec.constraints {
+                        for &c in f.cells() {
                             self.monitor
-                                .record(start, end, f.rate, node, kind, f.spec.tag);
+                                .record_cell(start, end, f.rate, c as usize, f.spec.tag);
                         }
                     }
                 }
@@ -1180,10 +1329,8 @@ impl Simulator {
                     let rate = self.class_rate_tbl[ct as usize];
                     if rate > 0.0 {
                         let ct = ct as usize;
-                        let node = ct / (KINDS * TAGS);
-                        let kind = ResourceKind::ALL[(ct / TAGS) % KINDS];
                         let tag = Traffic::ALL[ct % TAGS];
-                        self.monitor.record(start, end, rate, node, kind, tag);
+                        self.monitor.record_cell(start, end, rate, ct / TAGS, tag);
                     }
                 }
             }
@@ -2076,5 +2223,188 @@ mod tests {
         assert_eq!(p.full_solves, 1, "only the seed solve covers every group");
         assert!(p.dirty_groups >= 3, "every solve re-rated >= 1 group");
         sim.verify_against_full_solve();
+    }
+
+    /// 4 nodes, 2 racks (round-robin: 0,2 in rack 0; 1,3 in rack 1).
+    fn racked_sim(tor: f64, spine: Option<f64>) -> Simulator {
+        let topo = Topology::round_robin(4, 2, tor, tor, spine);
+        Simulator::new(SimConfig::uniform(4, NodeCaps::symmetric(100.0, 50.0)).with_topology(topo))
+    }
+
+    #[test]
+    fn cross_rack_flow_constrained_by_spine() {
+        let mut sim = racked_sim(100.0, Some(30.0));
+        assert_eq!(sim.link_count(), 5);
+        assert_eq!(sim.link_capacity(4), 30.0);
+        let f = sim.start_flow(FlowSpec::network(0, 1, 300, Traffic::Repair));
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(30.0), "spine is the bottleneck");
+        assert_eq!(sim.link_class_rate(4, Traffic::Repair), 30.0);
+        let _ = sim.next_event();
+        assert!((sim.now().as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_rack_flows_avoid_fabric_links() {
+        let mut sim = racked_sim(10.0, Some(1.0));
+        // 0 -> 2 stays inside rack 0: tiny fabric caps are irrelevant.
+        let f = sim.start_flow(FlowSpec::network(0, 2, 100, Traffic::Repair));
+        sim.refresh();
+        assert_eq!(sim.flow_rate(f), Some(100.0));
+        for l in 0..sim.link_count() {
+            assert_eq!(sim.link_class_rate(l, Traffic::Repair), 0.0);
+        }
+    }
+
+    #[test]
+    fn tor_uplink_shared_by_cross_rack_flows() {
+        let mut sim = racked_sim(80.0, None);
+        // Both flows leave rack 0 through tor_up[0] (80 B/s) from distinct
+        // node uplinks (100 B/s each).
+        let a = sim.start_flow(FlowSpec::network(0, 1, 400, Traffic::Repair));
+        let b = sim.start_flow(FlowSpec::network(2, 3, 400, Traffic::Foreground));
+        sim.refresh();
+        assert_eq!(sim.flow_rate(a), Some(40.0));
+        assert_eq!(sim.flow_rate(b), Some(40.0));
+        assert_eq!(sim.link_class_rate(0, Traffic::Repair), 40.0);
+        assert_eq!(sim.link_class_rate(0, Traffic::Foreground), 40.0);
+        assert_eq!(sim.link_residual_capacity(0, &[Traffic::Foreground]), 40.0);
+    }
+
+    #[test]
+    fn single_rack_topology_matches_rackless_engine_bitwise() {
+        // One rack means no flow ever takes a link cell, so the event log
+        // must be bit-identical to the topology-free engine.
+        let run = |topo: Option<Topology>| {
+            let mut cfg = SimConfig::uniform(4, NodeCaps::symmetric(10.0, 10.0));
+            if let Some(t) = topo {
+                cfg = cfg.with_topology(t);
+            }
+            let mut sim = Simulator::new(cfg);
+            for i in 0..4u64 {
+                sim.start_flow(FlowSpec::network(
+                    i as usize,
+                    (i as usize + 1) % 4,
+                    30 + i * 11,
+                    Traffic::Repair,
+                ));
+            }
+            sim.schedule_in(1.7, 3);
+            let mut log = Vec::new();
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs().to_bits()));
+            }
+            log
+        };
+        let flat = run(Some(Topology::round_robin(4, 1, 40.0, 40.0, Some(40.0))));
+        assert_eq!(flat, run(None));
+    }
+
+    #[test]
+    fn monitor_accounts_cross_rack_link_bytes() {
+        let mut sim = racked_sim(100.0, Some(50.0));
+        let topo = sim.topology().unwrap().clone();
+        sim.start_flow(FlowSpec::network(0, 1, 200, Traffic::Repair));
+        while sim.next_event().is_some() {}
+        let m = sim.monitor();
+        let up0 = topo.tor_up_link(0);
+        let down1 = topo.tor_down_link(1);
+        let spine = topo.spine_link().unwrap();
+        assert!((m.link_total_bytes(up0, Traffic::Repair) - 200.0).abs() < 1e-6);
+        assert!((m.link_total_bytes(down1, Traffic::Repair) - 200.0).abs() < 1e-6);
+        assert!((m.link_total_bytes(spine, Traffic::Repair) - 200.0).abs() < 1e-6);
+        assert_eq!(
+            m.link_total_bytes(topo.tor_up_link(1), Traffic::Repair),
+            0.0
+        );
+        // Node-level accounting is unchanged by the fabric.
+        assert!((m.total_bytes(0, ResourceKind::Uplink, Traffic::Repair) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reference_engine_matches_indexed_under_topology() {
+        // Same contract as `reference_engine_produces_the_same_log`: the
+        // two engines accumulate progress differently (per-group anchors
+        // vs per-flow decrements), so times agree to tolerance, not bits.
+        let run = |reference: bool| {
+            let mut sim = racked_sim(60.0, Some(45.0));
+            sim.use_reference_engine(reference);
+            for i in 0..4u64 {
+                sim.start_flow(FlowSpec::network(
+                    i as usize,
+                    (i as usize + 1) % 4,
+                    30 + i * 11,
+                    Traffic::Repair,
+                ));
+            }
+            sim.schedule_in(1.3, 7);
+            let mut log = Vec::new();
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs()));
+            }
+            // Fabric byte accounting must agree too.
+            let m = sim.monitor();
+            for l in 0..sim.link_count() {
+                log.push((format!("link{l}"), m.link_total_bytes(l, Traffic::Repair)));
+            }
+            log
+        };
+        let fast = run(false);
+        let slow = run(true);
+        assert_eq!(fast.len(), slow.len());
+        for ((ea, va), (eb, vb)) in fast.iter().zip(&slow) {
+            assert_eq!(ea, eb);
+            assert!((va - vb).abs() < 1e-6, "{ea}: {va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn fail_node_under_topology_kills_only_its_flows_and_frees_links() {
+        let mut sim = racked_sim(100.0, Some(30.0));
+        let doomed = sim.start_flow(FlowSpec::network(0, 1, 1000, Traffic::Repair));
+        let survivor = sim.start_flow(FlowSpec::network(2, 3, 1000, Traffic::Repair));
+        sim.refresh();
+        // Both share the 30 B/s spine.
+        assert_eq!(sim.flow_rate(doomed), Some(15.0));
+        assert_eq!(sim.flow_rate(survivor), Some(15.0));
+        sim.fail_node(1);
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(
+            ev,
+            Event::FlowCompleted { id, outcome: FlowOutcome::Aborted, .. } if id == doomed
+        ));
+        sim.refresh();
+        // The spine share is released to the survivor.
+        assert_eq!(sim.flow_rate(survivor), Some(30.0));
+        sim.verify_against_full_solve();
+    }
+
+    #[test]
+    fn incremental_solver_stays_exact_under_topology_churn() {
+        // Adds, cancels, failures, and cap scaling across a spine-bound
+        // fabric, cross-checked against a from-scratch solve each step —
+        // exercises the soft-resource (link) closure end to end.
+        let mut sim = racked_sim(70.0, Some(40.0));
+        let mut ids = Vec::new();
+        for i in 0..12u64 {
+            let (s, d) = ((i % 4) as usize, ((i + 1) % 4) as usize);
+            ids.push(sim.start_flow(FlowSpec::network(s, d, 500 + i * 37, Traffic::Repair)));
+            sim.verify_against_full_solve();
+        }
+        sim.cancel_flow(ids[3]);
+        sim.verify_against_full_solve();
+        sim.scale_node_caps(2, 0.5, 1.0);
+        sim.verify_against_full_solve();
+        sim.fail_node(3);
+        sim.verify_against_full_solve();
+        while sim.next_event().is_some() {}
+        sim.verify_against_full_solve();
+    }
+
+    #[test]
+    #[should_panic(expected = "topology describes")]
+    fn mismatched_topology_node_count_rejected() {
+        let topo = Topology::round_robin(3, 1, 10.0, 10.0, None);
+        let _ = Simulator::new(SimConfig::uniform(4, NodeCaps::default()).with_topology(topo));
     }
 }

@@ -158,14 +158,25 @@ impl FaultSpec {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message on malformed input.
+    /// Returns a human-readable message on malformed input, including
+    /// non-finite (`NaN`/`inf`) or negative times, factors, and durations
+    /// — a bare `f64` parse accepts those, and letting them through here
+    /// would panic later inside [`FaultPlan::new`].
     pub fn parse(s: &str) -> Result<Self, String> {
         let bad =
             || format!("bad fault spec '{s}' (expected e.g. crash:3@1.5 or slow:5@2x0.25+10)");
         let (kind, rest) = s.split_once(':').ok_or_else(bad)?;
         let (node, timing) = rest.split_once('@').ok_or_else(bad)?;
         let node: NodeId = node.parse().map_err(|_| bad())?;
-        let secs = |v: &str| v.parse::<f64>().map_err(|_| bad());
+        let secs = |v: &str| {
+            let x: f64 = v.parse().map_err(|_| bad())?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "bad fault spec '{s}': '{v}' must be a finite, non-negative number"
+                ));
+            }
+            Ok(x)
+        };
         match kind {
             "crash" => Ok(FaultSpec::Crash {
                 node,
@@ -556,6 +567,11 @@ impl FaultPlan {
     /// validating node ids against the cluster before injecting).
     pub fn inject(&self, sim: &mut Simulator) -> FaultInjector {
         let mut by_timer = HashMap::new();
+        // Each scale fault is a *window*: its start and end timers carry the
+        // same window id so the injector can retire exactly that window when
+        // the end fires, instead of blindly resetting the node to factor 1.0
+        // (which clobbered overlapping same-kind windows).
+        let mut window = 0u64;
         for spec in &self.specs {
             match *spec {
                 FaultSpec::Crash { node, at_secs } => {
@@ -572,10 +588,26 @@ impl FaultPlan {
                     factor,
                     duration_secs,
                 } => {
+                    window += 1;
                     let t = sim.schedule_in(at_secs, FAULT_TIMER_KEY);
-                    by_timer.insert(t, FaultAction::NetScale { node, factor });
+                    by_timer.insert(
+                        t,
+                        FaultAction::ScaleStart {
+                            kind: ScaleKind::Net,
+                            node,
+                            factor,
+                            window,
+                        },
+                    );
                     let t = sim.schedule_in(at_secs + duration_secs, FAULT_TIMER_KEY);
-                    by_timer.insert(t, FaultAction::NetScale { node, factor: 1.0 });
+                    by_timer.insert(
+                        t,
+                        FaultAction::ScaleEnd {
+                            kind: ScaleKind::Net,
+                            node,
+                            window,
+                        },
+                    );
                 }
                 FaultSpec::DiskDegrade {
                     node,
@@ -583,20 +615,43 @@ impl FaultPlan {
                     factor,
                     duration_secs,
                 } => {
+                    window += 1;
                     let t = sim.schedule_in(at_secs, FAULT_TIMER_KEY);
-                    by_timer.insert(t, FaultAction::DiskScale { node, factor });
+                    by_timer.insert(
+                        t,
+                        FaultAction::ScaleStart {
+                            kind: ScaleKind::Disk,
+                            node,
+                            factor,
+                            window,
+                        },
+                    );
                     let t = sim.schedule_in(at_secs + duration_secs, FAULT_TIMER_KEY);
-                    by_timer.insert(t, FaultAction::DiskScale { node, factor: 1.0 });
+                    by_timer.insert(
+                        t,
+                        FaultAction::ScaleEnd {
+                            kind: ScaleKind::Disk,
+                            node,
+                            window,
+                        },
+                    );
                 }
             }
         }
         FaultInjector {
             by_timer,
-            net_scale: HashMap::new(),
-            disk_scale: HashMap::new(),
+            net_windows: HashMap::new(),
+            disk_windows: HashMap::new(),
             applied: Vec::new(),
         }
     }
+}
+
+/// Which capacity family a scale window throttles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScaleKind {
+    Net,
+    Disk,
 }
 
 /// What to do when a fault timer fires.
@@ -604,20 +659,33 @@ impl FaultPlan {
 enum FaultAction {
     Crash(NodeId),
     Recover(NodeId),
-    NetScale { node: NodeId, factor: f64 },
-    DiskScale { node: NodeId, factor: f64 },
+    ScaleStart {
+        kind: ScaleKind,
+        node: NodeId,
+        factor: f64,
+        window: u64,
+    },
+    ScaleEnd {
+        kind: ScaleKind,
+        node: NodeId,
+        window: u64,
+    },
 }
 
-/// An armed [`FaultPlan`]: owns the timer → fault mapping and the current
-/// per-node scale factors (so overlapping network and disk faults on one
-/// node compose instead of clobbering each other).
+/// An armed [`FaultPlan`]: owns the timer → fault mapping and the active
+/// scale windows per node. Network and disk faults on one node compose
+/// (they throttle different capacity families); overlapping *same-kind*
+/// windows do not compound — the most recently started window's factor
+/// wins, and when it ends the node falls back to the next still-active
+/// window (or the configured capacities once none remain).
 #[derive(Debug)]
 pub struct FaultInjector {
     by_timer: HashMap<TimerId, FaultAction>,
-    /// Current network scale per node (absent = 1.0).
-    net_scale: HashMap<NodeId, f64>,
-    /// Current disk scale per node (absent = 1.0).
-    disk_scale: HashMap<NodeId, f64>,
+    /// Active network scale windows per node, in start order (the last
+    /// entry's factor is in force; empty/absent = 1.0).
+    net_windows: HashMap<NodeId, Vec<(u64, f64)>>,
+    /// Active disk scale windows per node, same layout.
+    disk_windows: HashMap<NodeId, Vec<(u64, f64)>>,
     /// Every fault applied so far, in fire order.
     applied: Vec<FaultEvent>,
 }
@@ -640,24 +708,54 @@ impl FaultInjector {
             }
             FaultAction::Recover(node) => {
                 sim.recover_node(node);
+                // A node recovering inside an active scale window must come
+                // back at the *scaled* capacities, not the configured ones —
+                // re-assert the factors in force rather than trusting
+                // whatever the capacities drifted to while the node was down.
+                if self.net_windows.contains_key(&node) || self.disk_windows.contains_key(&node) {
+                    self.rescale(sim, node);
+                }
                 FaultEvent::Recover { node }
             }
-            FaultAction::NetScale { node, factor } => {
-                self.net_scale.insert(node, factor);
+            FaultAction::ScaleStart {
+                kind,
+                node,
+                factor,
+                window,
+            } => {
+                self.windows_mut(kind)
+                    .entry(node)
+                    .or_default()
+                    .push((window, factor));
                 self.rescale(sim, node);
-                if factor == 1.0 {
-                    FaultEvent::SlowdownEnd { node }
-                } else {
-                    FaultEvent::SlowdownStart { node, factor }
+                match kind {
+                    ScaleKind::Net => FaultEvent::SlowdownStart { node, factor },
+                    ScaleKind::Disk => FaultEvent::DiskDegradeStart { node, factor },
                 }
             }
-            FaultAction::DiskScale { node, factor } => {
-                self.disk_scale.insert(node, factor);
-                self.rescale(sim, node);
-                if factor == 1.0 {
-                    FaultEvent::DiskDegradeEnd { node }
+            FaultAction::ScaleEnd { kind, node, window } => {
+                let windows = self.windows_mut(kind);
+                let restored = if let Some(stack) = windows.get_mut(&node) {
+                    stack.retain(|&(w, _)| w != window);
+                    let rest = stack.last().map(|&(_, f)| f);
+                    if stack.is_empty() {
+                        windows.remove(&node);
+                    }
+                    rest
                 } else {
-                    FaultEvent::DiskDegradeStart { node, factor }
+                    None
+                };
+                self.rescale(sim, node);
+                // If an earlier same-kind window is still open, the node is
+                // not back to full speed — report the factor now in force so
+                // straggler-aware drivers keep the right picture.
+                match (kind, restored) {
+                    (ScaleKind::Net, None) => FaultEvent::SlowdownEnd { node },
+                    (ScaleKind::Net, Some(factor)) => FaultEvent::SlowdownStart { node, factor },
+                    (ScaleKind::Disk, None) => FaultEvent::DiskDegradeEnd { node },
+                    (ScaleKind::Disk, Some(factor)) => {
+                        FaultEvent::DiskDegradeStart { node, factor }
+                    }
                 }
             }
         };
@@ -665,10 +763,18 @@ impl FaultInjector {
         Some(fault)
     }
 
+    fn windows_mut(&mut self, kind: ScaleKind) -> &mut HashMap<NodeId, Vec<(u64, f64)>> {
+        match kind {
+            ScaleKind::Net => &mut self.net_windows,
+            ScaleKind::Disk => &mut self.disk_windows,
+        }
+    }
+
     fn rescale(&self, sim: &mut Simulator, node: NodeId) {
-        let net = self.net_scale.get(&node).copied().unwrap_or(1.0);
-        let disk = self.disk_scale.get(&node).copied().unwrap_or(1.0);
-        sim.scale_node_caps(node, net, disk);
+        let factor = |m: &HashMap<NodeId, Vec<(u64, f64)>>| {
+            m.get(&node).and_then(|s| s.last()).map_or(1.0, |&(_, f)| f)
+        };
+        sim.scale_node_caps(node, factor(&self.net_windows), factor(&self.disk_windows));
     }
 
     /// Faults applied so far, in fire order.
@@ -822,6 +928,146 @@ mod tests {
             Some(FaultEvent::SlowdownEnd { node: 0 })
         );
         assert_eq!(s.capacity(0, ResourceKind::Uplink), 100.0);
+    }
+
+    #[test]
+    fn overlapping_same_kind_slowdowns_restore_the_outer_window() {
+        let mut s = sim(2);
+        // Window A covers [1, 11); window B nests inside it at [3, 5) with
+        // a harsher factor. When B ends, the node must fall back to A's
+        // factor — not to the configured capacities (the old end-timer
+        // reset to 1.0 silently cancelled A six seconds early).
+        let plan = FaultPlan::new(vec![
+            FaultSpec::Slowdown {
+                node: 0,
+                at_secs: 1.0,
+                factor: 0.5,
+                duration_secs: 10.0,
+            },
+            FaultSpec::Slowdown {
+                node: 0,
+                at_secs: 3.0,
+                factor: 0.25,
+                duration_secs: 2.0,
+            },
+        ]);
+        let mut inj = plan.inject(&mut s);
+        let fire = |s: &mut Simulator, inj: &mut FaultInjector| {
+            let ev = s.next_event().unwrap();
+            inj.on_event(s, &ev).unwrap()
+        };
+        assert_eq!(
+            fire(&mut s, &mut inj),
+            FaultEvent::SlowdownStart {
+                node: 0,
+                factor: 0.5
+            }
+        );
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 50.0);
+        assert_eq!(
+            fire(&mut s, &mut inj),
+            FaultEvent::SlowdownStart {
+                node: 0,
+                factor: 0.25
+            }
+        );
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 25.0);
+        // t=5: the inner window ends; the outer factor resumes and the
+        // reported event carries the factor now in force.
+        assert_eq!(
+            fire(&mut s, &mut inj),
+            FaultEvent::SlowdownStart {
+                node: 0,
+                factor: 0.5
+            }
+        );
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 50.0);
+        assert_eq!(s.capacity(0, ResourceKind::Downlink), 50.0);
+        // t=11: the outer window ends; only now is the node full speed.
+        assert_eq!(fire(&mut s, &mut inj), FaultEvent::SlowdownEnd { node: 0 });
+        assert_eq!(s.capacity(0, ResourceKind::Uplink), 100.0);
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn recover_inside_scale_window_restores_scaled_caps() {
+        let mut s = sim(3);
+        // Crash-then-recover nested inside an active slowdown window: the
+        // recovered node must come back at the scaled capacities, and only
+        // the window's own end restores the configured ones.
+        let plan = FaultPlan::new(vec![
+            FaultSpec::Slowdown {
+                node: 1,
+                at_secs: 1.0,
+                factor: 0.5,
+                duration_secs: 9.0,
+            },
+            FaultSpec::Crash {
+                node: 1,
+                at_secs: 2.0,
+            },
+            FaultSpec::Recover {
+                node: 1,
+                at_secs: 4.0,
+            },
+        ]);
+        let mut inj = plan.inject(&mut s);
+        let fire = |s: &mut Simulator, inj: &mut FaultInjector| {
+            let ev = s.next_event().unwrap();
+            inj.on_event(s, &ev).unwrap()
+        };
+        assert_eq!(
+            fire(&mut s, &mut inj),
+            FaultEvent::SlowdownStart {
+                node: 1,
+                factor: 0.5
+            }
+        );
+        assert_eq!(fire(&mut s, &mut inj), FaultEvent::Crash { node: 1 });
+        assert_eq!(fire(&mut s, &mut inj), FaultEvent::Recover { node: 1 });
+        assert!(!s.is_node_failed(1));
+        assert_eq!(s.capacity(1, ResourceKind::Uplink), 50.0);
+        assert_eq!(s.capacity(1, ResourceKind::Downlink), 50.0);
+        // A fresh flow through the recovered node runs at the scaled rate.
+        let f = s.start_flow(FlowSpec::network(0, 1, 1_000, Traffic::Repair));
+        s.refresh();
+        assert_eq!(s.flow_rate(f), Some(50.0));
+        // t=10: the slowdown window ends and full speed returns.
+        loop {
+            let ev = s.next_event().unwrap();
+            if let Some(fault) = inj.on_event(&mut s, &ev) {
+                assert_eq!(fault, FaultEvent::SlowdownEnd { node: 1 });
+                break;
+            }
+        }
+        assert_eq!(s.capacity(1, ResourceKind::Uplink), 100.0);
+    }
+
+    #[test]
+    fn parse_rejects_nonfinite_and_negative_numbers() {
+        for bad in [
+            "crash:3@-1",
+            "crash:3@NaN",
+            "crash:3@inf",
+            "recover:2@-0.5",
+            "slow:1@-2x0.5+5",
+            "slow:1@1xNaN+5",
+            "slow:1@1x0.5+inf",
+            "disk:1@1x0.5+-3",
+            "disk:1@-1x0.5+3",
+        ] {
+            let err = FaultSpec::parse(bad).unwrap_err();
+            assert!(
+                err.contains("bad fault spec"),
+                "'{bad}' must fail with a clear message, got: {err}"
+            );
+        }
+        // The same strings must not panic (or pass) through the list form.
+        assert!(FaultPlan::parse_list("crash:0@1,slow:1@NaNx0.5+5").is_err());
+        // Zero times stay legal; zero factors/durations stay rejected.
+        assert!(FaultSpec::parse("crash:3@0").is_ok());
+        assert!(FaultSpec::parse("slow:1@1x0+5").is_err());
+        assert!(FaultSpec::parse("slow:1@1x0.5+0").is_err());
     }
 
     #[test]

@@ -46,8 +46,14 @@ impl core::fmt::Display for TimerId {
     }
 }
 
-/// Maximum number of resources a single flow can traverse.
-pub(crate) const MAX_CONSTRAINTS: usize = 4;
+/// Maximum number of node resources a [`FlowSpec`] can name.
+pub(crate) const MAX_SPEC_CONSTRAINTS: usize = 4;
+
+/// Maximum number of resource cells a single flow can traverse once the
+/// engine has compiled it: up to [`MAX_SPEC_CONSTRAINTS`] node cells plus
+/// up to three shared link cells (ToR up, ToR down, spine) appended for
+/// cross-rack flows under a [`Topology`](crate::Topology).
+pub(crate) const MAX_CONSTRAINTS: usize = 8;
 
 /// Specification of a byte transfer through one or more node resources.
 ///
@@ -115,7 +121,7 @@ impl FlowSpec {
     /// duplicates.
     pub fn custom(bytes: u64, constraints: Vec<(NodeId, ResourceKind)>, tag: Traffic) -> Self {
         assert!(
-            !constraints.is_empty() && constraints.len() <= MAX_CONSTRAINTS,
+            !constraints.is_empty() && constraints.len() <= MAX_SPEC_CONSTRAINTS,
             "1..=4 constraints required"
         );
         for (i, a) in constraints.iter().enumerate() {
@@ -172,9 +178,10 @@ pub(crate) struct Flow {
     /// Current max–min rate (reference engine only; the indexed engine
     /// reads the group's rate).
     pub(crate) rate: f64,
-    /// The flow's resource cells (`node * 4 + kind`), packed flat at
-    /// admission so the per-solve hot loops never chase the `spec`
-    /// constraint vector.
+    /// The flow's resource cells — node cells (`node * 4 + kind`)
+    /// followed by any shared link cells the engine appended for
+    /// cross-rack transfers — packed flat at admission so the per-solve
+    /// hot loops never chase the `spec` constraint vector.
     pub(crate) cells: [u32; MAX_CONSTRAINTS],
     pub(crate) ncells: u8,
     /// Index of the flow group (distinct resource set) this flow belongs
@@ -208,6 +215,17 @@ impl Flow {
     /// The packed resource cells this flow traverses.
     pub(crate) fn cells(&self) -> &[u32] {
         &self.cells[..self.ncells as usize]
+    }
+
+    /// Appends one resource cell (used by the engine to attach shared
+    /// link cells to cross-rack flows after node-cell packing).
+    pub(crate) fn push_cell(&mut self, cell: u32) {
+        assert!(
+            (self.ncells as usize) < MAX_CONSTRAINTS,
+            "flow cell capacity exceeded"
+        );
+        self.cells[self.ncells as usize] = cell;
+        self.ncells += 1;
     }
 }
 

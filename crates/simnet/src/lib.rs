@@ -16,6 +16,10 @@
 //!   background traffic can be accounted separately — this powers both the
 //!   paper's measurements (Figs. 5–6) and ChameleonEC's residual-bandwidth
 //!   estimation.
+//! - **Hierarchical fabrics** ([`Topology`]): racks of nodes joined by
+//!   per-rack ToR up/down links and an optionally oversubscribed spine,
+//!   compiled into shared link resources that additionally constrain
+//!   cross-rack flows (same-rack flows never touch them).
 //! - A **windowed bandwidth monitor** ([`Monitor`]) recording per-node,
 //!   per-direction, per-class usage in fixed windows (15 s in §II-D).
 //! - **Deterministic fault injection** ([`faults`]): seeded schedules of
@@ -61,6 +65,7 @@ pub mod maxmin;
 mod monitor;
 mod node;
 mod time;
+pub mod topology;
 pub mod trace;
 
 pub use engine::{Event, SimConfig, Simulator, StaleRatesError};
@@ -70,4 +75,5 @@ pub use maxmin::{allocate_rates, IncrementalSolver, MaxMinSolver, SolveOutcome};
 pub use monitor::{Monitor, UsageSample};
 pub use node::{NodeCaps, NodeId, ResourceKind, Traffic};
 pub use time::SimTime;
+pub use topology::Topology;
 pub use trace::{AbortCause, EngineProfile, TraceEvent, TraceEventKind, TraceSink};

@@ -285,8 +285,17 @@ pub struct SolveOutcome {
     pub dirty_resources: usize,
 }
 
-/// Maximum constraint degree of a group (mirrors the engine's flow shape).
-const MAX_DEGREE: usize = 4;
+/// Maximum constraint degree of a group (mirrors the engine's flow shape:
+/// up to 4 node cells plus up to 3 shared link cells plus headroom).
+const MAX_DEGREE: usize = 8;
+
+/// Relative slack below which a soft resource counts as saturated: a soft
+/// resource with `alloc >= cap * (1 - SOFT_MARGIN)` is treated as a real
+/// (conductive) constraint. Allocations are recomputed from the registry
+/// at every solve, so the margin only has to absorb the reassociation
+/// between summing resident rates and the solver's progressive
+/// capacity subtraction — a few ulps; 1e-9 is comfortably conservative.
+const SOFT_MARGIN: f64 = 1e-9;
 
 /// Incremental max–min solver over a persistent registry of weighted flow
 /// groups.
@@ -321,6 +330,29 @@ const MAX_DEGREE: usize = 4;
 /// is precisely the union of those components (restricted to the current
 /// group set), so re-solving the closure and keeping prior rates elsewhere
 /// equals a full solve. The differential proptests assert this bitwise.
+///
+/// # Soft resources
+///
+/// Shared fabric links (ToR uplinks, an oversubscribed spine) naturally
+/// join *every* cross-rack flow into one giant contention component, which
+/// would make each incremental solve a full solve — the known adversarial
+/// regression. [`IncrementalSolver::set_soft_base`] declares a suffix of
+/// the resource space *soft*: during the closure walk a soft resource with
+/// measured slack is **included** in the sub-problem (with its capacity
+/// reduced by the allocation of residents outside the closure) but does
+/// **not conduct** — its other residents stay untouched. This is exact
+/// because a resource that ends a solve with positive slack is never the
+/// bottleneck of any progressive-filling round, so it influences no
+/// group's rate; the out-of-closure allocation deduction makes the
+/// sub-problem see precisely the remaining headroom. After each solve the
+/// soft resource's new total allocation is recomputed from the registry:
+/// if it reaches capacity (within [`SOFT_MARGIN`]) the resource is marked
+/// *saturated* and the solve is redone with it fully conductive — a
+/// saturated link is a real constraint and must merge its components.
+/// The saturation flag is sticky across solves (a saturated spine keeps
+/// conducting until a solve observes slack again), so steady state pays
+/// either the cheap non-conductive walk or the honest merged solve, never
+/// a wasted retry.
 #[derive(Debug, Default)]
 pub struct IncrementalSolver {
     /// Capacity per resource.
@@ -340,6 +372,20 @@ pub struct IncrementalSolver {
     /// Accumulated dirty-resource seeds since the last solve.
     seeds: Vec<u32>,
     seeded: Vec<bool>,
+    /// First soft resource index; resources `>= soft_base` are shared
+    /// links that only conduct the closure walk while saturated.
+    soft_base: Option<usize>,
+    /// Sticky per-resource saturation flags (consulted for soft only).
+    soft_saturated: Vec<bool>,
+    /// Out-of-closure allocation per resource (soft scratch, reset after
+    /// each solve).
+    res_out: Vec<f64>,
+    /// Soft resources included non-conductively in the current attempt.
+    soft_in: Vec<u32>,
+    /// Saturated soft resources that conducted in the current attempt.
+    soft_conducted: Vec<u32>,
+    /// Group slot → sub-problem row (valid only under `grp_in`).
+    grp_sub: Vec<u32>,
     // Closure scratch, reused across solves.
     res_in: Vec<bool>,
     grp_in: Vec<bool>,
@@ -376,9 +422,21 @@ impl IncrementalSolver {
         self.caps.extend_from_slice(caps);
         self.res_groups.resize(caps.len(), Vec::new());
         self.seeded.resize(caps.len(), false);
+        self.soft_saturated.resize(caps.len(), false);
+        self.res_out.resize(caps.len(), 0.0);
         for r in 0..caps.len() {
             self.mark_res(r as u32);
         }
+    }
+
+    /// Declares resources `>= base` *soft*: shared links that are included
+    /// in dirty closures with their measured headroom but only conduct the
+    /// closure walk while saturated (see the type docs). Call once, after
+    /// [`IncrementalSolver::set_capacities`] and before registering
+    /// groups. Every group must keep at least one cell below `base` —
+    /// flows always have node cells, links never stand alone.
+    pub fn set_soft_base(&mut self, base: usize) {
+        self.soft_base = Some(base);
     }
 
     /// Updates one resource's capacity, seeding it dirty.
@@ -417,14 +475,21 @@ impl IncrementalSolver {
     ///
     /// # Panics
     ///
-    /// Panics if `cells` is empty or longer than 4, if `weight` is 0, or
-    /// (debug assertions) if the slot already holds a live group.
+    /// Panics if `cells` is empty or longer than 8, if `weight` is 0, or
+    /// (debug assertions) if the slot already holds a live group or every
+    /// cell is soft.
     pub fn insert_group(&mut self, slot: u32, cells: &[u32], weight: u32) {
         assert!(
             !cells.is_empty() && cells.len() <= MAX_DEGREE,
-            "1..=4 cells required"
+            "1..=8 cells required"
         );
         assert!(weight > 0, "group must have positive weight");
+        if let Some(base) = self.soft_base {
+            debug_assert!(
+                cells.iter().any(|&c| (c as usize) < base),
+                "group needs at least one hard cell"
+            );
+        }
         let s = slot as usize;
         if self.g_weight.len() <= s {
             self.g_cells.resize(s + 1, [0; MAX_DEGREE]);
@@ -486,75 +551,161 @@ impl IncrementalSolver {
         }
     }
 
+    /// Includes resource `r` in the closure: hard resources (and saturated
+    /// soft ones) conduct the walk; soft resources with slack are only
+    /// collected for headroom deduction.
+    fn visit_res(&mut self, r: u32, soft_base: usize) {
+        if self.res_in[r as usize] {
+            return;
+        }
+        self.res_in[r as usize] = true;
+        self.dirty_res.push(r);
+        if (r as usize) < soft_base {
+            self.stack.push(r);
+        } else if self.soft_saturated[r as usize] {
+            self.stack.push(r);
+            self.soft_conducted.push(r);
+        } else {
+            self.soft_in.push(r);
+        }
+    }
+
     /// Re-solves the dirty contention closure, appending `(slot, new_rate)`
     /// for every group whose rate bit-changed, and clears the seeds.
     /// Untouched groups keep their previous rates (see the type docs for
     /// why that is exact).
     pub fn solve(&mut self, changed: &mut Vec<(u32, f64)>) -> SolveOutcome {
-        // Closure: alternate resource → resident groups → their resources.
-        self.dirty_groups.clear();
-        self.dirty_res.clear();
-        self.stack.clear();
+        let soft_base = self.soft_base.unwrap_or(usize::MAX);
         self.res_in.resize(self.caps.len(), false);
-        for i in 0..self.seeds.len() {
-            let r = self.seeds[i];
-            if !self.res_in[r as usize] {
-                self.res_in[r as usize] = true;
-                self.dirty_res.push(r);
-                self.stack.push(r);
+        self.grp_sub.resize(self.g_weight.len(), u32::MAX);
+        loop {
+            // Reset any marks from the previous attempt (no-ops on the
+            // first: the lists carry the *previous solve's* closure, whose
+            // marks were already cleared at commit).
+            for i in 0..self.dirty_groups.len() {
+                self.grp_in[self.dirty_groups[i] as usize] = false;
             }
-        }
-        while let Some(r) = self.stack.pop() {
-            for gi in 0..self.res_groups[r as usize].len() {
-                let g = self.res_groups[r as usize][gi];
-                if self.grp_in[g as usize] {
-                    continue;
-                }
-                self.grp_in[g as usize] = true;
-                self.dirty_groups.push(g);
-                for ci in 0..self.g_ncells[g as usize] as usize {
-                    let c = self.g_cells[g as usize][ci];
-                    if !self.res_in[c as usize] {
-                        self.res_in[c as usize] = true;
-                        self.dirty_res.push(c);
-                        self.stack.push(c);
+            for i in 0..self.dirty_res.len() {
+                self.res_in[self.dirty_res[i] as usize] = false;
+            }
+            self.dirty_groups.clear();
+            self.dirty_res.clear();
+            self.stack.clear();
+            self.soft_in.clear();
+            self.soft_conducted.clear();
+
+            // Closure: alternate resource → resident groups → their
+            // resources; soft resources with slack do not conduct.
+            for i in 0..self.seeds.len() {
+                self.visit_res(self.seeds[i], soft_base);
+            }
+            while let Some(r) = self.stack.pop() {
+                for gi in 0..self.res_groups[r as usize].len() {
+                    let g = self.res_groups[r as usize][gi];
+                    if self.grp_in[g as usize] {
+                        continue;
+                    }
+                    self.grp_in[g as usize] = true;
+                    self.dirty_groups.push(g);
+                    for ci in 0..self.g_ncells[g as usize] as usize {
+                        let c = self.g_cells[g as usize][ci];
+                        self.visit_res(c, soft_base);
                     }
                 }
             }
+
+            // Measure each non-conductive soft resource's allocation to
+            // residents *outside* the closure; the sub-problem sees only
+            // the remaining headroom.
+            for k in 0..self.soft_in.len() {
+                let r = self.soft_in[k] as usize;
+                let mut out = 0.0;
+                for &g in &self.res_groups[r] {
+                    if !self.grp_in[g as usize] {
+                        out += self.g_rate[g as usize] * self.g_weight[g as usize] as f64;
+                    }
+                }
+                self.res_out[r] = out;
+            }
+
+            // Compact the closure into a sub-problem. Ascending orders
+            // reproduce the full solve's relative freeze and tie-break
+            // order (link cells sit above every node cell in both).
+            self.dirty_groups.sort_unstable();
+            self.dirty_res.sort_unstable();
+            self.res_sub.resize(self.caps.len(), u32::MAX);
+            self.sub_caps.clear();
+            for (i, &r) in self.dirty_res.iter().enumerate() {
+                self.res_sub[r as usize] = i as u32;
+                let r = r as usize;
+                let cap = if r >= soft_base && !self.soft_saturated[r] {
+                    (self.caps[r] - self.res_out[r]).max(0.0)
+                } else {
+                    self.caps[r]
+                };
+                self.sub_caps.push(cap);
+            }
+            self.sub_offsets.clear();
+            self.sub_targets.clear();
+            self.sub_weights.clear();
+            self.sub_offsets.push(0);
+            for (i, &g) in self.dirty_groups.iter().enumerate() {
+                let s = g as usize;
+                self.grp_sub[s] = i as u32;
+                for ci in 0..self.g_ncells[s] as usize {
+                    self.sub_targets
+                        .push(self.res_sub[self.g_cells[s][ci] as usize]);
+                }
+                self.sub_offsets.push(self.sub_targets.len() as u32);
+                self.sub_weights.push(self.g_weight[s]);
+            }
+            self.sub_rates.clear();
+            self.sub_rates.resize(self.dirty_groups.len(), 0.0);
+            self.inner.solve_weighted_into(
+                &self.sub_caps,
+                &self.sub_offsets,
+                &self.sub_targets,
+                &self.sub_weights,
+                &mut self.sub_rates,
+            );
+
+            // Saturation check: a soft resource whose combined allocation
+            // reaches capacity is a real constraint — mark it and redo
+            // the solve with it conductive. Flags only flip false→true
+            // inside this loop, so it terminates.
+            let mut retry = false;
+            for k in 0..self.soft_in.len() {
+                let r = self.soft_in[k] as usize;
+                let mut alloc = self.res_out[r];
+                for &g in &self.res_groups[r] {
+                    if self.grp_in[g as usize] {
+                        alloc += self.sub_rates[self.grp_sub[g as usize] as usize]
+                            * self.g_weight[g as usize] as f64;
+                    }
+                }
+                if alloc >= self.caps[r] * (1.0 - SOFT_MARGIN) {
+                    self.soft_saturated[r] = true;
+                    retry = true;
+                }
+            }
+            if !retry {
+                break;
+            }
         }
 
-        // Compact the closure into a sub-problem. Ascending orders
-        // reproduce the full solve's relative freeze and tie-break order.
-        self.dirty_groups.sort_unstable();
-        self.dirty_res.sort_unstable();
-        self.res_sub.resize(self.caps.len(), u32::MAX);
-        self.sub_caps.clear();
-        for (i, &r) in self.dirty_res.iter().enumerate() {
-            self.res_sub[r as usize] = i as u32;
-            self.sub_caps.push(self.caps[r as usize]);
-        }
-        self.sub_offsets.clear();
-        self.sub_targets.clear();
-        self.sub_weights.clear();
-        self.sub_offsets.push(0);
-        for &g in &self.dirty_groups {
-            let s = g as usize;
-            for ci in 0..self.g_ncells[s] as usize {
-                self.sub_targets
-                    .push(self.res_sub[self.g_cells[s][ci] as usize]);
+        // De-saturate conducted soft resources that regained slack (their
+        // residents are all in the closure, so the sum is complete).
+        for k in 0..self.soft_conducted.len() {
+            let r = self.soft_conducted[k] as usize;
+            let mut alloc = 0.0;
+            for &g in &self.res_groups[r] {
+                alloc += self.sub_rates[self.grp_sub[g as usize] as usize]
+                    * self.g_weight[g as usize] as f64;
             }
-            self.sub_offsets.push(self.sub_targets.len() as u32);
-            self.sub_weights.push(self.g_weight[s]);
+            if alloc < self.caps[r] * (1.0 - SOFT_MARGIN) {
+                self.soft_saturated[r] = false;
+            }
         }
-        self.sub_rates.clear();
-        self.sub_rates.resize(self.dirty_groups.len(), 0.0);
-        self.inner.solve_weighted_into(
-            &self.sub_caps,
-            &self.sub_offsets,
-            &self.sub_targets,
-            &self.sub_weights,
-            &mut self.sub_rates,
-        );
 
         for (i, &g) in self.dirty_groups.iter().enumerate() {
             let new = self.sub_rates[i];
@@ -570,6 +721,9 @@ impl IncrementalSolver {
         }
         for &r in &self.dirty_res {
             self.res_in[r as usize] = false;
+        }
+        for &r in &self.soft_in {
+            self.res_out[r as usize] = 0.0;
         }
         for &r in &self.seeds {
             self.seeded[r as usize] = false;
@@ -963,6 +1117,200 @@ mod tests {
                     _ => {
                         let r = (next() % caps.len() as u64) as usize;
                         caps[r] = 1.0 + (next() % 64) as f64;
+                        inc.set_capacity(r, caps[r]);
+                    }
+                },
+            }
+            if step % 3 == 0 {
+                changed.clear();
+                inc.solve(&mut changed);
+                let groups: Vec<(u32, Vec<u32>, u32)> = live
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, g)| g.as_ref().map(|(cells, w)| (s as u32, cells.clone(), *w)))
+                    .collect();
+                let oracle = full_oracle(&caps, &groups);
+                for ((slot, _, _), want) in groups.iter().zip(&oracle) {
+                    assert_eq!(
+                        inc.rate(*slot).to_bits(),
+                        want.to_bits(),
+                        "step {step} slot {slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_resource_with_slack_does_not_conduct_the_closure() {
+        // Two rack components {0,1} and {2,3} joined by a big soft "spine"
+        // (resource 4). With spine slack, mutating one rack must not drag
+        // the other into the closure — but rates must still match a full
+        // batch solve bitwise.
+        let caps = [10.0, 10.0, 10.0, 10.0, 1000.0];
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.set_soft_base(4);
+        inc.insert_group(0, &[0, 1, 4], 1); // rack A cross-spine
+        inc.insert_group(1, &[2, 3, 4], 1); // rack B cross-spine
+        inc.insert_group(2, &[0], 1); // rack A local
+        let mut changed = Vec::new();
+        inc.solve(&mut changed);
+        changed.clear();
+        inc.insert_group(3, &[2], 2); // mutate rack B only
+        let out = inc.solve(&mut changed);
+        assert_eq!(
+            out.dirty_groups, 2,
+            "rack A stays out of the closure despite the shared spine"
+        );
+        let oracle = full_oracle(
+            &caps,
+            &[
+                (0, vec![0, 1, 4], 1),
+                (1, vec![2, 3, 4], 1),
+                (2, vec![0], 1),
+                (3, vec![2], 2),
+            ],
+        );
+        for (slot, want) in oracle.iter().enumerate() {
+            assert_eq!(
+                inc.rate(slot as u32).to_bits(),
+                want.to_bits(),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_soft_resource_becomes_conductive_and_exact() {
+        // A 3-unit spine shared by two otherwise-disjoint racks: the spine
+        // binds, so the components must merge and split it fairly.
+        let caps = [10.0, 10.0, 3.0];
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.set_soft_base(2);
+        inc.insert_group(0, &[0, 2], 1);
+        let mut changed = Vec::new();
+        inc.solve(&mut changed);
+        changed.clear();
+        inc.insert_group(1, &[1, 2], 1);
+        let out = inc.solve(&mut changed);
+        assert_eq!(out.dirty_groups, 2, "saturated spine merges both racks");
+        let oracle = full_oracle(&caps, &[(0, vec![0, 2], 1), (1, vec![1, 2], 1)]);
+        for (slot, want) in oracle.iter().enumerate() {
+            assert_eq!(inc.rate(slot as u32).to_bits(), want.to_bits());
+            assert_close(*want, 1.5);
+        }
+    }
+
+    #[test]
+    fn soft_resource_desaturates_when_slack_returns() {
+        // res 0 = rack A uplink, res 1 = rack B uplink, res 2 = spine.
+        let mut caps = [2.0, 4.0, 3.0];
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.set_soft_base(2);
+        inc.insert_group(0, &[0, 2], 1); // rack A cross-spine
+        inc.insert_group(1, &[1, 2], 1); // rack B cross-spine
+        inc.insert_group(2, &[1], 1); // rack B local
+        let mut changed = Vec::new();
+        inc.solve(&mut changed); // spine binds: groups 0,1 get 1.5 each
+        assert_eq!(inc.rate(0), 1.5);
+        changed.clear();
+        // Widen the spine: the (sticky-saturated, hence conductive) solve
+        // must observe the new slack and clear the flag.
+        caps[2] = 30.0;
+        inc.set_capacity(2, caps[2]);
+        inc.solve(&mut changed);
+        changed.clear();
+        // A rack-B mutation that seeds the spine (new cross-spine group)
+        // must now stay rack-local: the slack spine no longer conducts,
+        // so rack A's group is untouched.
+        inc.insert_group(3, &[1, 2], 1);
+        let out = inc.solve(&mut changed);
+        assert_eq!(out.dirty_groups, 3, "rack A stays out after de-saturation");
+        let oracle = full_oracle(
+            &caps,
+            &[
+                (0, vec![0, 2], 1),
+                (1, vec![1, 2], 1),
+                (2, vec![1], 1),
+                (3, vec![1, 2], 1),
+            ],
+        );
+        for (slot, want) in oracle.iter().enumerate() {
+            assert_eq!(
+                inc.rate(slot as u32).to_bits(),
+                want.to_bits(),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_with_soft_resources_matches_batch_under_mutation() {
+        // Same randomized-schedule differential as the hard-only test, but
+        // with two soft "link" resources that a third of the groups cross.
+        // Soft inclusion/deduction/saturation retries must stay bitwise
+        // equal to the oblivious batch oracle throughout.
+        let mut caps = vec![0.0f64; 14];
+        let soft_base = 12usize;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for (r, c) in caps.iter_mut().enumerate() {
+            // Hard resources modest; soft links sized so they straddle the
+            // saturation boundary as load comes and goes.
+            *c = if r < soft_base {
+                1.0 + (next() % 64) as f64
+            } else {
+                20.0 + (next() % 40) as f64
+            };
+        }
+        let mut inc = IncrementalSolver::new();
+        inc.set_capacities(&caps);
+        inc.set_soft_base(soft_base);
+        let mut live: Vec<Option<(Vec<u32>, u32)>> = vec![None; 24];
+        let mut changed = Vec::new();
+        for step in 0..600 {
+            let slot = (next() % live.len() as u64) as u32;
+            match &mut live[slot as usize] {
+                None => {
+                    let deg = 1 + (next() % 3) as usize;
+                    let mut cells: Vec<u32> = Vec::new();
+                    while cells.len() < deg {
+                        let c = (next() % soft_base as u64) as u32;
+                        if !cells.contains(&c) {
+                            cells.push(c);
+                        }
+                    }
+                    if next() % 3 == 0 {
+                        cells.push((soft_base as u64 + next() % 2) as u32);
+                    }
+                    let w = 1 + (next() % 4) as u32;
+                    inc.insert_group(slot, &cells, w);
+                    live[slot as usize] = Some((cells, w));
+                }
+                Some((_, w)) => match next() % 3 {
+                    0 => {
+                        inc.set_weight(slot, 0);
+                        live[slot as usize] = None;
+                    }
+                    1 => {
+                        *w = 1 + (next() % 6) as u32;
+                        inc.set_weight(slot, *w);
+                    }
+                    _ => {
+                        let r = (next() % caps.len() as u64) as usize;
+                        caps[r] = if r < soft_base {
+                            1.0 + (next() % 64) as f64
+                        } else {
+                            20.0 + (next() % 40) as f64
+                        };
                         inc.set_capacity(r, caps[r]);
                     }
                 },

@@ -36,7 +36,11 @@ const TAGS: usize = 3;
 pub struct Monitor {
     window_secs: f64,
     nodes: usize,
-    /// `windows[w][idx(node, kind, tag)]` = bytes.
+    /// Number of shared link resources (0 without a topology); link cells
+    /// are appended after the `nodes × KINDS` node cells.
+    links: usize,
+    /// `windows[w][idx(node, kind, tag)]` = bytes; link usage lives at
+    /// `((nodes × KINDS + link) × TAGS + tag)`.
     windows: Vec<Vec<f64>>,
     /// Total simulated time covered so far.
     horizon: f64,
@@ -50,16 +54,18 @@ pub struct Monitor {
 }
 
 impl Monitor {
-    /// Creates a monitor for `nodes` nodes with the given window length.
+    /// Creates a monitor for `nodes` nodes plus `links` shared link
+    /// resources with the given window length.
     ///
     /// # Panics
     ///
     /// Panics if `window_secs` is not positive.
-    pub(crate) fn new(nodes: usize, window_secs: f64) -> Self {
+    pub(crate) fn new(nodes: usize, links: usize, window_secs: f64) -> Self {
         assert!(window_secs > 0.0, "window length must be positive");
         Monitor {
             window_secs,
             nodes,
+            links,
             windows: Vec::new(),
             horizon: 0.0,
             aborted: vec![0.0; nodes * TAGS],
@@ -73,7 +79,14 @@ impl Monitor {
         (node * KINDS + kind.index()) * TAGS + tag.index()
     }
 
-    /// Accounts a constant-rate transfer segment `[start, end)`.
+    fn link_idx(&self, link: usize, tag: Traffic) -> usize {
+        assert!(link < self.links, "link {link} out of range");
+        (self.nodes * KINDS + link) * TAGS + tag.index()
+    }
+
+    /// Accounts a constant-rate transfer segment `[start, end)` on a node
+    /// resource.
+    #[cfg(test)]
     pub(crate) fn record(
         &mut self,
         start: f64,
@@ -83,12 +96,31 @@ impl Monitor {
         kind: ResourceKind,
         tag: Traffic,
     ) {
+        let idx = self.idx(node, kind, tag);
+        self.record_idx(start, end, rate, idx);
+    }
+
+    /// Accounts a constant-rate transfer segment `[start, end)` on a
+    /// packed resource cell — a node cell (`node × KINDS + kind`) or a
+    /// link cell (`nodes × KINDS + link`).
+    pub(crate) fn record_cell(
+        &mut self,
+        start: f64,
+        end: f64,
+        rate: f64,
+        cell: usize,
+        tag: Traffic,
+    ) {
+        debug_assert!(cell < self.nodes * KINDS + self.links);
+        self.record_idx(start, end, rate, cell * TAGS + tag.index());
+    }
+
+    fn record_idx(&mut self, start: f64, end: f64, rate: f64, idx: usize) {
         debug_assert!(end >= start);
         self.horizon = self.horizon.max(end);
         if rate <= 0.0 || end <= start {
             return;
         }
-        let idx = self.idx(node, kind, tag);
         let win = self.window_secs;
         // Iterate over *integer* window indices. The previous float-stepping
         // loop (`t = seg_end` with `seg_end = (w+1)*win`) could truncate
@@ -106,7 +138,8 @@ impl Monitor {
             let overlap = end.min(w_start + win) - start.max(w_start);
             if overlap > 0.0 {
                 while self.windows.len() <= w {
-                    self.windows.push(vec![0.0; self.nodes * KINDS * TAGS]);
+                    self.windows
+                        .push(vec![0.0; (self.nodes * KINDS + self.links) * TAGS]);
                 }
                 self.windows[w][idx] += rate * overlap;
             }
@@ -187,6 +220,55 @@ impl Monitor {
     pub fn total_bytes(&self, node: usize, kind: ResourceKind, tag: Traffic) -> f64 {
         let idx = self.idx(node, kind, tag);
         self.windows.iter().map(|w| w[idx]).sum()
+    }
+
+    /// Number of shared link resources the monitor tracks (0 without a
+    /// topology).
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// Usage of one (window, link, class) cell on a shared fabric link.
+    ///
+    /// Returns an empty sample for windows beyond the recorded horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_usage(&self, window: usize, link: usize, tag: Traffic) -> UsageSample {
+        let idx = self.link_idx(link, tag);
+        let Some(w) = self.windows.get(window) else {
+            return UsageSample::default();
+        };
+        let start = window as f64 * self.window_secs;
+        let seconds = (self.horizon - start).clamp(0.0, self.window_secs);
+        UsageSample {
+            bytes: w[idx],
+            seconds,
+        }
+    }
+
+    /// Total bytes a traffic class moved through a shared fabric link —
+    /// summing a rack's ToR uplink gives its cross-rack egress, the
+    /// quantity the oversubscription experiments plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_total_bytes(&self, link: usize, tag: Traffic) -> f64 {
+        let idx = self.link_idx(link, tag);
+        self.windows.iter().map(|w| w[idx]).sum()
+    }
+
+    /// Per-window average rates for one (link, class), in bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_rate_series(&self, link: usize, tag: Traffic) -> Vec<f64> {
+        (0..self.window_count())
+            .map(|w| self.link_usage(w, link, tag).rate())
+            .collect()
     }
 
     /// The fluctuation (max rate − min rate across windows) of a class on a
@@ -274,7 +356,7 @@ mod tests {
 
     #[test]
     fn records_split_across_windows() {
-        let mut m = Monitor::new(1, 10.0);
+        let mut m = Monitor::new(1, 0, 10.0);
         // 4 bytes/s from t=5 to t=15: 20 bytes in window 0, 20 in window 1.
         m.record(5.0, 15.0, 4.0, 0, ResourceKind::Uplink, Traffic::Repair);
         assert_eq!(m.window_count(), 2);
@@ -289,7 +371,7 @@ mod tests {
 
     #[test]
     fn classes_are_separate() {
-        let mut m = Monitor::new(2, 10.0);
+        let mut m = Monitor::new(2, 0, 10.0);
         m.record(
             0.0,
             1.0,
@@ -315,7 +397,7 @@ mod tests {
 
     #[test]
     fn fluctuation_is_max_minus_min() {
-        let mut m = Monitor::new(1, 1.0);
+        let mut m = Monitor::new(1, 0, 1.0);
         m.record(0.0, 1.0, 10.0, 0, ResourceKind::Uplink, Traffic::Foreground);
         m.record(1.0, 2.0, 4.0, 0, ResourceKind::Uplink, Traffic::Foreground);
         m.record(2.0, 3.0, 7.0, 0, ResourceKind::Uplink, Traffic::Foreground);
@@ -324,7 +406,7 @@ mod tests {
 
     #[test]
     fn out_of_range_window_is_empty() {
-        let m = Monitor::new(1, 1.0);
+        let m = Monitor::new(1, 0, 1.0);
         let s = m.usage(7, 0, ResourceKind::Uplink, Traffic::Repair);
         assert_eq!(s.bytes, 0.0);
         assert_eq!(s.rate(), 0.0);
@@ -336,7 +418,7 @@ mod tests {
         // stepping loop could produce zero-length segments at boundaries
         // far from zero. Record many short segments deep into the horizon
         // and check conservation and termination.
-        let mut m = Monitor::new(1, 0.1);
+        let mut m = Monitor::new(1, 0, 0.1);
         let mut expected = 0.0;
         for k in 0..5000u32 {
             // Segments that start exactly on (float-computed) boundaries.
@@ -352,7 +434,7 @@ mod tests {
         );
         // One long segment spanning thousands of windows must also
         // terminate and conserve.
-        let mut m = Monitor::new(1, 0.1);
+        let mut m = Monitor::new(1, 0, 0.1);
         m.record(0.0, 1000.0, 2.0, 0, ResourceKind::Downlink, Traffic::Repair);
         let total = m.total_bytes(0, ResourceKind::Downlink, Traffic::Repair);
         assert!((total - 2000.0).abs() < 1e-6, "long segment lost bytes");
@@ -362,7 +444,7 @@ mod tests {
     #[test]
     fn boundary_segment_lands_in_one_window() {
         // A segment exactly filling window w must not leak into w+1.
-        let mut m = Monitor::new(1, 0.1);
+        let mut m = Monitor::new(1, 0, 0.1);
         let w = 4321usize;
         m.record(
             w as f64 * 0.1,
@@ -384,7 +466,7 @@ mod tests {
         // then extends the horizon to window 9. The quiet windows belong to
         // foreground's lifetime, not repair's, and must not drag repair's
         // min rate to 0.
-        let mut m = Monitor::new(1, 1.0);
+        let mut m = Monitor::new(1, 0, 1.0);
         m.record(0.0, 2.0, 10.0, 0, ResourceKind::Uplink, Traffic::Repair);
         m.record(0.0, 10.0, 3.0, 0, ResourceKind::Uplink, Traffic::Foreground);
         assert!(
@@ -400,7 +482,7 @@ mod tests {
 
     #[test]
     fn fluctuation_of_silent_class_is_zero() {
-        let mut m = Monitor::new(1, 1.0);
+        let mut m = Monitor::new(1, 0, 1.0);
         m.record(0.0, 5.0, 3.0, 0, ResourceKind::Uplink, Traffic::Foreground);
         assert_eq!(m.fluctuation(0, ResourceKind::Uplink, Traffic::Repair), 0.0);
     }
@@ -408,7 +490,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "caps slice has 1 entries but the monitor tracks 2 nodes")]
     fn worst_overshoot_rejects_short_caps_slice() {
-        let mut m = Monitor::new(2, 1.0);
+        let mut m = Monitor::new(2, 0, 1.0);
         m.record(0.0, 1.0, 1.0, 1, ResourceKind::Uplink, Traffic::Repair);
         let caps = vec![NodeCaps::symmetric(10.0, 10.0)];
         m.worst_overshoot(&caps);
@@ -416,9 +498,34 @@ mod tests {
 
     #[test]
     fn worst_overshoot_accepts_full_caps_slice() {
-        let mut m = Monitor::new(2, 1.0);
+        let mut m = Monitor::new(2, 0, 1.0);
         m.record(0.0, 1.0, 5.0, 1, ResourceKind::Uplink, Traffic::Repair);
         let caps = vec![NodeCaps::symmetric(10.0, 10.0); 2];
         assert!(m.worst_overshoot(&caps) <= 0.0);
+    }
+
+    #[test]
+    fn link_cells_accumulate_independently_of_node_cells() {
+        // 2 nodes (8 node cells) + 3 links; link 1 is cell 9.
+        let mut m = Monitor::new(2, 3, 1.0);
+        m.record_cell(0.0, 2.0, 4.0, 2 * KINDS + 1, Traffic::Repair);
+        m.record_cell(0.0, 1.0, 6.0, 0, Traffic::Repair); // node 0 uplink
+        assert_eq!(m.link_count(), 3);
+        assert!((m.link_total_bytes(1, Traffic::Repair) - 8.0).abs() < 1e-9);
+        assert_eq!(m.link_total_bytes(0, Traffic::Repair), 0.0);
+        assert_eq!(m.link_total_bytes(1, Traffic::Foreground), 0.0);
+        // Node accounting is untouched by link cells.
+        assert!((m.total_bytes(0, ResourceKind::Uplink, Traffic::Repair) - 6.0).abs() < 1e-9);
+        let s = m.link_usage(0, 1, Traffic::Repair);
+        assert!((s.bytes - 4.0).abs() < 1e-9);
+        assert!((s.rate() - 4.0).abs() < 1e-9);
+        assert_eq!(m.link_rate_series(1, Traffic::Repair).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn link_query_out_of_range_panics() {
+        let m = Monitor::new(2, 1, 1.0);
+        let _ = m.link_total_bytes(1, Traffic::Repair);
     }
 }

@@ -5,7 +5,8 @@
 //! engine event for event.
 
 use chameleon_simnet::{
-    allocate_rates, maxmin, Event, FlowSpec, NodeCaps, ResourceKind, SimConfig, Simulator, Traffic,
+    allocate_rates, maxmin, Event, FlowSpec, NodeCaps, ResourceKind, SimConfig, Simulator,
+    Topology, Traffic,
 };
 use proptest::prelude::*;
 
@@ -431,6 +432,53 @@ proptest! {
             sequential.start_flow(s.clone());
         }
         prop_assert_eq!(drain(&mut batched), drain(&mut sequential));
+    }
+
+    /// The differential oracle for the fabric compilation: a flat,
+    /// non-oversubscribed topology (one rack, no spine) routes every
+    /// flow rack-locally, so even though its ToR link cells exist in the
+    /// solver's resource space (and flip the engine into soft-resource
+    /// bookkeeping), the event log must be *bitwise* identical to the
+    /// rackless engine's — same events, same order, same f64 timestamps.
+    #[test]
+    fn single_rack_topology_matches_rackless_engine_bitwise(
+        seed in any::<u64>(),
+        flow_count in 1usize..24,
+    ) {
+        let nodes = 6;
+        let specs: Vec<FlowSpec> = {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            (0..flow_count)
+                .map(|_| {
+                    let src = (next() as usize) % nodes;
+                    let dst = (src + 1 + (next() as usize) % (nodes - 1)) % nodes;
+                    let tag = if next() % 2 == 0 { Traffic::Repair } else { Traffic::Foreground };
+                    FlowSpec::network(src, dst, 1 + next() % 500, tag)
+                })
+                .collect()
+        };
+        let caps = NodeCaps::symmetric(20.0, 10.0);
+        let run = |topology: Option<Topology>| {
+            let mut cfg = SimConfig::uniform(nodes, caps);
+            cfg.topology = topology;
+            let mut sim = Simulator::new(cfg);
+            sim.start_flows(specs.iter().cloned());
+            let mut log = Vec::new();
+            while let Some(ev) = sim.next_event() {
+                log.push((format!("{ev:?}"), sim.now().as_secs().to_bits()));
+            }
+            log
+        };
+        // Edge-non-blocking ToR: every node's full uplink fits through.
+        let flat = Topology::round_robin(nodes, 1, nodes as f64 * caps.uplink,
+                                         nodes as f64 * caps.uplink, None);
+        prop_assert_eq!(run(None), run(Some(flat)));
     }
 
     #[test]
